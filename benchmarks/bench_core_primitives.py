@@ -1,0 +1,90 @@
+"""Micro-benchmarks for the library's core primitives.
+
+These complement the per-experiment benchmarks: they time the individual
+operations a downstream user pays for — metric evaluations, the refinement
+operator, the bucketing DP, median aggregation, and the sequential-access
+algorithms — on a shared set of realistic workloads.
+"""
+
+from __future__ import annotations
+
+from repro.aggregate.dp import optimal_partial_ranking
+from repro.aggregate.matching import optimal_footrule_aggregation
+from repro.aggregate.median import median_full_ranking, median_scores
+from repro.aggregate.medrank import medrank, nra_median
+from repro.core.refine import star
+from repro.metrics.footrule import footrule
+from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff_counts
+from repro.metrics.kendall import kendall
+
+
+class TestMetricPrimitives:
+    def test_kendall_prof(self, benchmark, random_workload):
+        sigma, tau = random_workload.rankings[0], random_workload.rankings[1]
+        assert benchmark(kendall, sigma, tau) >= 0
+
+    def test_footrule_prof(self, benchmark, random_workload):
+        sigma, tau = random_workload.rankings[0], random_workload.rankings[1]
+        assert benchmark(footrule, sigma, tau) >= 0
+
+    def test_kendall_hausdorff(self, benchmark, random_workload):
+        sigma, tau = random_workload.rankings[0], random_workload.rankings[1]
+        assert benchmark(kendall_hausdorff_counts, sigma, tau) >= 0
+
+    def test_footrule_hausdorff(self, benchmark, random_workload):
+        sigma, tau = random_workload.rankings[0], random_workload.rankings[1]
+        assert benchmark(footrule_hausdorff, sigma, tau) >= 0
+
+
+class TestRefinementPrimitives:
+    def test_star_operator(self, benchmark, random_workload):
+        sigma, tau = random_workload.rankings[0], random_workload.rankings[1]
+        result = benchmark(star, tau, sigma)
+        assert result.is_refinement_of(sigma)
+
+
+class TestAggregationPrimitives:
+    def test_median_scores(self, benchmark, mallows_workload):
+        scores = benchmark(median_scores, list(mallows_workload.rankings))
+        assert len(scores) == mallows_workload.domain_size
+
+    def test_median_full_ranking(self, benchmark, mallows_workload):
+        result = benchmark(median_full_ranking, list(mallows_workload.rankings))
+        assert result.is_full
+
+    def test_dp_bucketing(self, benchmark, mallows_workload):
+        scores = median_scores(list(mallows_workload.rankings))
+        result = benchmark(optimal_partial_ranking, scores)
+        assert result.domain == set(scores)
+
+    def test_matching_optimum(self, benchmark, mallows_workload):
+        _, cost = benchmark(optimal_footrule_aggregation, list(mallows_workload.rankings))
+        assert cost >= 0
+
+
+class TestOnlineAggregation:
+    def test_online_add_and_topk(self, benchmark, mallows_workload):
+        from repro.aggregate.online import OnlineMedianAggregator
+
+        rankings = list(mallows_workload.rankings)
+
+        def toggle_cycle():
+            aggregator = OnlineMedianAggregator(rankings[0].domain)
+            for ranking in rankings:
+                aggregator.add(ranking)
+            aggregator.discard(rankings[0])
+            return aggregator.top_k(5)
+
+        result = benchmark(toggle_cycle)
+        assert result.is_top_k(5)
+
+
+class TestSequentialAccess:
+    def test_medrank_topk(self, benchmark, restaurant_workload):
+        result = benchmark(medrank, list(restaurant_workload.rankings), 5)
+        assert len(result.winners) == 5
+        assert result.access_log.depth <= restaurant_workload.domain_size
+
+    def test_nra_median_topk(self, benchmark, restaurant_workload):
+        result = benchmark(nra_median, list(restaurant_workload.rankings), 5)
+        assert len(result.winners) == 5

@@ -1,0 +1,16 @@
+"""Benchmark + reproduction check for E1 (Proposition 13 regimes)."""
+
+from __future__ import annotations
+
+from repro.experiments import e01_penalty
+
+
+def test_e01_penalty_regimes(benchmark):
+    counterexample, sweep = benchmark(e01_penalty.run, seed=0, n=7, samples=14)
+    by_p = {row["p"]: row for row in counterexample.rows}
+    assert not by_p[0.0]["regular"]
+    assert not by_p[0.25]["triangle_holds"]
+    assert by_p[0.5]["triangle_holds"]
+    for row in sweep.rows:
+        if row["p"] >= 0.5:
+            assert row["triangle_violations"] == 0

@@ -1,0 +1,18 @@
+"""Benchmark + reproduction check for E2 (Theorem 5 / Proposition 6)."""
+
+from __future__ import annotations
+
+from repro.experiments import e02_hausdorff
+
+
+def test_e02_hausdorff_characterization(benchmark):
+    exhaustive, randomized = benchmark(
+        e02_hausdorff.run, seed=0, exhaustive_n=3, random_n=5, samples=15
+    )
+    row = exhaustive.rows[0]
+    assert row["K_Haus_thm5_ok"] == row["pairs"]
+    assert row["F_Haus_thm5_ok"] == row["pairs"]
+    assert row["K_Haus_prop6_ok"] == row["pairs"]
+    random_row = randomized.rows[0]
+    assert random_row["K_Haus_ok"] == random_row["samples"]
+    assert random_row["F_Haus_ok"] == random_row["samples"]

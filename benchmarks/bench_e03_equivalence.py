@@ -1,0 +1,14 @@
+"""Benchmark + reproduction check for E3 (Theorem 7 equivalence constants)."""
+
+from __future__ import annotations
+
+from repro.experiments import e03_equivalence
+
+
+def test_e03_equivalence_constants(benchmark):
+    tables = benchmark(e03_equivalence.run, seed=0, n=25, samples=40)
+    assert tables
+    for table in tables:
+        for row in table.rows:
+            assert row["within_bounds"]
+            assert 1.0 - 1e-9 <= row["min_ratio"] <= row["max_ratio"] <= row["proved_max"] + 1e-9

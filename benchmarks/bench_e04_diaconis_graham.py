@@ -1,0 +1,16 @@
+"""Benchmark + reproduction check for E4 (Diaconis-Graham, eq. 1)."""
+
+from __future__ import annotations
+
+from repro.experiments import e04_diaconis_graham
+
+
+def test_e04_diaconis_graham(benchmark):
+    random_table, structured = benchmark(
+        e04_diaconis_graham.run, seed=0, n=40, samples=120
+    )
+    row = random_table.rows[0]
+    assert 1.0 - 1e-9 <= row["min_ratio"]
+    assert row["max_ratio"] <= 2.0 + 1e-9
+    families = {r["family"]: r for r in structured.rows}
+    assert families["adjacent transposition"]["F_over_K"] == 2.0

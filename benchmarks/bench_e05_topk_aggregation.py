@@ -1,0 +1,12 @@
+"""Benchmark + reproduction check for E5 (Theorem 9 top-k factor 3)."""
+
+from __future__ import annotations
+
+from repro.experiments import e05_topk_aggregation
+
+
+def test_e05_median_topk_factor_three(benchmark):
+    (table,) = benchmark(e05_topk_aggregation.run, seed=0, n=5, k=2, m=5, trials=15)
+    by_name = {row["aggregator"]: row for row in table.rows}
+    assert by_name["median"]["max_ratio"] <= 3.0 + 1e-9
+    assert by_name["median"]["mean_ratio"] < 2.0  # typical quality is far better

@@ -1,0 +1,15 @@
+"""Benchmark + reproduction check for E6 (Figure 1 DP, Theorem 10)."""
+
+from __future__ import annotations
+
+from repro.experiments import e06_dp_bucketing
+
+
+def test_e06_dp_bucketing(benchmark):
+    dp_table, agg_table = benchmark(
+        e06_dp_bucketing.run, seed=0, dp_trials=30, dp_max_n=11, n=5, m=5, agg_trials=10
+    )
+    row = dp_table.rows[0]
+    assert row["dp_matches_bruteforce"] == row["trials"]
+    assert row["figure1_matches_bruteforce"] == row["trials"]
+    assert agg_table.rows[0]["max_ratio"] <= 2.0 + 1e-9

@@ -1,0 +1,12 @@
+"""Benchmark + reproduction check for E7 (Theorem 11 factor 2)."""
+
+from __future__ import annotations
+
+from repro.experiments import e07_full_ranking
+
+
+def test_e07_full_ranking_aggregation(benchmark):
+    (table,) = benchmark(e07_full_ranking.run, seed=0, sizes=(10, 20), m=7, trials=6)
+    for row in table.rows:
+        assert row["median_max"] <= 2.0 + 1e-9
+        assert row["median_mean"] < 1.5  # typical quality near-optimal

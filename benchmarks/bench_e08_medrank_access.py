@@ -1,0 +1,16 @@
+"""Benchmark + reproduction check for E8 (MEDRANK sorted-access cost)."""
+
+from __future__ import annotations
+
+from repro.experiments import e08_medrank_access
+
+
+def test_e08_medrank_access(benchmark):
+    (table,) = benchmark(e08_medrank_access.run, seed=0, n=150, m=4, k=3)
+    rows = {row["workload"]: row for row in table.rows}
+    correlated = next(row for name, row in rows.items() if "phi=0.2" in name)
+    # on correlated inputs the winners surface after a tiny prefix
+    assert correlated["medrank_saturation"] < 0.2
+    for row in table.rows:
+        assert row["nra_winner_gap"] == 0.0
+        assert row["medrank_depth"] <= row["nra_depth"]

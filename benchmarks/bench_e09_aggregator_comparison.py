@@ -1,0 +1,19 @@
+"""Benchmark + reproduction check for E9 (aggregator comparison)."""
+
+from __future__ import annotations
+
+from repro.experiments import e09_aggregator_comparison
+
+
+def test_e09_aggregator_comparison(benchmark):
+    (table,) = benchmark(e09_aggregator_comparison.run, seed=0, n=50, m=5)
+    medians = [row for row in table.rows if row["aggregator"] == "median (full)"]
+    picks = [row for row in table.rows if row["aggregator"] == "pick-a-perm"]
+    assert medians and picks
+    for row in medians:
+        assert row["f_prof_ratio"] <= 3.0 + 1e-9
+    # the shape the paper predicts: median is consistently closer to the
+    # optimum than the trivial pick-a-perm baseline
+    mean_median = sum(r["f_prof_ratio"] for r in medians) / len(medians)
+    mean_pick = sum(r["f_prof_ratio"] for r in picks) / len(picks)
+    assert mean_median <= mean_pick + 1e-9

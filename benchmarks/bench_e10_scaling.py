@@ -1,0 +1,16 @@
+"""Benchmark + reproduction check for E10 (metric computation scaling)."""
+
+from __future__ import annotations
+
+from repro.experiments import e10_scaling
+
+
+def test_e10_scaling(benchmark):
+    (table,) = benchmark(e10_scaling.run, seed=0, sizes=(100, 200, 400))
+    for row in table.rows:
+        if row["kendall_naive_s"] == row["kendall_naive_s"]:  # not NaN
+            assert row["speedup"] >= 1.0
+    # the fast path grows sub-quadratically: doubling n must not quadruple time
+    t100 = table.rows[0]["kendall_fast_s"]
+    t400 = table.rows[2]["kendall_fast_s"]
+    assert t400 < 16 * max(t100, 1e-6)

@@ -1,0 +1,12 @@
+"""Benchmark + reproduction check for E11 (Theorems 33/35)."""
+
+from __future__ import annotations
+
+from repro.experiments import e11_strong_optimality
+
+
+def test_e11_strong_optimality(benchmark):
+    (table,) = benchmark(e11_strong_optimality.run, seed=0, n=5, k=2, m=5, trials=10)
+    for row in table.rows:
+        assert row["within_both"]
+        assert row["c (f-dagger ratio)"] <= 2.0 + 1e-9

@@ -1,0 +1,20 @@
+"""Benchmark + reproduction check for E12 (Appendix A.3 identity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import e12_topk_location
+
+
+def test_e12_topk_location(benchmark):
+    identity, sweep, fks = benchmark(
+        e12_topk_location.run, seed=0, n=40, k=8, samples=40
+    )
+    assert fks.rows[0]["triangle_violations"] > 0
+    row = identity.rows[0]
+    assert row["exact_matches"] == row["samples"]
+    canonical = (40 + 8 + 1) / 2
+    canonical_rows = [r for r in sweep.rows if r["ell"] == canonical]
+    assert canonical_rows
+    assert canonical_rows[0]["max_ratio"] == pytest.approx(1.0)

@@ -1,0 +1,23 @@
+"""Benchmark + reproduction check for E13 (related-work coefficients)."""
+
+from __future__ import annotations
+
+from repro.experiments import e13_related_measures
+
+
+def test_e13_related_measures(benchmark):
+    (table,) = benchmark(e13_related_measures.run, seed=0, n=30, m=10)
+    degenerate = [
+        row for row in table.rows if row["workload"] == "constant attribute"
+    ]
+    assert degenerate
+    # the paper's objection: the classical coefficients are undefined on a
+    # slice of realistic heavily-tied inputs; the paper's metrics never are
+    assert all(row["undefined"] > 0 for row in degenerate)
+    defined = [
+        row
+        for row in table.rows
+        if row["workload"] != "constant attribute" and row["measure"] == "tau_b"
+    ]
+    # where defined, tau-b orders pairs almost exactly like K_prof
+    assert all(row["agreement_with_k_prof"] > 0.9 for row in defined)

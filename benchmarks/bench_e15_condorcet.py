@@ -1,0 +1,17 @@
+"""Benchmark + reproduction check for E15 (Condorcet structure)."""
+
+from __future__ import annotations
+
+from repro.experiments import e15_condorcet_structure
+
+
+def test_e15_condorcet_structure(benchmark):
+    (table,) = benchmark(e15_condorcet_structure.run, seed=0, n=7, trials=20)
+    for row in table.rows:
+        # whenever an instance is acyclic, the topological fast path must
+        # equal the exact optimum — the fraction string is always "k/k"
+        fraction = row["topo_equals_exact"]
+        if fraction != "-":
+            matched, total = fraction.split("/")
+            assert matched == total
+    assert any(row["acyclic_pct"] > 0 for row in table.rows)

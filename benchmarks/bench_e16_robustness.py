@@ -1,0 +1,20 @@
+"""Benchmark + reproduction check for E16 (robustness to outlier voters)."""
+
+from __future__ import annotations
+
+from repro.experiments import e16_robustness
+
+
+def test_e16_robustness(benchmark):
+    (table,) = benchmark(e16_robustness.run, seed=0, n=20, honest=10, trials=6)
+    below_breakdown = [
+        row for row in table.rows if row["adversarial_fraction"] < 0.45
+    ]
+    assert below_breakdown
+    # the §1 claim: below the breakdown point the median tracks the truth
+    # strictly better than the mean-based Borda
+    assert all(row["median_error"] <= 0.1 for row in below_breakdown)
+    worst_gap = max(
+        row["borda_error"] - row["median_error"] for row in below_breakdown
+    )
+    assert worst_gap >= 0

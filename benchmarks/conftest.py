@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_e*.py`` file wraps one EXPERIMENTS.md experiment: the
+benchmark measures the runner's wall time at reduced-but-representative
+parameters, and the test body re-asserts the experiment's headline claim so
+a benchmark run doubles as a reproduction check.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators.workloads import (
+    db_profile_workload,
+    mallows_profile_workload,
+    random_profile_workload,
+)
+
+
+@pytest.fixture(scope="session")
+def mallows_workload():
+    return mallows_profile_workload(80, 5, phi=0.3, seed=0, max_bucket=6)
+
+
+@pytest.fixture(scope="session")
+def random_workload():
+    return random_profile_workload(80, 5, seed=0, tie_bias=0.5)
+
+
+@pytest.fixture(scope="session")
+def restaurant_workload():
+    return db_profile_workload(80, seed=0, catalog="restaurants")

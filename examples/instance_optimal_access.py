@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""How few elements does MEDRANK read? (§6's database-friendliness claim)
+
+Compares the sorted-access depth of the majority-stopping MEDRANK and the
+certified NRA variant across input correlation levels: when the input
+rankings agree, the winner surfaces after a tiny prefix of each list; when
+they are adversarially uncorrelated, more of the input must be read — and
+that is unavoidable (instance optimality), not an algorithmic defect.
+
+Run with::
+
+    python examples/instance_optimal_access.py
+"""
+
+from repro import medrank, nra_median
+from repro.generators.workloads import mallows_profile_workload, random_profile_workload
+
+
+def main() -> None:
+    n, m, k = 500, 5, 3
+    print(f"domain: {n} items, {m} input rankings, top-{k} requested\n")
+    print(f"{'workload':<34} {'medrank depth':>14} {'nra depth':>10} {'% read (nra)':>13}")
+
+    workloads = [
+        mallows_profile_workload(n, m, phi=0.1, seed=0, max_bucket=8),
+        mallows_profile_workload(n, m, phi=0.5, seed=0, max_bucket=8),
+        mallows_profile_workload(n, m, phi=0.9, seed=0, max_bucket=8),
+        random_profile_workload(n, m, seed=0, tie_bias=0.5),
+    ]
+    for workload in workloads:
+        rankings = list(workload.rankings)
+        fast = medrank(rankings, k=k)
+        certified = nra_median(rankings, k=k)
+        print(
+            f"{workload.name:<34} {fast.access_log.depth:>14} "
+            f"{certified.access_log.depth:>10} "
+            f"{100 * certified.access_log.saturation:>12.1f}%"
+        )
+
+    print(
+        "\nreading the whole input would cost depth "
+        f"{n}; on agreeing inputs MEDRANK stops after a few dozen accesses."
+    )
+
+
+if __name__ == "__main__":
+    main()

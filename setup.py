@@ -1,0 +1,11 @@
+"""Setuptools shim for legacy editable installs (offline environments).
+
+`pip install -e .` with PEP 517 build isolation needs network access to
+fetch build dependencies; this shim enables
+`pip install -e . --no-build-isolation --no-use-pep517` instead. All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""Rank aggregation algorithms (paper §6) and baselines.
+
+The centerpiece is median rank aggregation, which the paper proves is a
+constant-factor approximation with respect to all four partial-ranking
+metrics:
+
+* :func:`median_scores` / :class:`MedianAggregator` — the median score
+  function and its top-k / full-ranking / fixed-type / partial-ranking
+  outputs (Theorems 9, 10, 11 and their generalizations).
+* :func:`optimal_bucketing` — the Figure 1 dynamic program producing the
+  partial ranking closest in L1 to an arbitrary score function.
+* :func:`medrank` / :func:`nra_median` — sequential-access algorithms with
+  access accounting (the database-friendly instantiation of §6).
+* :mod:`repro.aggregate.baselines` — Borda, MC4, pick-a-perm, best-input.
+* :func:`optimal_footrule_aggregation` — the exact (matching-based)
+  comparator the paper contrasts the median algorithm with.
+* :mod:`repro.aggregate.exact` — brute-force optima for small domains.
+"""
+
+from repro.aggregate.dp import bucketing_cost, optimal_bucketing, optimal_partial_ranking
+from repro.aggregate.kemeny import kemeny_lower_bound, kemeny_optimal
+from repro.aggregate.matching import optimal_footrule_aggregation
+from repro.aggregate.median import (
+    MedianAggregator,
+    median_full_ranking,
+    median_partial_ranking,
+    median_scores,
+    median_top_k,
+)
+from repro.aggregate.medrank import AccessLog, medrank, nra_median
+from repro.aggregate.objective import total_distance
+from repro.aggregate.online import OnlineMedianAggregator
+from repro.aggregate.tournament import (
+    condorcet_winner,
+    is_condorcet_consistent,
+    majority_digraph,
+    topological_aggregation,
+)
+
+__all__ = [
+    "median_scores",
+    "median_top_k",
+    "median_full_ranking",
+    "median_partial_ranking",
+    "MedianAggregator",
+    "OnlineMedianAggregator",
+    "optimal_bucketing",
+    "optimal_partial_ranking",
+    "bucketing_cost",
+    "medrank",
+    "nra_median",
+    "AccessLog",
+    "optimal_footrule_aggregation",
+    "kemeny_optimal",
+    "kemeny_lower_bound",
+    "majority_digraph",
+    "condorcet_winner",
+    "is_condorcet_consistent",
+    "topological_aggregation",
+    "total_distance",
+]

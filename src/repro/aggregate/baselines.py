@@ -1,0 +1,166 @@
+"""Baseline aggregation heuristics the paper positions median against.
+
+The paper's introduction contrasts median rank aggregation with the
+heuristics of Dwork–Kumar–Naor–Sivakumar (WWW 2001) and with naive
+averaging. To let the experiments make the same comparison we implement:
+
+* :func:`borda` — mean-rank (Borda) aggregation;
+* :func:`best_input` — return the input ranking minimizing the objective
+  (always a factor-2 approximation for metrics, as the paper notes in
+  footnote 4);
+* :func:`pick_a_perm` — a uniformly random input, refined to a full
+  ranking (the classical randomized 2-approximation);
+* :func:`markov_chain_mc4` — the MC4 Markov-chain heuristic of [8],
+  generalized to bucket orders by treating "prefers" as "strictly ahead in
+  a majority of lists";
+* :func:`locally_kemenize` — the local Kemenization post-pass of [8]:
+  adjacent transpositions are applied while a majority of inputs prefers
+  the swapped order.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.aggregate.objective import total_distance, validate_profile
+from repro.core.partial_ranking import Item, PartialRanking
+from repro.core.refine import common_full_ranking, star
+from repro.errors import AggregationError
+
+__all__ = [
+    "borda",
+    "best_input",
+    "pick_a_perm",
+    "markov_chain_mc4",
+    "locally_kemenize",
+]
+
+
+def _canonical_order(scores: dict[Item, float]) -> list[Item]:
+    return sorted(scores, key=lambda item: (scores[item], type(item).__name__, repr(item)))
+
+
+def borda(rankings: Sequence[PartialRanking]) -> PartialRanking:
+    """Mean-rank (Borda) aggregation, output as a full ranking.
+
+    Items are ordered by the average of their positions across the inputs.
+    Simple and popular, but unlike the median it admits no constant-factor
+    guarantee and no instance-optimal sequential implementation.
+    """
+    domain = validate_profile(rankings)
+    means = {
+        item: sum(sigma[item] for sigma in rankings) / len(rankings) for item in domain
+    }
+    return PartialRanking.from_sequence(_canonical_order(means))
+
+
+def best_input(
+    rankings: Sequence[PartialRanking],
+    metric: str | Callable[[PartialRanking, PartialRanking], float] = "f_prof",
+) -> PartialRanking:
+    """Return the input ranking with the smallest total distance to the rest.
+
+    For any metric this is a 2-approximation of the optimal aggregation
+    (triangle inequality), which is the paper's reason to call algorithms
+    that merely match factor 2 on full rankings "trivial".
+    """
+    validate_profile(rankings)
+    return min(rankings, key=lambda sigma: total_distance(sigma, rankings, metric))
+
+
+def pick_a_perm(
+    rankings: Sequence[PartialRanking],
+    rng: random.Random | None = None,
+) -> PartialRanking:
+    """Return a uniformly random input, refined into a full ranking.
+
+    The classical randomized 2-approximation for Kendall aggregation on
+    permutations; ties in the chosen partial ranking are broken
+    canonically so the output is always a full ranking.
+    """
+    validate_profile(rankings)
+    rng = rng or random.Random()
+    chosen = rankings[rng.randrange(len(rankings))]
+    return star(common_full_ranking(chosen), chosen)
+
+
+def _majority_prefers(
+    rankings: Sequence[PartialRanking], winner: Item, loser: Item
+) -> bool:
+    """True if a strict majority of inputs ranks ``winner`` strictly ahead."""
+    ahead = sum(1 for sigma in rankings if sigma.ahead(winner, loser))
+    return ahead > len(rankings) / 2
+
+
+def markov_chain_mc4(
+    rankings: Sequence[PartialRanking],
+    damping: float = 0.05,
+    max_iterations: int = 10_000,
+    tolerance: float = 1e-12,
+) -> PartialRanking:
+    """The MC4 Markov-chain aggregation heuristic of Dwork et al. [8].
+
+    From state ``x``, pick a uniformly random item ``y``; transition to
+    ``y`` if a majority of the inputs ranks ``y`` strictly ahead of ``x``,
+    else stay. Items are output by descending stationary probability. A
+    small uniform ``damping`` term guarantees ergodicity (as in practice);
+    the stationary distribution is found by power iteration.
+    """
+    domain = validate_profile(rankings)
+    if not 0.0 <= damping < 1.0:
+        raise AggregationError(f"damping={damping} must lie in [0, 1)")
+    items = sorted(domain, key=lambda item: (type(item).__name__, repr(item)))
+    n = len(items)
+    if n == 1:
+        return PartialRanking.from_sequence(items)
+
+    transition = np.zeros((n, n))
+    for i, x in enumerate(items):
+        for j, y in enumerate(items):
+            if i != j and _majority_prefers(rankings, y, x):
+                transition[i, j] = 1.0 / n
+        transition[i, i] = 1.0 - transition[i].sum()
+    transition = (1.0 - damping) * transition + damping / n
+
+    distribution = np.full(n, 1.0 / n)
+    for _ in range(max_iterations):
+        updated = distribution @ transition
+        if np.abs(updated - distribution).max() < tolerance:
+            distribution = updated
+            break
+        distribution = updated
+
+    scores = {item: -float(prob) for item, prob in zip(items, distribution)}
+    return PartialRanking.from_sequence(_canonical_order(scores))
+
+
+def locally_kemenize(
+    candidate: PartialRanking,
+    rankings: Sequence[PartialRanking],
+    max_passes: int | None = None,
+) -> PartialRanking:
+    """Local Kemenization [8]: bubble toward pairwise-majority agreement.
+
+    Repeatedly swaps adjacent items of the full ranking ``candidate``
+    whenever a strict majority of the inputs prefers the swapped order;
+    stops at a local optimum (no adjacent swap improves), which never
+    increases the Kendall objective. ``max_passes`` defaults to n.
+    """
+    validate_profile(rankings)
+    if not candidate.is_full:
+        raise AggregationError("locally_kemenize requires a full ranking candidate")
+    order = candidate.items_in_order()
+    passes = max_passes if max_passes is not None else len(order)
+    for _ in range(passes):
+        changed = False
+        for i in range(len(order) - 1):
+            ahead, behind = order[i], order[i + 1]
+            if _majority_prefers(rankings, behind, ahead):
+                order[i], order[i + 1] = behind, ahead
+                changed = True
+        if not changed:
+            break
+    return PartialRanking.from_sequence(order)

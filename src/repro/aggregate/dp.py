@@ -1,0 +1,221 @@
+"""Optimal bucketing dynamic program (paper Figure 1, §A.6.4).
+
+Given a score function ``f`` (e.g. the median score function), Theorem 10
+needs the partial ranking ``f†`` minimizing ``L1(f†, f)`` over *all*
+partial rankings. Sorting the items by ``f`` reduces this to an optimal
+*segmentation* problem: choose boundaries ``0 = s_0 < s_1 < ... < s_t = n``
+minimizing ``sum_ℓ c(s_ℓ, s_{ℓ+1})`` where
+
+    ``c(i, j) = sum_{ℓ=i+1..j} |f(ℓ) - (i + j + 1) / 2|``
+
+is the L1 cost of making positions ``i+1..j`` one bucket (whose position is
+``(i + j + 1) / 2``).
+
+Two implementations are provided:
+
+* :func:`optimal_bucketing` — O(n²) transitions with O(log n) cost queries
+  via prefix sums (:class:`repro._util.SortedSliceL1`); works for arbitrary
+  real scores.
+* :func:`figure1_boundaries` — a faithful port of the paper's Figure 1
+  pseudocode: O(n²) time, O(n) extra space, valid whenever ``2 f(i)`` is
+  integral for all ``i`` (the paper's assumption; true for any odd-m median
+  of partial-ranking positions).
+
+plus :func:`brute_force_bucketing`, an exhaustive oracle over all 2^(n-1)
+segmentations for the test suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro._util import SortedSliceL1
+from repro.core.partial_ranking import Item, PartialRanking
+from repro.errors import AggregationError
+
+__all__ = [
+    "BucketingResult",
+    "bucketing_cost",
+    "optimal_bucketing",
+    "figure1_boundaries",
+    "brute_force_bucketing",
+    "optimal_partial_ranking",
+]
+
+_HALF_INTEGRAL_TOL = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class BucketingResult:
+    """An optimal segmentation of sorted scores into buckets.
+
+    ``boundaries`` is the paper's sequence ``S_n``: strictly increasing,
+    starting at 0 and ending at n; bucket ``ℓ`` spans sorted positions
+    ``boundaries[ℓ]+1 .. boundaries[ℓ+1]``. ``cost`` is the total L1
+    distance between the scores and the resulting bucket positions.
+    """
+
+    boundaries: tuple[int, ...]
+    cost: float
+
+    @property
+    def bucket_type(self) -> tuple[int, ...]:
+        """The type (sequence of bucket sizes) of the segmentation."""
+        return tuple(
+            b - a for a, b in zip(self.boundaries, self.boundaries[1:])
+        )
+
+
+def _require_sorted(values: Sequence[float]) -> list[float]:
+    vals = list(values)
+    if not vals:
+        raise AggregationError("cannot bucket an empty score sequence")
+    if any(a > b for a, b in zip(vals, vals[1:])):
+        raise AggregationError("scores must be sorted ascending before bucketing")
+    return vals
+
+
+def bucketing_cost(values: Sequence[float], boundaries: Sequence[int]) -> float:
+    """Evaluate ``c(S)`` — the L1 cost of a given segmentation.
+
+    ``boundaries`` must start at 0, end at ``len(values)``, and be strictly
+    increasing.
+    """
+    vals = _require_sorted(values)
+    bounds = list(boundaries)
+    n = len(vals)
+    if not bounds or bounds[0] != 0 or bounds[-1] != n:
+        raise AggregationError(f"boundaries must run from 0 to {n}, got {bounds}")
+    if any(a >= b for a, b in zip(bounds, bounds[1:])):
+        raise AggregationError("boundaries must be strictly increasing")
+    slices = SortedSliceL1(vals)
+    return sum(
+        slices.cost(start, stop, (start + stop + 1) / 2)
+        for start, stop in zip(bounds, bounds[1:])
+    )
+
+
+def optimal_bucketing(values: Sequence[float]) -> BucketingResult:
+    """Find a minimum-cost segmentation of sorted scores. O(n² log n).
+
+    Uses prefix-sum cost queries, which work for arbitrary real scores.
+    The paper's Figure 1 algorithm (:func:`figure1_boundaries`) has a
+    better asymptotic bound — O(n²) with an O(1) amortized column update —
+    but the ablation benchmark shows the C-backed bisect of the prefix-sum
+    variant beats the pure-Python incremental update in practice, so the
+    faithful port is kept as a validated reference rather than the default
+    path. Both return a true optimum; they may differ in which optimum
+    they pick, never in cost.
+    """
+    return _prefix_sum_bucketing(_require_sorted(values))
+
+
+def _prefix_sum_bucketing(vals: list[float]) -> BucketingResult:
+    n = len(vals)
+    slices = SortedSliceL1(vals)
+    best = [0.0] * (n + 1)
+    parent = [0] * (n + 1)
+    for j in range(1, n + 1):
+        best_cost = float("inf")
+        best_i = 0
+        for i in range(j):
+            cost = best[i] + slices.cost(i, j, (i + j + 1) / 2)
+            if cost < best_cost:
+                best_cost = cost
+                best_i = i
+        best[j] = best_cost
+        parent[j] = best_i
+    return BucketingResult(boundaries=_walk_parents(parent, n), cost=best[n])
+
+
+def figure1_boundaries(values: Sequence[float]) -> BucketingResult:
+    """Faithful port of the paper's Figure 1 pseudocode.
+
+    Requires sorted scores with ``2 f(i)`` integral (so that no score falls
+    strictly between two consecutive candidate bucket midpoints, which is
+    what makes the O(1) amortized column update exact). O(n²) time,
+    O(n) additional space.
+    """
+    vals = _require_sorted(values)
+    if any(abs(v * 2 - round(v * 2)) > _HALF_INTEGRAL_TOL for v in vals):
+        raise AggregationError("figure1_boundaries requires half-integral scores")
+    n = len(vals)
+
+    def f(index_1based: int) -> float:
+        return vals[index_1based - 1]
+
+    best = [0.0] * (n + 1)
+    parent = [0] * (n + 1)
+    for j in range(1, n + 1):
+        # line 2: c(0, j) = sum_{ℓ=1..j} |f(ℓ) - (j + 1) / 2|
+        mid = (j + 1) / 2
+        cost_ij = sum(abs(f(ell) - mid) for ell in range(1, j + 1))
+        best_cost = best[0] + cost_ij
+        best_i = 0
+        k = 1  # line 3 (paper uses k := 0 with 1-based f; k is the first
+        #        index with f(k) >= the current midpoint)
+        for i in range(1, j):
+            # line 5: advance k to the first index with f(k) >= (i+j+1)/2
+            mid = (i + j + 1) / 2
+            while k <= j and f(k) < mid:
+                k += 1
+            # line 6: c(i, j) = c(i-1, j) - |f(i) - (i+j)/2| + (2k-i-j-2)/2.
+            # The update counts scores below/above the new midpoint among
+            # positions i+1..j, so k must be clamped to that window (the
+            # paper's pseudocode leaves this implicit).
+            k_eff = max(k, i + 1)
+            cost_ij = cost_ij - abs(f(i) - (i + j) / 2) + (2 * k_eff - i - j - 2) / 2
+            candidate = best[i] + cost_ij
+            if candidate < best_cost:
+                best_cost = candidate
+                best_i = i
+        best[j] = best_cost
+        parent[j] = best_i
+    return BucketingResult(boundaries=_walk_parents(parent, n), cost=best[n])
+
+
+def _walk_parents(parent: Sequence[int], n: int) -> tuple[int, ...]:
+    boundaries = [n]
+    while boundaries[-1] != 0:
+        boundaries.append(parent[boundaries[-1]])
+    return tuple(reversed(boundaries))
+
+
+def brute_force_bucketing(values: Sequence[float]) -> BucketingResult:
+    """Exhaustive minimum over all 2^(n-1) segmentations (test oracle)."""
+    vals = _require_sorted(values)
+    n = len(vals)
+    slices = SortedSliceL1(vals)
+    best_cost = float("inf")
+    best_bounds: tuple[int, ...] = (0, n)
+    for mask in range(1 << (n - 1)):
+        bounds = [0] + [i for i in range(1, n) if mask & (1 << (i - 1))] + [n]
+        cost = sum(
+            slices.cost(start, stop, (start + stop + 1) / 2)
+            for start, stop in zip(bounds, bounds[1:])
+        )
+        if cost < best_cost:
+            best_cost = cost
+            best_bounds = tuple(bounds)
+    return BucketingResult(boundaries=best_bounds, cost=best_cost)
+
+
+def optimal_partial_ranking(scores: Mapping[Item, float]) -> PartialRanking:
+    """The partial ranking ``f†`` minimizing ``L1(f†, scores)`` (Thm 10).
+
+    Items are sorted by score (ties broken canonically — any order of tied
+    items yields the same cost), the optimal segmentation is computed, and
+    the segments become the buckets.
+    """
+    if not scores:
+        raise AggregationError("cannot aggregate an empty score function")
+    ordered = sorted(
+        scores, key=lambda item: (scores[item], type(item).__name__, repr(item))
+    )
+    result = optimal_bucketing([scores[item] for item in ordered])
+    buckets = [
+        ordered[start:stop]
+        for start, stop in zip(result.boundaries, result.boundaries[1:])
+    ]
+    return PartialRanking(buckets)

@@ -1,0 +1,114 @@
+"""Brute-force optimal aggregations (small domains only).
+
+The approximation theorems of §6 bound the median algorithm against the
+*true* optimum, so measuring real approximation ratios requires computing
+that optimum. The search spaces:
+
+* full rankings: ``n!`` permutations;
+* partial rankings: the n-th Fubini number of bucket orders
+  (1, 1, 3, 13, 75, 541, 4683, ...);
+* top-k lists: ``n! / (n-k)!`` ordered k-subsets.
+
+All three enumerations are exposed with a pluggable metric; they are
+deliberately simple and exhaustively correct, serving as oracles for the
+tests and as the denominators of experiments E5–E7.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+from itertools import permutations
+
+from repro._util import ordered_partitions
+from repro.aggregate.objective import total_distance, validate_profile
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import AggregationError
+
+Metric = str | Callable[[PartialRanking, PartialRanking], float]
+
+__all__ = [
+    "all_full_rankings",
+    "all_partial_rankings",
+    "all_top_k_lists",
+    "optimal_full_ranking",
+    "optimal_partial_ranking_bruteforce",
+    "optimal_top_k",
+]
+
+_MAX_BRUTE_FORCE = 9
+
+
+def _guard_size(n: int, what: str) -> None:
+    if n > _MAX_BRUTE_FORCE:
+        raise AggregationError(
+            f"brute-force {what} enumeration refused for n={n} > {_MAX_BRUTE_FORCE}"
+        )
+
+
+def all_full_rankings(domain: Sequence) -> Iterator[PartialRanking]:
+    """Yield every full ranking of a domain (n! of them)."""
+    _guard_size(len(domain), "full-ranking")
+    for order in permutations(sorted(domain, key=repr)):
+        yield PartialRanking.from_sequence(order)
+
+
+def all_partial_rankings(domain: Sequence) -> Iterator[PartialRanking]:
+    """Yield every bucket order of a domain (Fubini-number many)."""
+    _guard_size(len(domain), "bucket-order")
+    for buckets in ordered_partitions(sorted(domain, key=repr)):
+        yield PartialRanking(buckets)
+
+
+def all_top_k_lists(domain: Sequence, k: int) -> Iterator[PartialRanking]:
+    """Yield every top-k list over a domain."""
+    _guard_size(len(domain), "top-k")
+    items = sorted(domain, key=repr)
+    if not 0 < k <= len(items):
+        raise AggregationError(f"k={k} out of range for domain of size {len(items)}")
+    for top in permutations(items, k):
+        yield PartialRanking.top_k(list(top), items)
+
+
+def _optimum(
+    candidates: Iterator[PartialRanking],
+    rankings: Sequence[PartialRanking],
+    metric: Metric,
+) -> tuple[PartialRanking, float]:
+    best: PartialRanking | None = None
+    best_cost = float("inf")
+    for candidate in candidates:
+        cost = total_distance(candidate, rankings, metric)
+        if cost < best_cost:
+            best = candidate
+            best_cost = cost
+    if best is None:  # pragma: no cover - enumerations are never empty
+        raise AggregationError("no candidates enumerated")
+    return best, best_cost
+
+
+def optimal_full_ranking(
+    rankings: Sequence[PartialRanking],
+    metric: Metric = "f_prof",
+) -> tuple[PartialRanking, float]:
+    """Exhaustive optimal full-ranking aggregation and its cost."""
+    domain = validate_profile(rankings)
+    return _optimum(all_full_rankings(sorted(domain, key=repr)), rankings, metric)
+
+
+def optimal_partial_ranking_bruteforce(
+    rankings: Sequence[PartialRanking],
+    metric: Metric = "f_prof",
+) -> tuple[PartialRanking, float]:
+    """Exhaustive optimal bucket-order aggregation and its cost."""
+    domain = validate_profile(rankings)
+    return _optimum(all_partial_rankings(sorted(domain, key=repr)), rankings, metric)
+
+
+def optimal_top_k(
+    rankings: Sequence[PartialRanking],
+    k: int,
+    metric: Metric = "f_prof",
+) -> tuple[PartialRanking, float]:
+    """Exhaustive optimal top-k-list aggregation and its cost."""
+    domain = validate_profile(rankings)
+    return _optimum(all_top_k_lists(sorted(domain, key=repr), k), rankings, metric)

@@ -1,0 +1,82 @@
+"""Aggregation objectives: total distance of a candidate to the inputs.
+
+The aggregation problem for a metric ``d`` asks for the ranking minimizing
+``sum_i d(candidate, sigma_i)``. This module evaluates that objective for
+any of the paper's metrics, plus the raw ``L1``-to-score-function objective
+used by Lemma 8 and Theorems 9–11.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.core.partial_ranking import Item, PartialRanking
+from repro.errors import AggregationError
+from repro.metrics.footrule import footrule
+from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff_counts
+from repro.metrics.kendall import kendall
+
+__all__ = ["METRICS", "total_distance", "total_l1_to_function", "validate_profile"]
+
+#: Name -> metric function registry used across experiments and baselines.
+METRICS: dict[str, Callable[[PartialRanking, PartialRanking], float]] = {
+    "k_prof": kendall,
+    "f_prof": footrule,
+    "k_haus": lambda s, t: float(kendall_hausdorff_counts(s, t)),
+    "f_haus": footrule_hausdorff,
+}
+
+
+def validate_profile(rankings: Sequence[PartialRanking]) -> frozenset[Item]:
+    """Validate an aggregation input profile and return its common domain.
+
+    Raises :class:`AggregationError` on an empty profile or mismatched
+    domains.
+    """
+    if not rankings:
+        raise AggregationError("aggregation requires at least one input ranking")
+    domain = rankings[0].domain
+    for index, ranking in enumerate(rankings[1:], start=1):
+        if ranking.domain != domain:
+            raise AggregationError(
+                f"input ranking {index} has a different domain than input 0"
+            )
+    return domain
+
+
+def total_distance(
+    candidate: PartialRanking,
+    rankings: Sequence[PartialRanking],
+    metric: str | Callable[[PartialRanking, PartialRanking], float] = "f_prof",
+) -> float:
+    """``sum_i d(candidate, sigma_i)`` for a named or custom metric."""
+    domain = validate_profile(rankings)
+    if candidate.domain != domain:
+        raise AggregationError("candidate domain differs from the input profile's domain")
+    if isinstance(metric, str):
+        try:
+            metric_fn = METRICS[metric]
+        except KeyError:
+            raise AggregationError(
+                f"unknown metric {metric!r}; expected one of {sorted(METRICS)}"
+            ) from None
+    else:
+        metric_fn = metric
+    return sum(metric_fn(candidate, sigma) for sigma in rankings)
+
+
+def total_l1_to_function(
+    f: Mapping[Item, float],
+    rankings: Sequence[PartialRanking],
+) -> float:
+    """``sum_i L1(f, sigma_i)`` for an arbitrary score function ``f``.
+
+    This is the objective of Lemma 8: the median function minimizes it over
+    all functions ``g: D -> R``.
+    """
+    domain = validate_profile(rankings)
+    if set(f) != set(domain):
+        raise AggregationError("function domain differs from the input profile's domain")
+    return sum(
+        sum(abs(f[item] - sigma[item]) for item in domain) for sigma in rankings
+    )

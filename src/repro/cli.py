@@ -1,0 +1,177 @@
+"""Command-line interface: compare and aggregate ranking files.
+
+.. code-block:: console
+
+    python -m repro compare a.json b.json
+    python -m repro compare profile.csv --pairwise
+    python -m repro aggregate profile.json --algorithm median --output full
+    python -m repro aggregate profile.csv --output topk --k 5
+    python -m repro experiments e03
+
+Ranking files are JSON (single ranking or profile) or long-format CSV —
+see :mod:`repro.io` for the formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.aggregate.baselines import best_input, borda, markov_chain_mc4
+from repro.aggregate.matching import optimal_footrule_aggregation
+from repro.aggregate.median import MedianAggregator
+from repro.aggregate.objective import METRICS, total_distance
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import ReproError
+from repro.io import (
+    SerializationError,
+    load_profile_csv,
+    load_profile_json,
+    load_ranking_json,
+    ranking_to_dict,
+)
+
+__all__ = ["main"]
+
+
+def _load_any(path: str) -> dict[str, PartialRanking]:
+    """Load a profile from JSON (single ranking or profile) or CSV."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        return load_profile_csv(path)
+    # JSON: try a profile first, fall back to a single ranking
+    try:
+        return load_profile_json(path)
+    except SerializationError:
+        return {"ranking": load_ranking_json(path)}
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if len(args.files) == 1:
+        profile = _load_any(args.files[0])
+    else:
+        profile = {}
+        for path in args.files:
+            for name, sigma in _load_any(path).items():
+                profile[f"{Path(path).stem}:{name}" if name in profile else name] = sigma
+    names = list(profile)
+    if len(names) < 2:
+        print("compare needs at least two rankings", file=sys.stderr)
+        return 2
+    metrics = list(METRICS) if args.metric == "all" else [args.metric]
+    print(f"{'pair':<40} " + " ".join(f"{m:>10}" for m in metrics))
+    pairs = (
+        [(a, b) for i, a in enumerate(names) for b in names[i + 1 :]]
+        if args.pairwise or len(names) > 2
+        else [(names[0], names[1])]
+    )
+    for a, b in pairs:
+        values = [METRICS[m](profile[a], profile[b]) for m in metrics]
+        rendered = " ".join(f"{v:>10.3f}" for v in values)
+        print(f"{a} vs {b:<25} {rendered}")
+    return 0
+
+
+_ALGORITHMS = ("median", "borda", "mc4", "best-input", "matching")
+
+
+def _cmd_aggregate(args: argparse.Namespace) -> int:
+    profile: dict[str, PartialRanking] = {}
+    for path in args.files:
+        profile.update(_load_any(path))
+    rankings = tuple(profile.values())
+    if not rankings:
+        print("no rankings found", file=sys.stderr)
+        return 2
+
+    if args.algorithm == "median":
+        aggregator = MedianAggregator(rankings)
+        if args.output == "full":
+            result = aggregator.full_ranking()
+        elif args.output == "partial":
+            result = aggregator.partial_ranking()
+        else:
+            result = aggregator.top_k(args.k)
+    elif args.algorithm == "borda":
+        result = borda(rankings)
+    elif args.algorithm == "mc4":
+        result = markov_chain_mc4(rankings)
+    elif args.algorithm == "best-input":
+        result = best_input(rankings)
+    else:
+        result, _ = optimal_footrule_aggregation(rankings)
+
+    if args.json:
+        json.dump(ranking_to_dict(result), sys.stdout, indent=2)
+        print()
+    else:
+        print(f"aggregated {len(rankings)} rankings with {args.algorithm}:")
+        print(f"  {result}")
+        for metric in METRICS:
+            print(f"  total {metric}: {total_distance(result, list(rankings), metric):.3f}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    argv = []
+    if args.experiment:
+        argv.append(args.experiment)
+    if args.all:
+        argv.append("--all")
+    argv.extend(["--seed", str(args.seed)])
+    return experiments_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (compare / aggregate / experiments)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Compare and aggregate rankings with ties (Fagin et al., PODS 2004).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser("compare", help="distances between rankings")
+    compare.add_argument("files", nargs="+", help="JSON/CSV ranking or profile files")
+    compare.add_argument(
+        "--metric", choices=["all", *METRICS], default="all", help="metric to report"
+    )
+    compare.add_argument(
+        "--pairwise", action="store_true", help="all pairs, not just the first two"
+    )
+    compare.set_defaults(handler=_cmd_compare)
+
+    aggregate = subparsers.add_parser("aggregate", help="aggregate a profile")
+    aggregate.add_argument("files", nargs="+", help="JSON/CSV profile files")
+    aggregate.add_argument("--algorithm", choices=_ALGORITHMS, default="median")
+    aggregate.add_argument(
+        "--output",
+        choices=["full", "partial", "topk"],
+        default="full",
+        help="output shape (median algorithm only)",
+    )
+    aggregate.add_argument("--k", type=int, default=10, help="k for --output topk")
+    aggregate.add_argument("--json", action="store_true", help="emit JSON")
+    aggregate.set_defaults(handler=_cmd_aggregate)
+
+    experiments = subparsers.add_parser("experiments", help="run EXPERIMENTS.md runners")
+    experiments.add_argument("experiment", nargs="?", help="experiment id, e.g. e03")
+    experiments.add_argument("--all", action="store_true")
+    experiments.add_argument("--seed", type=int, default=0)
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,365 @@
+"""Partial rankings (bucket orders) as an immutable value type.
+
+A *bucket order* is a linear order with ties: an ordered partition
+``B_1, ..., B_t`` of a domain ``D``. The associated *partial ranking* maps
+each item ``x`` in bucket ``B_i`` to the bucket's position
+
+    ``pos(B_i) = sum_{j < i} |B_j| + (|B_i| + 1) / 2``,
+
+the average location within the bucket (Fagin et al., PODS 2004, §2). All
+positions are multiples of one half, so they are exactly representable as
+floats and every L1 computation in this library is exact.
+
+:class:`PartialRanking` is hashable and immutable; all "mutating" operations
+(reverse, refinement) return new instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
+from typing import Any, TypeVar
+
+from repro.errors import InvalidRankingError
+
+Item = Hashable
+T = TypeVar("T", bound=Item)
+
+__all__ = ["Item", "PartialRanking"]
+
+
+def _canonical_bucket_key(item: Item) -> tuple[str, str]:
+    """Deterministic sort key for items inside a bucket.
+
+    Items within a bucket are unordered mathematically; we keep a canonical
+    order (by type name, then repr) so that iteration, ``repr`` and
+    tie-breaking behaviour are reproducible across runs regardless of hash
+    randomization.
+    """
+    return (type(item).__name__, repr(item))
+
+
+class PartialRanking:
+    """An immutable bucket order / partial ranking over a finite domain.
+
+    Parameters
+    ----------
+    buckets:
+        The ordered partition: an iterable of non-empty iterables of
+        hashable items. Earlier buckets are "better" (lower positions).
+
+    Raises
+    ------
+    InvalidRankingError
+        If any bucket is empty, an item repeats, or an item is unhashable.
+
+    Examples
+    --------
+    >>> sigma = PartialRanking([["a"], ["b", "c"], ["d"]])
+    >>> sigma["a"], sigma["b"], sigma["c"], sigma["d"]
+    (1.0, 2.5, 2.5, 4.0)
+    >>> sigma.type
+    (1, 2, 1)
+    """
+
+    __slots__ = ("_buckets", "_positions", "_bucket_index", "_hash")
+
+    def __init__(self, buckets: Iterable[Iterable[Item]]) -> None:
+        frozen: list[frozenset[Item]] = []
+        for raw in buckets:
+            try:
+                bucket = frozenset(raw)
+            except TypeError as exc:
+                raise InvalidRankingError(f"bucket contains unhashable items: {exc}") from exc
+            if not bucket:
+                raise InvalidRankingError("buckets must be non-empty")
+            frozen.append(bucket)
+
+        positions: dict[Item, float] = {}
+        bucket_index: dict[Item, int] = {}
+        offset = 0
+        for index, bucket in enumerate(frozen):
+            pos = offset + (len(bucket) + 1) / 2
+            for item in bucket:
+                if item in positions:
+                    raise InvalidRankingError(f"item {item!r} appears in more than one bucket")
+                positions[item] = pos
+                bucket_index[item] = index
+            offset += len(bucket)
+
+        self._buckets: tuple[frozenset[Item], ...] = tuple(frozen)
+        self._positions = positions
+        self._bucket_index = bucket_index
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_sequence(cls, items: Sequence[Item]) -> "PartialRanking":
+        """Build a full ranking (all singleton buckets) from an ordered sequence.
+
+        >>> PartialRanking.from_sequence("abc").is_full
+        True
+        """
+        return cls([[item] for item in items])
+
+    @classmethod
+    def from_scores(
+        cls,
+        scores: Mapping[Item, Any],
+        *,
+        reverse: bool = False,
+    ) -> "PartialRanking":
+        """Build a partial ranking by sorting items by score.
+
+        Items with equal scores share a bucket — this is exactly the
+        "sort a database column with few distinct values" operation the
+        paper motivates. By default lower scores rank first (ascending
+        sort); pass ``reverse=True`` to rank higher scores first.
+
+        This is also the paper's ``f-bar`` construction: the partial
+        ranking induced by an arbitrary real-valued function ``f``.
+
+        >>> PartialRanking.from_scores({"a": 2, "b": 1, "c": 2})
+        PartialRanking['b' | 'a', 'c']
+        """
+        if not scores:
+            raise InvalidRankingError("cannot rank an empty mapping of scores")
+        groups: dict[Any, list[Item]] = {}
+        for item, score in scores.items():
+            groups.setdefault(score, []).append(item)
+        try:
+            ordered = sorted(groups, reverse=reverse)
+        except TypeError as exc:
+            raise InvalidRankingError(f"scores are not mutually comparable: {exc}") from exc
+        return cls([groups[score] for score in ordered])
+
+    @classmethod
+    def top_k(
+        cls,
+        top_items: Sequence[Item],
+        domain: Iterable[Item],
+    ) -> "PartialRanking":
+        """Build a top-k list: k singleton buckets plus one bottom bucket.
+
+        ``top_items`` gives the top elements in order; every other member
+        of ``domain`` goes into the bottom bucket (§2 of the paper — note
+        that unlike Fagin–Kumar–Sivakumar 2003, the bottom bucket is part
+        of the ranking so that all rankings share the fixed domain).
+
+        >>> PartialRanking.top_k(["a", "b"], "abcd").type
+        (1, 1, 2)
+        """
+        domain_set = set(domain)
+        top_list = list(top_items)
+        top_set = set(top_list)
+        if len(top_set) != len(top_list):
+            raise InvalidRankingError("top_items contains duplicates")
+        if not top_set <= domain_set:
+            missing = top_set - domain_set
+            raise InvalidRankingError(f"top_items not in domain: {sorted(map(repr, missing))}")
+        rest = domain_set - top_set
+        buckets: list[list[Item]] = [[item] for item in top_list]
+        if rest:
+            buckets.append(sorted(rest, key=_canonical_bucket_key))
+        if not buckets:
+            raise InvalidRankingError("top-k list over an empty domain")
+        return cls(buckets)
+
+    @classmethod
+    def single_bucket(cls, domain: Iterable[Item]) -> "PartialRanking":
+        """Build the trivial partial ranking where everything is tied."""
+        return cls([list(domain)])
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def buckets(self) -> tuple[frozenset[Item], ...]:
+        """The ordered partition as a tuple of frozensets."""
+        return self._buckets
+
+    @property
+    def domain(self) -> frozenset[Item]:
+        """The set of all ranked items."""
+        return frozenset(self._positions)
+
+    @property
+    def positions(self) -> dict[Item, float]:
+        """A fresh ``item -> position`` dict (the F-profile of §3.1)."""
+        return dict(self._positions)
+
+    @property
+    def type(self) -> tuple[int, ...]:
+        """The type of the bucket order: the sequence of bucket sizes (§A.1)."""
+        return tuple(len(bucket) for bucket in self._buckets)
+
+    @property
+    def is_full(self) -> bool:
+        """True if every bucket is a singleton (a full ranking)."""
+        return all(len(bucket) == 1 for bucket in self._buckets)
+
+    def is_top_k(self, k: int) -> bool:
+        """True if this is a top-k list: k singletons then one bottom bucket.
+
+        A full ranking over n items counts as a top-n (and top-(n-1)) list.
+        """
+        if not 0 <= k <= len(self):
+            return False
+        t = self.type
+        if len(self) == k:
+            return t == (1,) * k
+        return t == (1,) * k + (len(self) - k,)
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._positions
+
+    def __getitem__(self, item: Item) -> float:
+        """Return the position ``sigma(item)``."""
+        try:
+            return self._positions[item]
+        except KeyError:
+            raise KeyError(f"item {item!r} not in ranking domain") from None
+
+    def position(self, item: Item) -> float:
+        """Alias of ``self[item]``, reading closer to the paper's sigma(x)."""
+        return self[item]
+
+    def bucket_index(self, item: Item) -> int:
+        """Return the 0-based index of the bucket containing ``item``."""
+        try:
+            return self._bucket_index[item]
+        except KeyError:
+            raise KeyError(f"item {item!r} not in ranking domain") from None
+
+    def bucket_of(self, item: Item) -> frozenset[Item]:
+        """Return the bucket containing ``item``."""
+        return self._buckets[self.bucket_index(item)]
+
+    def items_in_order(self) -> list[Item]:
+        """All items, bucket by bucket, canonical order within buckets."""
+        ordered: list[Item] = []
+        for bucket in self._buckets:
+            ordered.extend(sorted(bucket, key=_canonical_bucket_key))
+        return ordered
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self.items_in_order())
+
+    # ------------------------------------------------------------------
+    # Pairwise relations
+    # ------------------------------------------------------------------
+
+    def ahead(self, x: Item, y: Item) -> bool:
+        """True if ``x`` is ahead of (ranked strictly better than) ``y``."""
+        return self[x] < self[y]
+
+    def tied(self, x: Item, y: Item) -> bool:
+        """True if ``x`` and ``y`` are tied (same bucket)."""
+        return self[x] == self[y]
+
+    # ------------------------------------------------------------------
+    # Derived rankings
+    # ------------------------------------------------------------------
+
+    def reverse(self) -> "PartialRanking":
+        """Return the reverse ranking ``sigma^R(d) = |D| + 1 - sigma(d)``.
+
+        Reversing a bucket order is just reversing the bucket sequence.
+        """
+        reversed_ranking = PartialRanking.__new__(PartialRanking)
+        buckets = tuple(reversed(self._buckets))
+        n = len(self)
+        reversed_ranking._buckets = buckets
+        reversed_ranking._positions = {item: n + 1 - pos for item, pos in self._positions.items()}
+        reversed_ranking._bucket_index = {
+            item: len(buckets) - 1 - idx for item, idx in self._bucket_index.items()
+        }
+        reversed_ranking._hash = None
+        return reversed_ranking
+
+    def refined_by(self, tau: "PartialRanking") -> "PartialRanking":
+        """Return the tau-refinement ``tau * self`` (paper §2).
+
+        Ties of ``self`` are broken according to ``tau``: within each bucket
+        of ``self``, items are re-partitioned into sub-buckets ordered by
+        their ``tau`` positions; items tied in both stay tied.
+
+        ``tau`` must share this ranking's domain. The operation is
+        associative, which the test suite verifies property-wise.
+        """
+        from repro.errors import DomainMismatchError
+
+        if tau.domain != self.domain:
+            raise DomainMismatchError(
+                "refinement requires identical domains "
+                f"({len(tau)} vs {len(self)} items, differing contents)"
+            )
+        new_buckets: list[list[Item]] = []
+        for bucket in self._buckets:
+            groups: dict[float, list[Item]] = {}
+            for item in bucket:
+                groups.setdefault(tau[item], []).append(item)
+            for pos in sorted(groups):
+                new_buckets.append(groups[pos])
+        return PartialRanking(new_buckets)
+
+    def is_refinement_of(self, tau: "PartialRanking") -> bool:
+        """True if ``self`` refines ``tau`` (written ``self ⪯ tau``).
+
+        ``sigma`` refines ``tau`` iff ``tau(i) < tau(j)`` implies
+        ``sigma(i) < sigma(j)``. Equivalently: every bucket of ``sigma``
+        lies inside a single bucket of ``tau``, and the induced sequence of
+        ``tau``-bucket indices along ``sigma``'s buckets is non-decreasing.
+        """
+        if tau.domain != self.domain:
+            return False
+        previous = -1
+        for bucket in self._buckets:
+            tau_indices = {tau.bucket_index(item) for item in bucket}
+            if len(tau_indices) != 1:
+                return False
+            (index,) = tau_indices
+            if index < previous:
+                return False
+            previous = index
+        return True
+
+    def restricted_to(self, subdomain: Iterable[Item]) -> "PartialRanking":
+        """Return the ranking restricted to a subset of the domain.
+
+        Bucket order is preserved; buckets that become empty vanish.
+        """
+        keep = set(subdomain)
+        if not keep <= self.domain:
+            raise InvalidRankingError("restriction set contains items outside the domain")
+        if not keep:
+            raise InvalidRankingError("cannot restrict to an empty domain")
+        buckets = [bucket & keep for bucket in self._buckets]
+        return PartialRanking([b for b in buckets if b])
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartialRanking):
+            return NotImplemented
+        return self._buckets == other._buckets
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._buckets)
+        return self._hash
+
+    def __repr__(self) -> str:
+        rendered = " | ".join(
+            ", ".join(repr(item) for item in sorted(bucket, key=_canonical_bucket_key))
+            for bucket in self._buckets
+        )
+        return f"PartialRanking[{rendered}]"

@@ -1,0 +1,106 @@
+"""Refinement algebra on partial rankings.
+
+The paper's key constructive tool is the ``*`` operator (§2): ``tau * sigma``
+is the refinement of ``sigma`` whose ties are broken according to ``tau``.
+The Hausdorff characterization (Theorem 5) is expressed entirely in chains of
+``*`` applications such as ``rho * tau^R * sigma``, so this module exposes
+
+* :func:`star` — the binary operator,
+* :func:`star_chain` — left-to-right evaluation of a chain (associativity
+  makes the grouping irrelevant; the property tests verify this),
+* :func:`full_refinements` — exhaustive enumeration of the full rankings
+  refining a partial ranking (the exponential set the Hausdorff metrics
+  quantify over; usable for small domains as a test oracle),
+* :func:`is_refinement` / :func:`common_full_ranking` — convenience helpers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from itertools import permutations
+
+from repro.core.partial_ranking import Item, PartialRanking
+
+__all__ = [
+    "star",
+    "star_chain",
+    "is_refinement",
+    "full_refinements",
+    "count_full_refinements",
+    "common_full_ranking",
+]
+
+
+def star(tau: PartialRanking, sigma: PartialRanking) -> PartialRanking:
+    """Return ``tau * sigma``: sigma refined with ties broken by tau.
+
+    Properties guaranteed by the definition (and enforced by tests):
+
+    * the result refines ``sigma``;
+    * if ``sigma(i) == sigma(j)`` and ``tau(i) < tau(j)`` then the result
+      places ``i`` ahead of ``j``;
+    * items tied in both stay tied;
+    * if ``tau`` is a full ranking the result is a full ranking.
+    """
+    return sigma.refined_by(tau)
+
+
+def star_chain(*rankings: PartialRanking) -> PartialRanking:
+    """Evaluate ``r1 * r2 * ... * rk`` (right-associated, as in the paper).
+
+    ``star_chain(rho, tau, sigma)`` computes ``rho * (tau * sigma)``; since
+    ``*`` is associative the grouping does not matter.
+    """
+    if not rankings:
+        raise ValueError("star_chain requires at least one ranking")
+    result = rankings[-1]
+    for tau in reversed(rankings[:-1]):
+        result = star(tau, result)
+    return result
+
+
+def is_refinement(sigma: PartialRanking, tau: PartialRanking) -> bool:
+    """True if ``sigma`` refines ``tau`` (``sigma ⪯ tau``)."""
+    return sigma.is_refinement_of(tau)
+
+
+def count_full_refinements(sigma: PartialRanking) -> int:
+    """Return the number of full rankings refining ``sigma``.
+
+    This is the product of the factorials of the bucket sizes.
+    """
+    total = 1
+    for size in sigma.type:
+        for factor in range(2, size + 1):
+            total *= factor
+    return total
+
+
+def full_refinements(sigma: PartialRanking) -> Iterator[PartialRanking]:
+    """Yield every full ranking that refines ``sigma``.
+
+    The count is the product of bucket-size factorials, so this is only
+    feasible for small buckets; it is the exhaustive oracle behind the
+    Hausdorff metric tests.
+    """
+
+    def expand(index: int, prefix: list[Item]) -> Iterator[list[Item]]:
+        if index == len(sigma.buckets):
+            yield prefix
+            return
+        for ordering in permutations(sorted(sigma.buckets[index], key=repr)):
+            yield from expand(index + 1, prefix + list(ordering))
+
+    for sequence in expand(0, []):
+        yield PartialRanking.from_sequence(sequence)
+
+
+def common_full_ranking(sigma: PartialRanking) -> PartialRanking:
+    """Return a canonical full ranking over ``sigma``'s domain.
+
+    Theorem 5 needs "an arbitrary full ranking rho" used consistently for
+    both sides; this helper provides a deterministic choice (items sorted by
+    type name then repr), so Hausdorff computations are reproducible.
+    """
+    ordered = sorted(sigma.domain, key=lambda item: (type(item).__name__, repr(item)))
+    return PartialRanking.from_sequence(ordered)

@@ -1,0 +1,137 @@
+"""Top-k list helpers and the Appendix A.3 correspondence.
+
+A *top-k list* in this paper is a partial ranking whose type is
+``(1, 1, ..., 1, |D| - k)``: k singleton buckets followed by one bottom
+bucket holding everything else. Appendix A.3 relates the partial-ranking
+metrics restricted to top-k lists to the distance measures of
+Fagin–Kumar–Sivakumar (SODA 2003); in particular, the footrule-with-location
+parameter metric ``F^(ℓ)`` coincides with ``F_prof`` at the canonical
+location ``ℓ = (|D| + k + 1) / 2``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.core.partial_ranking import Item, PartialRanking
+from repro.errors import DomainMismatchError, InvalidRankingError
+
+__all__ = [
+    "top_k_from_scores",
+    "top_k_cutoff",
+    "project_to_active_domain",
+    "footrule_location_parameter",
+    "footrule_with_location",
+]
+
+
+def top_k_from_scores(
+    scores: Mapping[Item, Any],
+    k: int,
+    *,
+    reverse: bool = False,
+) -> PartialRanking:
+    """Build a top-k list by score, with deterministic tie-breaking.
+
+    The k best-scoring items become the singleton buckets (ties broken by
+    item repr for reproducibility); the remainder forms the bottom bucket.
+    """
+    if not 0 < k <= len(scores):
+        raise InvalidRankingError(f"k={k} out of range for domain of size {len(scores)}")
+    def key(item: Item) -> tuple[Any, str, str]:
+        return (scores[item], type(item).__name__, repr(item))
+
+    ordered = sorted(scores, key=key, reverse=reverse)
+    return PartialRanking.top_k(ordered[:k], scores.keys())
+
+
+def top_k_cutoff(sigma: PartialRanking, k: int) -> PartialRanking:
+    """Coarsen a partial ranking into a top-k list.
+
+    Buckets lying entirely within the first k positions become singleton
+    buckets (ties broken canonically); everything else collapses into the
+    bottom bucket. A bucket straddling the cutoff raises, because there is
+    no canonical way to split it — refine the ranking first.
+    """
+    if not 0 < k < len(sigma):
+        raise InvalidRankingError(f"k={k} out of range for domain of size {len(sigma)}")
+    top: list[Item] = []
+    for bucket in sigma.buckets:
+        if len(top) == k:
+            break
+        if len(top) + len(bucket) > k:
+            raise InvalidRankingError(
+                f"bucket of size {len(bucket)} straddles the top-{k} cutoff; "
+                "refine the ranking before truncating"
+            )
+        top.extend(sorted(bucket, key=repr))
+    return PartialRanking.top_k(top, sigma.domain)
+
+
+def project_to_active_domain(
+    sigma: PartialRanking,
+    tau: PartialRanking,
+    k: int,
+) -> tuple[PartialRanking, PartialRanking]:
+    """Restrict two top-k lists to their *active domain* (Appendix A.3).
+
+    The active domain is the union of the items in the top k buckets of
+    either list. This reproduces the Fagin–Kumar–Sivakumar setting in which
+    each top-k list carries its own small domain.
+    """
+    if not sigma.is_top_k(k) or not tau.is_top_k(k):
+        raise InvalidRankingError("both rankings must be top-k lists for the same k")
+    active: set[Item] = set()
+    for ranking in (sigma, tau):
+        for bucket in ranking.buckets[:k]:
+            active.update(bucket)
+    return sigma.restricted_to(active), tau.restricted_to(active)
+
+
+def footrule_location_parameter(domain_size: int, k: int) -> float:
+    """The canonical location parameter ``ℓ = (|D| + k + 1) / 2``.
+
+    At this ℓ, ``F^(ℓ)`` equals ``F_prof`` on top-k lists (Appendix A.3).
+    """
+    return (domain_size + k + 1) / 2
+
+
+def footrule_with_location(
+    sigma: PartialRanking,
+    tau: PartialRanking,
+    k: int,
+    ell: float | None = None,
+) -> float:
+    """The footrule distance with location parameter ``ℓ`` (Appendix A.3).
+
+    Every item outside the top k of a list is treated as sitting at
+    position ℓ; the distance is the L1 distance between the two adjusted
+    position vectors. ``ell`` defaults to the canonical value at which this
+    equals ``F_prof``.
+    """
+    if sigma.domain != tau.domain:
+        raise DomainMismatchError("footrule_with_location requires a common domain")
+    if not sigma.is_top_k(k) or not tau.is_top_k(k):
+        raise InvalidRankingError("both rankings must be top-k lists for the same k")
+    if ell is None:
+        ell = footrule_location_parameter(len(sigma), k)
+    if ell <= k:
+        raise InvalidRankingError(f"location parameter ell={ell} must exceed k={k}")
+
+    def adjusted(ranking: PartialRanking, item: Item) -> float:
+        pos = ranking[item]
+        return pos if pos <= k else ell
+
+    return sum(abs(adjusted(sigma, item) - adjusted(tau, item)) for item in sigma.domain)
+
+
+def top_items(sigma: PartialRanking, k: int) -> list[Item]:
+    """Return the k top items of a top-k list, best first."""
+    if not sigma.is_top_k(k):
+        raise InvalidRankingError("ranking is not a top-k list for this k")
+    result: list[Item] = []
+    for bucket in sigma.buckets[:k]:
+        (item,) = bucket
+        result.append(item)
+    return result

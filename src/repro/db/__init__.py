@@ -1,0 +1,40 @@
+"""In-memory database substrate for the paper's motivating scenario.
+
+The paper's setting: an underlying database of records is sorted several
+ways — once per user preference criterion — and because many attributes
+have few distinct values, each sort is a partial ranking with large
+buckets. This package provides:
+
+* :class:`Relation` — a typed in-memory table whose ``rank_by`` produces a
+  :class:`~repro.core.partial_ranking.PartialRanking` over record ids;
+* :class:`AttributePreference` / :class:`PreferenceQuery` — declarative
+  multi-criteria queries (with numeric binning, e.g. "any distance up to
+  ten miles is the same") that compile to a profile of partial rankings
+  and run an aggregation;
+* :class:`SortedCursor` — the sorted-access-only cursor of the paper's
+  access model, with exact access accounting;
+* :mod:`repro.db.similarity` — "find records like this one" via rank
+  aggregation of per-attribute closeness rankings (the [11] application);
+* :mod:`repro.db.sources` — deterministic synthetic restaurant, flight,
+  and bibliography catalogs mirroring the paper's motivating examples.
+"""
+
+from repro.db.cursor import SortedCursor
+from repro.db.query import AttributePreference, PreferenceQuery, QueryResult
+from repro.db.relation import Relation
+from repro.db.similarity import SimilarityResult, similarity_rankings, similarity_search
+from repro.db.sources import bibliography_catalog, flight_catalog, restaurant_catalog
+
+__all__ = [
+    "Relation",
+    "AttributePreference",
+    "PreferenceQuery",
+    "QueryResult",
+    "SortedCursor",
+    "similarity_search",
+    "similarity_rankings",
+    "SimilarityResult",
+    "restaurant_catalog",
+    "flight_catalog",
+    "bibliography_catalog",
+]

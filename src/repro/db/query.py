@@ -1,0 +1,125 @@
+"""Declarative multi-criteria preference queries over a relation.
+
+A :class:`PreferenceQuery` is the paper's "advanced search" page: one
+:class:`AttributePreference` per criterion (direction, optional numeric
+binning, optional explicit value order). Executing a query sorts the
+relation once per preference — producing one partial ranking each, almost
+always with heavy ties — and aggregates them with median rank aggregation,
+returning the top-k records together with the sorted-access cost of the
+sequential algorithm.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.aggregate.median import MedianAggregator
+from repro.aggregate.medrank import AccessLog, medrank
+from repro.core.partial_ranking import Item, PartialRanking
+from repro.db.relation import Relation, SchemaError
+
+__all__ = ["AttributePreference", "PreferenceQuery", "QueryResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class AttributePreference:
+    """One user criterion: how to rank records by one attribute.
+
+    ``bins`` coarsens numeric values ("distance up to 10 miles is the
+    same"): a sorted sequence of right-inclusive cut points; values are
+    replaced by the index of the first cut point not below them.
+    """
+
+    attribute: str
+    reverse: bool = False
+    bins: Sequence[float] | None = None
+    value_order: Sequence[Any] | None = None
+
+    def binning(self) -> Callable[[Any], Any] | None:
+        if self.bins is None:
+            return None
+        cuts = sorted(self.bins)
+
+        def assign(value: Any) -> int:
+            for index, cut in enumerate(cuts):
+                if value <= cut:
+                    return index
+            return len(cuts)
+
+        return assign
+
+    def rank(self, relation: Relation) -> PartialRanking:
+        """Compile this preference to a partial ranking over record ids."""
+        return relation.rank_by(
+            self.attribute,
+            reverse=self.reverse,
+            binning=self.binning(),
+            value_order=self.value_order,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """The answer to a preference query."""
+
+    top_items: tuple[Item, ...]
+    ranking: PartialRanking
+    input_rankings: tuple[PartialRanking, ...]
+    access_log: AccessLog
+
+    @property
+    def ties_per_input(self) -> tuple[int, ...]:
+        """Largest bucket size of each input ranking (tie pressure)."""
+        return tuple(max(sigma.type) for sigma in self.input_rankings)
+
+
+@dataclass(frozen=True, slots=True)
+class PreferenceQuery:
+    """A multi-criteria search compiled to partial rankings + aggregation."""
+
+    preferences: tuple[AttributePreference, ...]
+    k: int = 5
+
+    def __post_init__(self) -> None:
+        if not self.preferences:
+            raise SchemaError("a preference query needs at least one criterion")
+        if self.k <= 0:
+            raise SchemaError(f"k={self.k} must be positive")
+
+    @classmethod
+    def build(cls, *preferences: AttributePreference, k: int = 5) -> "PreferenceQuery":
+        """Convenience constructor from positional preferences."""
+        return cls(preferences=tuple(preferences), k=k)
+
+    def compile(self, relation: Relation) -> tuple[PartialRanking, ...]:
+        """Sort the relation once per criterion."""
+        return tuple(preference.rank(relation) for preference in self.preferences)
+
+    def execute(self, relation: Relation) -> QueryResult:
+        """Run the query with the sequential-access median algorithm.
+
+        Uses :func:`repro.aggregate.medrank.medrank` so the result carries
+        a faithful sorted-access cost; the returned ranking is the top-k
+        list of the first k majority winners.
+        """
+        rankings = self.compile(relation)
+        k = min(self.k, len(relation))
+        result = medrank(rankings, k=k)
+        return QueryResult(
+            top_items=result.winners,
+            ranking=result.ranking,
+            input_rankings=rankings,
+            access_log=result.access_log,
+        )
+
+    def execute_offline(self, relation: Relation) -> PartialRanking:
+        """Run the query with full-information median aggregation.
+
+        Returns the Theorem 9 top-k list computed from complete median
+        scores — the quality reference point for :meth:`execute`.
+        """
+        rankings = self.compile(relation)
+        aggregator = MedianAggregator(rankings)
+        return aggregator.top_k(min(self.k, len(relation)))

@@ -1,0 +1,194 @@
+"""A minimal typed in-memory relation with ranking-producing sorts.
+
+This is the substrate under the paper's catalog/fielded/parametric search
+examples: records with a handful of attributes, sorted per user criterion.
+``rank_by`` is the operation the whole paper is about — sorting a column
+with few distinct values yields a bucket order, not a permutation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import ReproError
+
+__all__ = ["Relation", "SchemaError"]
+
+
+class SchemaError(ReproError, ValueError):
+    """A record or query referenced attributes not in the relation schema."""
+
+
+@dataclass(frozen=True, slots=True)
+class Relation:
+    """An immutable in-memory table keyed by a record id attribute.
+
+    Parameters
+    ----------
+    name:
+        Display name of the relation.
+    key:
+        The attribute holding the unique record id.
+    rows:
+        Mapping records; every row must carry the same attribute set.
+    """
+
+    name: str
+    key: str
+    rows: tuple[Mapping[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise SchemaError(f"relation {self.name!r} has no rows")
+        attributes = frozenset(self.rows[0])
+        if self.key not in attributes:
+            raise SchemaError(f"key attribute {self.key!r} missing from schema")
+        seen_keys: set[Any] = set()
+        for row in self.rows:
+            if frozenset(row) != attributes:
+                raise SchemaError(
+                    f"row {row.get(self.key)!r} does not match schema {sorted(attributes)}"
+                )
+            row_key = row[self.key]
+            if row_key in seen_keys:
+                raise SchemaError(f"duplicate key {row_key!r}")
+            seen_keys.add(row_key)
+
+    @classmethod
+    def from_rows(cls, name: str, key: str, rows: Iterable[Mapping[str, Any]]) -> "Relation":
+        """Build a relation from an iterable of row mappings."""
+        return cls(name=name, key=key, rows=tuple(dict(row) for row in rows))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        """The schema: the attribute names shared by every row."""
+        return frozenset(self.rows[0])
+
+    @property
+    def keys(self) -> frozenset[Any]:
+        """The set of record ids (the ranking domain)."""
+        return frozenset(row[self.key] for row in self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Mapping[str, Any]]:
+        return iter(self.rows)
+
+    def row(self, key: Any) -> Mapping[str, Any]:
+        """Return the row with the given record id."""
+        for candidate in self.rows:
+            if candidate[self.key] == key:
+                return candidate
+        raise KeyError(f"no row with key {key!r} in relation {self.name!r}")
+
+    def column(self, attribute: str) -> dict[Any, Any]:
+        """Return ``record id -> attribute value``."""
+        self._require_attribute(attribute)
+        return {row[self.key]: row[attribute] for row in self.rows}
+
+    def distinct_values(self, attribute: str) -> int:
+        """Number of distinct values in a column — the paper's tie driver."""
+        self._require_attribute(attribute)
+        return len({row[attribute] for row in self.rows})
+
+    # ------------------------------------------------------------------
+
+    def where(self, predicate: Callable[[Mapping[str, Any]], bool]) -> "Relation":
+        """Select the rows satisfying a predicate (same schema).
+
+        The paper's queries filter before ranking ("restaurants within the
+        city", "nonstop flights only"); filtering can make an attribute
+        constant on the result set, which is how degenerate single-bucket
+        rankings arise in practice.
+        """
+        selected = tuple(row for row in self.rows if predicate(row))
+        if not selected:
+            raise SchemaError(
+                f"selection on relation {self.name!r} produced no rows"
+            )
+        return Relation(name=f"{self.name}#where", key=self.key, rows=selected)
+
+    def project(self, attributes: Iterable[str]) -> "Relation":
+        """Keep only the given attributes (the key is always kept)."""
+        keep = set(attributes) | {self.key}
+        missing = keep - self.attributes
+        if missing:
+            raise SchemaError(
+                f"cannot project onto unknown attributes {sorted(missing)}"
+            )
+        rows = tuple(
+            {name: row[name] for name in keep} for row in self.rows
+        )
+        return Relation(name=f"{self.name}#project", key=self.key, rows=rows)
+
+    def rank_by(
+        self,
+        attribute: str,
+        *,
+        reverse: bool = False,
+        binning: Callable[[Any], Any] | None = None,
+        value_order: Sequence[Any] | None = None,
+    ) -> PartialRanking:
+        """Sort the relation by one attribute, producing a partial ranking.
+
+        Records with equal (binned) values are tied — one bucket per
+        distinct value. Options:
+
+        ``reverse``
+            Rank larger values first (e.g. star ratings).
+        ``binning``
+            A callable collapsing values before comparison — the paper's
+            "any distance up to ten miles is the same" coarsening.
+        ``value_order``
+            Explicit preference order over the (binned) values, for
+            non-numeric attributes such as cuisine. Values not listed rank
+            after all listed ones, grouped in one bucket.
+        """
+        self._require_attribute(attribute)
+        values = self.column(attribute)
+        if binning is not None:
+            values = {key: binning(value) for key, value in values.items()}
+        if value_order is None:
+            return PartialRanking.from_scores(values, reverse=reverse)
+        preference = {value: index for index, value in enumerate(value_order)}
+        unlisted = len(preference)
+        scored = {
+            key: preference.get(value, unlisted) for key, value in values.items()
+        }
+        return PartialRanking.from_scores(scored, reverse=reverse)
+
+    def rank_by_lex(
+        self,
+        criteria: Sequence[tuple[str, bool]],
+    ) -> PartialRanking:
+        """Lexicographic multi-attribute sort ("ORDER BY a, b DESC, ...").
+
+        ``criteria`` is a sequence of ``(attribute, reverse)`` pairs, most
+        significant first. In the paper's algebra this is exactly a chain
+        of ``*`` refinements: the secondary sort breaks the primary sort's
+        ties, i.e. ``rank_by_lex([(a, ...), (b, ...)])`` equals
+        ``star(rank_by(b), rank_by(a))`` — a fact the tests verify.
+        Records tied on every listed attribute remain tied.
+        """
+        if not criteria:
+            raise SchemaError("rank_by_lex requires at least one criterion")
+        rankings = [
+            self.rank_by(attribute, reverse=reverse) for attribute, reverse in criteria
+        ]
+        result = rankings[0]
+        for ranking in rankings[1:]:
+            result = result.refined_by(ranking)
+        return result
+
+    def _require_attribute(self, attribute: str) -> None:
+        if attribute not in self.attributes:
+            raise SchemaError(
+                f"attribute {attribute!r} not in relation {self.name!r} "
+                f"(schema: {sorted(self.attributes)})"
+            )

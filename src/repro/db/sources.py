@@ -1,0 +1,131 @@
+"""Synthetic catalogs mirroring the paper's motivating databases.
+
+The paper motivates partial rankings with dine.com restaurant search and
+travelocity flight search — proprietary web databases we cannot ship. These
+generators build deterministic synthetic relations with the same schema
+*shape*: a few categorical attributes with very few distinct values (the
+tie drivers) plus numeric attributes users coarsen into bins. Both take a
+seed, so experiments are reproducible, and both are documented substitutes
+per DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.relation import Relation
+
+__all__ = [
+    "CUISINES",
+    "AIRLINES",
+    "SUBJECT_AREAS",
+    "restaurant_catalog",
+    "flight_catalog",
+    "bibliography_catalog",
+]
+
+#: The few-valued categorical attribute of the restaurant example.
+CUISINES = ("italian", "chinese", "mexican", "indian", "thai", "french")
+
+#: The few-valued categorical attribute of the flight example.
+AIRLINES = ("AA", "UA", "DL", "WN", "B6")
+
+#: The few-valued categorical attribute of the bibliography example.
+SUBJECT_AREAS = ("databases", "algorithms", "learning", "systems", "theory")
+
+
+def restaurant_catalog(n: int = 100, seed: int = 0) -> Relation:
+    """A synthetic restaurant relation (cf. the dine.com example).
+
+    Attributes:
+
+    * ``cuisine`` — one of 6 values (categorical; huge buckets when sorted);
+    * ``price`` — 1..4 dollar signs (4 values);
+    * ``stars`` — 1.0..5.0 in half-star steps (9 values);
+    * ``distance_miles`` — continuous, but users bin it ("up to 10 miles is
+      the same");
+    * ``seats`` — a wider-range numeric attribute for contrast.
+    """
+    if n <= 0:
+        raise ValueError(f"catalog size must be positive, got {n}")
+    rng = random.Random(seed)
+    rows = []
+    for index in range(n):
+        rows.append(
+            {
+                "id": f"r{index:04d}",
+                "cuisine": rng.choice(CUISINES),
+                "price": rng.randint(1, 4),
+                "stars": rng.randint(2, 10) / 2,
+                "distance_miles": round(rng.uniform(0.1, 30.0), 1),
+                "seats": rng.randint(10, 250),
+            }
+        )
+    return Relation.from_rows("restaurants", "id", rows)
+
+
+def flight_catalog(n: int = 100, seed: int = 0) -> Relation:
+    """A synthetic flight-plan relation (cf. the travelocity example).
+
+    Attributes:
+
+    * ``connections`` — 0..3 (the paper's example of a numeric attribute
+      that "usually has no more than four values");
+    * ``airline`` — one of 5 carriers;
+    * ``price_usd`` — continuous fare;
+    * ``duration_minutes`` — flight time, correlated with connections so
+      that attribute rankings are realistically non-independent;
+    * ``departure_hour`` — 0..23.
+    """
+    if n <= 0:
+        raise ValueError(f"catalog size must be positive, got {n}")
+    rng = random.Random(seed)
+    rows = []
+    for index in range(n):
+        connections = rng.choices((0, 1, 2, 3), weights=(30, 45, 20, 5))[0]
+        base_duration = rng.randint(90, 360)
+        rows.append(
+            {
+                "id": f"f{index:04d}",
+                "connections": connections,
+                "airline": rng.choice(AIRLINES),
+                "price_usd": round(rng.uniform(79, 980) - 40 * connections, 2),
+                "duration_minutes": base_duration + connections * rng.randint(45, 120),
+                "departure_hour": rng.randint(0, 23),
+            }
+        )
+    return Relation.from_rows("flights", "id", rows)
+
+
+def bibliography_catalog(n: int = 100, seed: int = 0) -> Relation:
+    """A synthetic bibliography relation (cf. the MathSciNet example).
+
+    Attributes per the paper's "searching for an article in scientific
+    bibliography databases ... using preference criteria on attributes
+    such as title, year of publication, number of citations":
+
+    * ``year`` — publication year (a couple of dozen values → ties);
+    * ``citations`` — heavy-tailed citation count (many zeros → a huge
+      tied bucket at the bottom);
+    * ``area`` — one of 5 subject areas;
+    * ``pages`` — article length;
+    * ``num_authors`` — 1..8.
+    """
+    if n <= 0:
+        raise ValueError(f"catalog size must be positive, got {n}")
+    rng = random.Random(seed)
+    rows = []
+    for index in range(n):
+        # heavy-tailed citations: most papers have none, a few have many
+        citations = int(rng.paretovariate(1.2)) - 1 if rng.random() < 0.6 else 0
+        rows.append(
+            {
+                "id": f"p{index:04d}",
+                "year": rng.randint(1998, 2004),
+                "citations": citations,
+                "area": rng.choice(SUBJECT_AREAS),
+                "pages": rng.randint(4, 40),
+                "num_authors": rng.randint(1, 8),
+            }
+        )
+    return Relation.from_rows("bibliography", "id", rows)

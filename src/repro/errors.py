@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except ReproError`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidRankingError",
+    "DomainMismatchError",
+    "AggregationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidRankingError(ReproError, ValueError):
+    """A partial ranking was constructed from malformed input.
+
+    Raised for empty buckets, duplicated items across buckets, unhashable
+    items, or top-k parameters that do not fit the domain.
+    """
+
+
+class DomainMismatchError(ReproError, ValueError):
+    """Two rankings that must share a domain do not.
+
+    Every metric in the paper is defined over a fixed common domain ``D``;
+    comparing rankings over different domains is a caller error, not a
+    distance of infinity.
+    """
+
+
+class AggregationError(ReproError, ValueError):
+    """An aggregation routine received unusable input.
+
+    Raised for empty input lists, inconsistent domains across input
+    rankings, or top-k requests exceeding the domain size.
+    """

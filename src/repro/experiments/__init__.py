@@ -1,0 +1,33 @@
+"""Experiment runners reproducing every claim of the paper.
+
+Each experiment ``e01`` ... ``e16`` is a module exposing
+``run(seed=0, **params) -> list[Table]`` and registering itself with the
+:mod:`repro.experiments.runner` registry. Run from the command line:
+
+.. code-block:: console
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments e03        # run one
+    python -m repro.experiments --all      # run everything
+
+EXPERIMENTS.md indexes the experiments against the paper's theorems and
+records one captured run.
+"""
+
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    Table,
+    all_experiments,
+    format_table,
+    format_tables,
+    get_experiment,
+)
+
+__all__ = [
+    "Table",
+    "format_table",
+    "format_tables",
+    "EXPERIMENTS",
+    "get_experiment",
+    "all_experiments",
+]

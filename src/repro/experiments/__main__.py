@@ -1,0 +1,53 @@
+"""Command-line entry point for the experiment harness.
+
+.. code-block:: console
+
+    python -m repro.experiments            # list all experiments
+    python -m repro.experiments e05        # run one experiment
+    python -m repro.experiments e05 --seed 7
+    python -m repro.experiments --all      # run everything in order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import all_experiments, format_tables, get_experiment
+
+
+def _list_experiments() -> str:
+    lines = ["available experiments:"]
+    for experiment_id, (_, description) in sorted(all_experiments().items()):
+        lines.append(f"  {experiment_id}  {description}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the EXPERIMENTS.md reproduction harness.",
+    )
+    parser.add_argument("experiment", nargs="?", help="experiment id, e.g. e03")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    args = parser.parse_args(argv)
+
+    if args.all:
+        for experiment_id, (runner, description) in sorted(all_experiments().items()):
+            print(f"== {experiment_id}: {description} ==")
+            print(format_tables(runner(seed=args.seed)))
+            print()
+        return 0
+    if not args.experiment:
+        print(_list_experiments())
+        return 0
+    runner, description = get_experiment(args.experiment)
+    print(f"== {args.experiment}: {description} ==")
+    print(format_tables(runner(seed=args.seed)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

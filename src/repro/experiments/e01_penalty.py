@@ -1,0 +1,108 @@
+"""E1 — metric regimes of ``K^(p)`` (Proposition 13, §A.2).
+
+The paper proves:
+
+* ``p = 0``: not even a distance measure (distinct rankings at distance 0);
+* ``0 < p < 1/2``: a near metric — triangle inequality fails, but ``K^(p)``
+  is within a factor ``p'/p`` of every ``K^(p')``;
+* ``1/2 <= p <= 1``: a metric.
+
+This experiment (a) replays the paper's two-element counterexample, and
+(b) sweeps ``p`` over random bucket-order samples, counting regularity and
+triangle violations. The expected shape: violations only for ``p < 1/2``,
+and the worst triangle ratio approaching ``1 / (2p)``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+
+from repro.experiments.runner import Table, register
+from repro.generators.random import random_bucket_order, resolve_rng
+from repro.metrics.axioms import paper_counterexample_rankings
+from repro.metrics.kendall import kendall
+
+_PENALTIES = (0.0, 0.1, 0.25, 0.4, 0.5, 0.75, 1.0)
+_ABS_TOL = 1e-9
+
+
+def _counterexample_table() -> Table:
+    tau_1, tau_2, tau_3 = paper_counterexample_rankings()
+    rows = []
+    for p in _PENALTIES:
+        d12 = kendall(tau_1, tau_2, p)
+        d23 = kendall(tau_2, tau_3, p)
+        d13 = kendall(tau_1, tau_3, p)
+        rows.append(
+            {
+                "p": p,
+                "d(t1,t2)": d12,
+                "d(t2,t3)": d23,
+                "d(t1,t3)": d13,
+                "triangle_holds": d13 <= d12 + d23 + _ABS_TOL,
+                "regular": d12 > _ABS_TOL,
+            }
+        )
+    return Table(
+        title="E1a: paper's 2-element counterexample (t1: a<b, t2: a~b, t3: b<a)",
+        columns=("p", "d(t1,t2)", "d(t2,t3)", "d(t1,t3)", "triangle_holds", "regular"),
+        rows=tuple(rows),
+        notes="Prop 13: regular fails at p=0; triangle fails exactly for 0<p<1/2.",
+    )
+
+
+def _sweep_table(seed: int, n: int, samples: int) -> Table:
+    rng = resolve_rng(seed)
+    rankings = [random_bucket_order(n, rng, tie_bias=0.6) for _ in range(samples)]
+    rows = []
+    for p in _PENALTIES:
+        regularity_violations = 0
+        for sigma, tau in combinations(rankings, 2):
+            if sigma != tau and kendall(sigma, tau, p) <= _ABS_TOL:
+                regularity_violations += 1
+        cache = {
+            (i, j): kendall(rankings[i], rankings[j], p)
+            for i, j in product(range(samples), repeat=2)
+            if i < j
+        }
+
+        def dist(i: int, j: int) -> float:
+            return 0.0 if i == j else cache[(min(i, j), max(i, j))]
+
+        triangle_violations = 0
+        worst_ratio = 1.0
+        for i, j, k in product(range(samples), repeat=3):
+            if len({i, j, k}) != 3:
+                continue
+            through = dist(i, j) + dist(j, k)
+            if dist(i, k) > through + _ABS_TOL:
+                triangle_violations += 1
+                if through > 0:
+                    worst_ratio = max(worst_ratio, dist(i, k) / through)
+        rows.append(
+            {
+                "p": p,
+                "regularity_violations": regularity_violations,
+                "triangle_violations": triangle_violations,
+                "worst_triangle_ratio": worst_ratio,
+                "bound_1_over_2p": float("inf") if p == 0 else 1 / (2 * p),
+            }
+        )
+    return Table(
+        title=f"E1b: axiom sweep over {samples} random bucket orders (n={n})",
+        columns=(
+            "p",
+            "regularity_violations",
+            "triangle_violations",
+            "worst_triangle_ratio",
+            "bound_1_over_2p",
+        ),
+        rows=tuple(rows),
+        notes="worst observed d(x,z)/(d(x,y)+d(y,z)) never exceeds 1/(2p), the near-metric constant.",
+    )
+
+
+@register("e01", "K^(p) penalty-parameter regimes (Proposition 13)")
+def run(seed: int = 0, n: int = 8, samples: int = 24) -> list[Table]:
+    """Run E1; see the module docstring and EXPERIMENTS.md."""
+    return [_counterexample_table(), _sweep_table(seed, n, samples)]

@@ -1,0 +1,93 @@
+"""E4 — Diaconis–Graham inequalities on full rankings (equation 1).
+
+``K <= F <= 2K`` is the classical backbone the paper's partial-ranking
+bounds generalize. This experiment measures the F/K ratio for random
+permutations and for the structured families that achieve the extremes:
+
+* a single adjacent transposition gives ``F = 2K`` (upper extreme);
+* cyclic shifts give ratios approaching 1 as the shift grows (each shift
+  by ``s`` has ``K = s(n-s)`` pairwise inversions but footrule only
+  ``2 s (n - s)``... the interesting part is the measured curve).
+"""
+
+from __future__ import annotations
+
+from repro.core.partial_ranking import PartialRanking
+from repro.experiments.runner import Table, register
+from repro.generators.random import random_full_ranking, resolve_rng
+from repro.metrics.footrule import footrule_full
+from repro.metrics.kendall import kendall_full
+
+
+def _random_table(seed: int, n: int, samples: int) -> Table:
+    rng = resolve_rng(seed)
+    identity = PartialRanking.from_sequence(range(n))
+    ratios = []
+    for _ in range(samples):
+        pi = random_full_ranking(n, rng)
+        k = kendall_full(identity, pi)
+        if k:
+            ratios.append(footrule_full(identity, pi) / k)
+    return Table(
+        title=f"E4a: F/K over {samples} random permutations, n={n}",
+        columns=("n", "samples", "min_ratio", "mean_ratio", "max_ratio"),
+        rows=(
+            {
+                "n": n,
+                "samples": len(ratios),
+                "min_ratio": min(ratios),
+                "mean_ratio": sum(ratios) / len(ratios),
+                "max_ratio": max(ratios),
+            },
+        ),
+        notes="Diaconis–Graham: every ratio must lie in [1, 2].",
+    )
+
+
+def _structured_table(n: int) -> Table:
+    identity = PartialRanking.from_sequence(range(n))
+    rows = []
+
+    swapped = list(range(n))
+    swapped[0], swapped[1] = swapped[1], swapped[0]
+    transposition = PartialRanking.from_sequence(swapped)
+    rows.append(
+        {
+            "family": "adjacent transposition",
+            "K": kendall_full(identity, transposition),
+            "F": footrule_full(identity, transposition),
+            "F_over_K": footrule_full(identity, transposition)
+            / kendall_full(identity, transposition),
+        }
+    )
+
+    reverse = PartialRanking.from_sequence(range(n - 1, -1, -1))
+    rows.append(
+        {
+            "family": "full reversal",
+            "K": kendall_full(identity, reverse),
+            "F": footrule_full(identity, reverse),
+            "F_over_K": footrule_full(identity, reverse) / kendall_full(identity, reverse),
+        }
+    )
+
+    for shift in (1, n // 4, n // 2):
+        order = list(range(shift, n)) + list(range(shift))
+        shifted = PartialRanking.from_sequence(order)
+        k = kendall_full(identity, shifted)
+        f = footrule_full(identity, shifted)
+        rows.append(
+            {"family": f"cyclic shift by {shift}", "K": k, "F": f, "F_over_K": f / k}
+        )
+    return Table(
+        title=f"E4b: extremal families, n={n}",
+        columns=("family", "K", "F", "F_over_K"),
+        rows=tuple(rows),
+        notes="adjacent transpositions saturate F = 2K; reversal sits near the lower regime.",
+    )
+
+
+@register("e04", "Diaconis-Graham inequalities K <= F <= 2K (eq. 1)")
+def run(seed: int = 0, n: int = 50, samples: int = 200) -> list[Table]:
+    """Run E4; see the module docstring and EXPERIMENTS.md."""
+    return [_random_table(seed, n, samples), _structured_table(n)]

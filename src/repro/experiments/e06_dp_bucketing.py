@@ -1,0 +1,99 @@
+"""E6 — the Figure 1 dynamic program (Theorem 10 / Corollary 31, §A.6.4).
+
+Two claims are measured:
+
+1. **Optimality of the DP** — on small inputs, the DP's segmentation cost
+   equals the exhaustive minimum over all 2^(n-1) segmentations; the
+   half-integral Figure 1 fast path agrees with the generic prefix-sum DP.
+2. **Aggregation guarantee** — the partial ranking ``f†`` built from
+   median scores is within factor 2 of the best partial ranking under
+   ``sum_i F_prof`` (inputs are partial rankings), measured against the
+   exhaustive bucket-order optimum.
+"""
+
+from __future__ import annotations
+
+from repro.aggregate.dp import (
+    brute_force_bucketing,
+    figure1_boundaries,
+    optimal_bucketing,
+)
+from repro.aggregate.exact import optimal_partial_ranking_bruteforce
+from repro.aggregate.median import median_partial_ranking
+from repro.aggregate.objective import total_distance
+from repro.experiments.runner import Table, register
+from repro.generators.random import random_bucket_order, resolve_rng
+
+_ABS_TOL = 1e-9
+
+
+def _dp_optimality_table(seed: int, trials: int, max_n: int) -> Table:
+    rng = resolve_rng(seed)
+    checked = 0
+    dp_optimal = 0
+    figure1_agrees = 0
+    for _ in range(trials):
+        n = rng.randint(1, max_n)
+        values = sorted(rng.randint(0, 2 * n) / 2 for _ in range(n))
+        dp = optimal_bucketing(values)
+        brute = brute_force_bucketing(values)
+        fig1 = figure1_boundaries(values)
+        checked += 1
+        if abs(dp.cost - brute.cost) <= _ABS_TOL:
+            dp_optimal += 1
+        if abs(fig1.cost - brute.cost) <= _ABS_TOL:
+            figure1_agrees += 1
+    return Table(
+        title=f"E6a: DP vs exhaustive segmentation ({trials} random score vectors, n<= {max_n})",
+        columns=("trials", "dp_matches_bruteforce", "figure1_matches_bruteforce"),
+        rows=(
+            {
+                "trials": checked,
+                "dp_matches_bruteforce": dp_optimal,
+                "figure1_matches_bruteforce": figure1_agrees,
+            },
+        ),
+        notes="both columns must equal trials: the DP is exactly optimal.",
+    )
+
+
+def _aggregation_table(seed: int, n: int, m: int, trials: int) -> Table:
+    rng = resolve_rng(seed)
+    ratios = []
+    for _ in range(trials):
+        rankings = [random_bucket_order(n, rng, tie_bias=0.5) for _ in range(m)]
+        f_dagger = median_partial_ranking(rankings)
+        cost = total_distance(f_dagger, rankings, "f_prof")
+        _, optimum = optimal_partial_ranking_bruteforce(rankings, metric="f_prof")
+        if optimum > 0:
+            ratios.append(cost / optimum)
+    return Table(
+        title=f"E6b: f-dagger aggregation ratio vs bucket-order optimum (n={n}, m={m})",
+        columns=("trials", "min_ratio", "mean_ratio", "max_ratio", "proved_bound"),
+        rows=(
+            {
+                "trials": len(ratios),
+                "min_ratio": min(ratios),
+                "mean_ratio": sum(ratios) / len(ratios),
+                "max_ratio": max(ratios),
+                "proved_bound": 2.0,
+            },
+        ),
+        notes="Theorem 10 (partial-ranking inputs): max_ratio must be <= 2.",
+    )
+
+
+@register("e06", "Figure 1 DP optimality and Theorem 10 aggregation factor")
+def run(
+    seed: int = 0,
+    dp_trials: int = 60,
+    dp_max_n: int = 12,
+    n: int = 5,
+    m: int = 5,
+    agg_trials: int = 20,
+) -> list[Table]:
+    """Run E6; see the module docstring and EXPERIMENTS.md."""
+    return [
+        _dp_optimality_table(seed, dp_trials, dp_max_n),
+        _aggregation_table(seed + 1, n, m, agg_trials),
+    ]

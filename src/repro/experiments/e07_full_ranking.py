@@ -1,0 +1,80 @@
+"""E7 — full-ranking aggregation factor 2 (Theorem 11 / Corollary 32).
+
+For full-ranking inputs, a refinement of the median-induced ranking is
+within factor 2 of the optimal full-ranking footrule aggregation — the
+answer to the open question of Dwork et al. [8] / Fagin et al. [11]. The
+exact optimum here is computable in polynomial time via minimum-cost
+matching, so this experiment scales beyond brute force: it reports the
+measured ratio of median aggregation (and Borda, for contrast) to the
+matching optimum across domain sizes and noise levels.
+"""
+
+from __future__ import annotations
+
+from repro.aggregate.baselines import borda
+from repro.aggregate.matching import optimal_footrule_aggregation
+from repro.aggregate.median import median_full_ranking
+from repro.aggregate.objective import total_distance
+from repro.experiments.runner import Table, register
+from repro.generators.mallows import mallows_full_ranking
+from repro.generators.random import random_full_ranking, resolve_rng
+
+
+@register("e07", "median full-ranking aggregation vs matching optimum (Theorem 11)")
+def run(
+    seed: int = 0,
+    sizes: tuple[int, ...] = (10, 20, 40),
+    m: int = 7,
+    trials: int = 10,
+    phi: float = 0.5,
+) -> list[Table]:
+    """Run E7; see the module docstring and EXPERIMENTS.md."""
+    rng = resolve_rng(seed)
+    rows = []
+    for n in sizes:
+        for regime in ("uniform", f"mallows(phi={phi})"):
+            median_ratios = []
+            borda_ratios = []
+            for _ in range(trials):
+                if regime == "uniform":
+                    rankings = [random_full_ranking(n, rng) for _ in range(m)]
+                else:
+                    reference = list(range(n))
+                    rankings = [
+                        mallows_full_ranking(reference, phi, rng) for _ in range(m)
+                    ]
+                _, optimum = optimal_footrule_aggregation(rankings)
+                if optimum == 0:
+                    continue
+                median_cost = total_distance(
+                    median_full_ranking(rankings), rankings, "f_prof"
+                )
+                borda_cost = total_distance(borda(rankings), rankings, "f_prof")
+                median_ratios.append(median_cost / optimum)
+                borda_ratios.append(borda_cost / optimum)
+            rows.append(
+                {
+                    "n": n,
+                    "regime": regime,
+                    "median_mean": sum(median_ratios) / len(median_ratios),
+                    "median_max": max(median_ratios),
+                    "borda_mean": sum(borda_ratios) / len(borda_ratios),
+                    "borda_max": max(borda_ratios),
+                    "proved_median_bound": 2.0,
+                }
+            )
+    table = Table(
+        title=f"E7: full-ranking aggregation ratio vs matching optimum (m={m})",
+        columns=(
+            "n",
+            "regime",
+            "median_mean",
+            "median_max",
+            "borda_mean",
+            "borda_max",
+            "proved_median_bound",
+        ),
+        rows=tuple(rows),
+        notes="Theorem 11: median_max must be <= 2; observed values are near-optimal.",
+    )
+    return [table]

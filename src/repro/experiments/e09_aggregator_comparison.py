@@ -1,0 +1,100 @@
+"""E9 — aggregator comparison: quality and time (§1/§6 motivation).
+
+The paper positions median aggregation as matching the quality of the
+sophisticated WWW'01 heuristics while being database-friendly. This
+experiment runs median (full-ranking and f-dagger outputs), Borda, MC4,
+pick-a-perm, best-input, locally-Kemenized median, and the exact matching
+optimum on shared workloads, reporting the ``F_prof`` and ``K_prof``
+objectives (normalized by the matching optimum where meaningful) and wall
+time per aggregation.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable, Sequence
+
+from repro.aggregate.baselines import best_input, borda, locally_kemenize, markov_chain_mc4, pick_a_perm
+from repro.aggregate.matching import optimal_footrule_aggregation
+from repro.aggregate.median import median_full_ranking, median_partial_ranking
+from repro.aggregate.objective import total_distance
+from repro.core.partial_ranking import PartialRanking
+from repro.experiments.runner import Table, register
+from repro.generators.workloads import (
+    Workload,
+    db_profile_workload,
+    mallows_profile_workload,
+)
+
+Aggregator = Callable[[Sequence[PartialRanking]], PartialRanking]
+
+
+def _aggregators(seed: int) -> dict[str, Aggregator]:
+    rng = random.Random(seed)
+    return {
+        "median (full)": median_full_ranking,
+        "median (f-dagger)": median_partial_ranking,
+        "median + local kemeny": lambda rankings: locally_kemenize(
+            median_full_ranking(rankings), rankings
+        ),
+        "borda": borda,
+        "mc4": markov_chain_mc4,
+        "pick-a-perm": lambda rankings: pick_a_perm(rankings, rng),
+        "best-input": best_input,
+    }
+
+
+def _evaluate(workload: Workload, seed: int) -> list[dict]:
+    rankings = list(workload.rankings)
+    start = time.perf_counter()
+    _, matching_cost = optimal_footrule_aggregation(rankings)
+    matching_seconds = time.perf_counter() - start
+
+    rows = [
+        {
+            "workload": workload.name,
+            "aggregator": "matching optimum",
+            "f_prof_ratio": 1.0,
+            "k_prof_cost": float("nan"),
+            "seconds": matching_seconds,
+        }
+    ]
+    for name, aggregator in _aggregators(seed).items():
+        start = time.perf_counter()
+        candidate = aggregator(rankings)
+        seconds = time.perf_counter() - start
+        f_cost = total_distance(candidate, rankings, "f_prof")
+        k_cost = total_distance(candidate, rankings, "k_prof")
+        rows.append(
+            {
+                "workload": workload.name,
+                "aggregator": name,
+                "f_prof_ratio": f_cost / matching_cost if matching_cost else float("nan"),
+                "k_prof_cost": k_cost,
+                "seconds": seconds,
+            }
+        )
+    return rows
+
+
+@register("e09", "aggregator comparison: median vs baselines vs matching optimum")
+def run(seed: int = 0, n: int = 60, m: int = 5) -> list[Table]:
+    """Run E9; see the module docstring and EXPERIMENTS.md."""
+    workloads = [
+        mallows_profile_workload(n, m, phi=0.3, seed=seed, max_bucket=6),
+        db_profile_workload(n, seed=seed, catalog="restaurants"),
+    ]
+    rows: list[dict] = []
+    for workload in workloads:
+        rows.extend(_evaluate(workload, seed))
+    table = Table(
+        title=f"E9: aggregation quality/time comparison (n={n}, m={m})",
+        columns=("workload", "aggregator", "f_prof_ratio", "k_prof_cost", "seconds"),
+        rows=tuple(rows),
+        notes=(
+            "f_prof_ratio is relative to the exact matching optimum (1.0). The f-dagger output "
+            "is a partial ranking, so its F_prof objective can beat every full ranking."
+        ),
+    )
+    return [table]

@@ -1,0 +1,65 @@
+"""E11 — strong-sense near-optimality of the median top-k (§A.6.3).
+
+Theorems 33/35: the median top-k list is not just within factor 3 of the
+best top-k list; it is *consistent with* a partial ranking ``sigma'`` that
+is itself near-optimal over all partial rankings (factor ``c``), and any
+such consistent fixed-type ranking is within ``2c + 1`` of the best
+ranking of its type. This experiment measures, per trial:
+
+* ``c`` — the f-dagger ratio against the exhaustive bucket-order optimum;
+* the top-k ratio against the exhaustive top-k optimum;
+* the two proved ceilings (3 from Theorem 9, ``2c + 1`` from Theorem 33).
+"""
+
+from __future__ import annotations
+
+from repro.aggregate.exact import optimal_partial_ranking_bruteforce, optimal_top_k
+from repro.aggregate.median import median_partial_ranking, median_top_k
+from repro.aggregate.objective import total_distance
+from repro.experiments.runner import Table, register
+from repro.generators.random import random_bucket_order, resolve_rng
+
+
+@register("e11", "strong-sense near-optimality of median top-k (Theorems 33/35)")
+def run(seed: int = 0, n: int = 5, k: int = 2, m: int = 5, trials: int = 15) -> list[Table]:
+    """Run E11; see the module docstring and EXPERIMENTS.md."""
+    rng = resolve_rng(seed)
+    rows = []
+    for trial in range(trials):
+        rankings = [random_bucket_order(n, rng, tie_bias=0.5) for _ in range(m)]
+        f_dagger = median_partial_ranking(rankings)
+        _, partial_opt = optimal_partial_ranking_bruteforce(rankings, metric="f_prof")
+        c = (
+            total_distance(f_dagger, rankings, "f_prof") / partial_opt
+            if partial_opt
+            else 1.0
+        )
+        top = median_top_k(rankings, k)
+        _, topk_opt = optimal_top_k(rankings, k, metric="f_prof")
+        topk_ratio = (
+            total_distance(top, rankings, "f_prof") / topk_opt if topk_opt else 1.0
+        )
+        rows.append(
+            {
+                "trial": trial,
+                "c (f-dagger ratio)": c,
+                "topk_ratio": topk_ratio,
+                "thm9_bound": 3.0,
+                "thm33_bound": 2 * c + 1,
+                "within_both": topk_ratio <= min(3.0, 2 * c + 1) + 1e-9,
+            }
+        )
+    table = Table(
+        title=f"E11: strong-sense optimality, n={n}, k={k}, m={m}",
+        columns=(
+            "trial",
+            "c (f-dagger ratio)",
+            "topk_ratio",
+            "thm9_bound",
+            "thm33_bound",
+            "within_both",
+        ),
+        rows=tuple(rows),
+        notes="topk_ratio must respect both ceilings; c <= 2 by Theorem 10.",
+    )
+    return [table]

@@ -1,0 +1,88 @@
+"""E14 — median aggregation vs. the exact Kemeny optimum (footnote 4).
+
+Footnote 4 frames median aggregation as the *non-trivial yet
+computationally simple* constant-factor algorithm for the Kendall
+aggregation problem. With the Held–Karp solver we can compute the exact
+``K^(1/2)`` optimum up to n ≈ 14 — past the factorial brute force — and
+measure the real approximation ratios of median, Borda, best-input, and
+the pairwise-majority lower bound, together with solve times.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.aggregate.baselines import best_input, borda
+from repro.aggregate.kemeny import kemeny_lower_bound, kemeny_optimal
+from repro.aggregate.median import median_full_ranking
+from repro.aggregate.objective import total_distance
+from repro.experiments.runner import Table, register
+from repro.generators.random import random_bucket_order, resolve_rng
+
+
+@register("e14", "median vs exact Kemeny optimum (Held-Karp), K_prof objective")
+def run(
+    seed: int = 0,
+    sizes: tuple[int, ...] = (6, 9, 12),
+    m: int = 5,
+    trials: int = 8,
+) -> list[Table]:
+    """Run E14; see the module docstring and EXPERIMENTS.md."""
+    rng = resolve_rng(seed)
+    rows = []
+    for n in sizes:
+        median_ratios: list[float] = []
+        borda_ratios: list[float] = []
+        best_input_ratios: list[float] = []
+        bound_gaps: list[float] = []
+        exact_seconds = 0.0
+        for _ in range(trials):
+            rankings = [random_bucket_order(n, rng, tie_bias=0.5) for _ in range(m)]
+            start = time.perf_counter()
+            _, optimum = kemeny_optimal(rankings)
+            exact_seconds += time.perf_counter() - start
+            if optimum == 0:
+                continue
+            median_ratios.append(
+                total_distance(median_full_ranking(rankings), rankings, "k_prof")
+                / optimum
+            )
+            borda_ratios.append(
+                total_distance(borda(rankings), rankings, "k_prof") / optimum
+            )
+            best_input_ratios.append(
+                total_distance(best_input(rankings, "k_prof"), rankings, "k_prof")
+                / optimum
+            )
+            bound_gaps.append(optimum / max(kemeny_lower_bound(rankings), 1e-12))
+        rows.append(
+            {
+                "n": n,
+                "median_mean": sum(median_ratios) / len(median_ratios),
+                "median_max": max(median_ratios),
+                "borda_mean": sum(borda_ratios) / len(borda_ratios),
+                "best_input_mean": sum(best_input_ratios) / len(best_input_ratios),
+                "optimum_over_lower_bound": sum(bound_gaps) / len(bound_gaps),
+                "exact_seconds_total": exact_seconds,
+            }
+        )
+    table = Table(
+        title=f"E14: K_prof aggregation ratio vs exact Kemeny optimum (m={m})",
+        columns=(
+            "n",
+            "median_mean",
+            "median_max",
+            "borda_mean",
+            "best_input_mean",
+            "optimum_over_lower_bound",
+            "exact_seconds_total",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "exact solve time grows as 2^n while median stays O(nm + n log n); "
+            "median's measured ratio stays near 1, far inside its proved constant. "
+            "best-input returns a PARTIAL ranking, so its ratio can dip below 1 "
+            "against the best FULL ranking."
+        ),
+    )
+    return [table]

@@ -1,0 +1,124 @@
+"""Experiment harness: result tables, formatting, and the registry.
+
+Each experiment module exposes ``run(seed=0, **params) -> list[Table]``;
+the registry maps experiment ids (``"e01"`` ... ``"e12"``) to those
+runners. ``python -m repro.experiments e03`` prints the tables recorded in
+EXPERIMENTS.md; the benchmark suite wraps the same runners.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Table", "format_table", "format_tables", "register", "EXPERIMENTS", "get_experiment"]
+
+
+@dataclass(frozen=True, slots=True)
+class Table:
+    """One result table: a title, ordered columns, and dict rows."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[Mapping[str, Any], ...]
+    notes: str = ""
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column as a list (raises if the column is unknown)."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}; have {self.columns}")
+        return [row[name] for row in self.rows]
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(table: Table) -> str:
+    """Render a table as aligned monospace text."""
+    header = list(table.columns)
+    body = [[_render_cell(row.get(col, "")) for col in header] for row in table.rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [table.title, "-" * len(table.title)]
+    lines.append("  ".join(name.ljust(width) for name, width in zip(header, widths)))
+    for line in body:
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+    if table.notes:
+        lines.append(f"note: {table.notes}")
+    return "\n".join(lines)
+
+
+def format_tables(tables: Sequence[Table]) -> str:
+    """Render several tables separated by blank lines."""
+    return "\n\n".join(format_table(table) for table in tables)
+
+
+Runner = Callable[..., list[Table]]
+
+#: Experiment id -> (runner, one-line description).
+EXPERIMENTS: dict[str, tuple[Runner, str]] = {}
+
+
+def register(experiment_id: str, description: str) -> Callable[[Runner], Runner]:
+    """Decorator registering an experiment runner under an id."""
+
+    def decorate(runner: Runner) -> Runner:
+        if experiment_id in EXPERIMENTS:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        EXPERIMENTS[experiment_id] = (runner, description)
+        return runner
+
+    return decorate
+
+
+def get_experiment(experiment_id: str) -> tuple[Runner, str]:
+    """Look up a registered experiment, importing runners on first use."""
+    _load_all()
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; have {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def all_experiments() -> dict[str, tuple[Runner, str]]:
+    """All registered experiments, id -> (runner, description)."""
+    _load_all()
+    return dict(EXPERIMENTS)
+
+
+_LOADED = False
+
+
+def _load_all() -> None:
+    """Import every experiment module so its @register decorator fires."""
+    global _LOADED
+    if _LOADED:
+        return
+    from repro.experiments import (  # noqa: F401
+        e01_penalty,
+        e02_hausdorff,
+        e03_equivalence,
+        e04_diaconis_graham,
+        e05_topk_aggregation,
+        e06_dp_bucketing,
+        e07_full_ranking,
+        e08_medrank_access,
+        e09_aggregator_comparison,
+        e10_scaling,
+        e11_strong_optimality,
+        e12_topk_location,
+        e13_related_measures,
+        e14_exact_kemeny,
+        e15_condorcet_structure,
+        e16_robustness,
+    )
+
+    _LOADED = True

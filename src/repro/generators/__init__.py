@@ -1,0 +1,28 @@
+"""Synthetic ranking generators used by tests, examples, and experiments."""
+
+from repro.generators.mallows import bucketized_mallows, mallows_full_ranking
+from repro.generators.random import (
+    random_bucket_order,
+    random_full_ranking,
+    random_top_k,
+    random_type,
+)
+from repro.generators.workloads import (
+    Workload,
+    db_profile_workload,
+    mallows_profile_workload,
+    random_profile_workload,
+)
+
+__all__ = [
+    "random_bucket_order",
+    "random_full_ranking",
+    "random_top_k",
+    "random_type",
+    "mallows_full_ranking",
+    "bucketized_mallows",
+    "Workload",
+    "random_profile_workload",
+    "mallows_profile_workload",
+    "db_profile_workload",
+]

@@ -1,0 +1,114 @@
+"""Uniform-ish random partial rankings with controllable tie structure.
+
+Every generator takes an explicit :class:`random.Random` (or seed) so that
+tests and experiments are reproducible. ``tie_bias`` interpolates between a
+full ranking (0.0) and a single bucket (1.0): after shuffling, each
+boundary between adjacent items is independently kept with probability
+``1 - tie_bias``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.partial_ranking import Item, PartialRanking
+from repro.errors import InvalidRankingError
+
+__all__ = [
+    "resolve_rng",
+    "random_full_ranking",
+    "random_bucket_order",
+    "random_type",
+    "random_top_k",
+]
+
+
+def resolve_rng(rng: random.Random | int | None) -> random.Random:
+    """Accept a Random, a seed, or None (fresh unseeded Random)."""
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+def _domain_list(domain: Sequence[Item] | int) -> list[Item]:
+    if isinstance(domain, int):
+        if domain <= 0:
+            raise InvalidRankingError(f"domain size must be positive, got {domain}")
+        return list(range(domain))
+    items = list(domain)
+    if not items:
+        raise InvalidRankingError("domain must be non-empty")
+    return items
+
+
+def random_full_ranking(
+    domain: Sequence[Item] | int,
+    rng: random.Random | int | None = None,
+) -> PartialRanking:
+    """A uniformly random permutation of the domain."""
+    items = _domain_list(domain)
+    generator = resolve_rng(rng)
+    generator.shuffle(items)
+    return PartialRanking.from_sequence(items)
+
+
+def random_bucket_order(
+    domain: Sequence[Item] | int,
+    rng: random.Random | int | None = None,
+    tie_bias: float = 0.5,
+) -> PartialRanking:
+    """A random bucket order with expected bucket size ``1 / (1-tie_bias)``.
+
+    Items are shuffled uniformly, then each gap between adjacent items
+    becomes a bucket boundary independently with probability
+    ``1 - tie_bias``. ``tie_bias = 0`` yields full rankings;
+    ``tie_bias = 1`` yields the single-bucket ranking.
+    """
+    if not 0.0 <= tie_bias <= 1.0:
+        raise InvalidRankingError(f"tie_bias={tie_bias} outside [0, 1]")
+    items = _domain_list(domain)
+    generator = resolve_rng(rng)
+    generator.shuffle(items)
+    buckets: list[list[Item]] = [[items[0]]]
+    for item in items[1:]:
+        if generator.random() < tie_bias:
+            buckets[-1].append(item)
+        else:
+            buckets.append([item])
+    return PartialRanking(buckets)
+
+
+def random_type(
+    n: int,
+    rng: random.Random | int | None = None,
+    max_bucket: int | None = None,
+) -> tuple[int, ...]:
+    """A random composition of ``n`` (a random bucket type)."""
+    if n <= 0:
+        raise InvalidRankingError(f"n must be positive, got {n}")
+    generator = resolve_rng(rng)
+    cap = max_bucket if max_bucket is not None else n
+    if cap <= 0:
+        raise InvalidRankingError(f"max_bucket must be positive, got {max_bucket}")
+    sizes: list[int] = []
+    remaining = n
+    while remaining:
+        size = generator.randint(1, min(cap, remaining))
+        sizes.append(size)
+        remaining -= size
+    return tuple(sizes)
+
+
+def random_top_k(
+    domain: Sequence[Item] | int,
+    k: int,
+    rng: random.Random | int | None = None,
+) -> PartialRanking:
+    """A uniformly random top-k list over the domain."""
+    items = _domain_list(domain)
+    if not 0 < k <= len(items):
+        raise InvalidRankingError(f"k={k} out of range for domain of size {len(items)}")
+    generator = resolve_rng(rng)
+    generator.shuffle(items)
+    return PartialRanking.top_k(items[:k], items)

@@ -1,0 +1,131 @@
+"""Named workloads: reproducible profiles of input rankings.
+
+A *profile* is the aggregation literature's term for the tuple of input
+rankings handed to an aggregator. Experiments need three kinds:
+
+* :func:`random_profile_workload` — independent random bucket orders (the
+  adversarial, structure-free regime);
+* :func:`mallows_profile_workload` — noisy bucketized views of one latent
+  ground truth (the meta-search regime: there *is* a right answer);
+* :func:`db_profile_workload` — attribute sorts of a synthetic catalog
+  (the paper's database regime: ties come from few-valued attributes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partial_ranking import PartialRanking
+from repro.db.query import AttributePreference
+from repro.db.sources import bibliography_catalog, flight_catalog, restaurant_catalog
+from repro.errors import InvalidRankingError
+from repro.generators.mallows import bucketized_mallows
+from repro.generators.random import random_bucket_order, resolve_rng
+
+__all__ = [
+    "Workload",
+    "random_profile_workload",
+    "mallows_profile_workload",
+    "db_profile_workload",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """A named, reproducible profile of input partial rankings."""
+
+    name: str
+    rankings: tuple[PartialRanking, ...]
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.rankings)
+
+    @property
+    def domain_size(self) -> int:
+        return len(self.rankings[0]) if self.rankings else 0
+
+    @property
+    def max_bucket(self) -> int:
+        return max(max(sigma.type) for sigma in self.rankings)
+
+
+def random_profile_workload(
+    n: int,
+    m: int,
+    seed: int = 0,
+    tie_bias: float = 0.5,
+) -> Workload:
+    """``m`` independent random bucket orders over ``n`` items."""
+    if m <= 0:
+        raise InvalidRankingError(f"profile size m={m} must be positive")
+    rng = resolve_rng(seed)
+    rankings = tuple(
+        random_bucket_order(n, rng, tie_bias=tie_bias) for _ in range(m)
+    )
+    return Workload(name=f"random(n={n},m={m},tie_bias={tie_bias})", rankings=rankings)
+
+
+def mallows_profile_workload(
+    n: int,
+    m: int,
+    phi: float = 0.3,
+    seed: int = 0,
+    max_bucket: int | None = None,
+) -> Workload:
+    """``m`` bucketized Mallows draws around the identity ground truth."""
+    if m <= 0:
+        raise InvalidRankingError(f"profile size m={m} must be positive")
+    rng = resolve_rng(seed)
+    reference = list(range(n))
+    rankings = tuple(
+        bucketized_mallows(reference, phi, rng, max_bucket=max_bucket) for _ in range(m)
+    )
+    return Workload(name=f"mallows(n={n},m={m},phi={phi})", rankings=rankings)
+
+
+_RESTAURANT_PREFERENCES = (
+    AttributePreference("cuisine", value_order=("thai", "indian", "italian")),
+    AttributePreference("price"),
+    AttributePreference("stars", reverse=True),
+    AttributePreference("distance_miles", bins=(2.0, 5.0, 10.0, 20.0)),
+)
+
+_FLIGHT_PREFERENCES = (
+    AttributePreference("connections"),
+    AttributePreference("price_usd", bins=(150.0, 300.0, 500.0, 750.0)),
+    AttributePreference("duration_minutes", bins=(180.0, 300.0, 420.0)),
+    AttributePreference("departure_hour", bins=(6.0, 12.0, 18.0)),
+)
+
+_BIBLIOGRAPHY_PREFERENCES = (
+    AttributePreference("year", reverse=True),
+    AttributePreference("citations", reverse=True, bins=(0.0, 5.0, 20.0, 100.0)),
+    AttributePreference("area", value_order=("databases", "algorithms")),
+    AttributePreference("pages", bins=(8.0, 16.0, 24.0)),
+)
+
+
+def db_profile_workload(
+    n: int = 100,
+    seed: int = 0,
+    catalog: str = "restaurants",
+) -> Workload:
+    """Attribute sorts of a synthetic catalog (the paper's DB regime).
+
+    ``catalog`` is ``"restaurants"`` or ``"flights"``; each preference of
+    the canonical query becomes one input partial ranking.
+    """
+    if catalog == "restaurants":
+        relation = restaurant_catalog(n, seed)
+        preferences = _RESTAURANT_PREFERENCES
+    elif catalog == "flights":
+        relation = flight_catalog(n, seed)
+        preferences = _FLIGHT_PREFERENCES
+    elif catalog == "bibliography":
+        relation = bibliography_catalog(n, seed)
+        preferences = _BIBLIOGRAPHY_PREFERENCES
+    else:
+        raise InvalidRankingError(f"unknown catalog {catalog!r}")
+    rankings = tuple(preference.rank(relation) for preference in preferences)
+    return Workload(name=f"db({catalog},n={n})", rankings=rankings)

@@ -1,0 +1,216 @@
+"""Serialization of partial rankings (JSON and CSV interchange formats).
+
+A production rank-aggregation library must move rankings in and out of
+files. Two formats are supported:
+
+**JSON** — lossless for string/number items::
+
+    {"buckets": [["a"], ["b", "c"], ["d"]]}
+
+and profiles (several rankings over one domain)::
+
+    {"rankings": [{"name": "by_price", "buckets": [...]}, ...]}
+
+**CSV** — the database-friendly long format, one row per (ranking, item)::
+
+    ranking,item,bucket
+    by_price,a,0
+    by_price,b,1
+
+``bucket`` is the 0-based bucket index; equal indices within a ranking
+mean tied. Items are read back as strings (CSV carries no types).
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+from typing import TextIO
+
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import InvalidRankingError, ReproError
+
+__all__ = [
+    "SerializationError",
+    "ranking_to_dict",
+    "ranking_from_dict",
+    "dump_ranking_json",
+    "load_ranking_json",
+    "dump_profile_json",
+    "load_profile_json",
+    "dump_profile_csv",
+    "load_profile_csv",
+]
+
+
+class SerializationError(ReproError, ValueError):
+    """A ranking file was malformed."""
+
+
+def ranking_to_dict(sigma: PartialRanking) -> dict:
+    """JSON-ready dict with buckets in canonical within-bucket order."""
+    return {
+        "buckets": [
+            sorted(bucket, key=lambda item: (type(item).__name__, repr(item)))
+            for bucket in sigma.buckets
+        ]
+    }
+
+
+def ranking_from_dict(payload: Mapping) -> PartialRanking:
+    """Inverse of :func:`ranking_to_dict` (validates the shape)."""
+    try:
+        buckets = payload["buckets"]
+    except (KeyError, TypeError):
+        raise SerializationError("expected an object with a 'buckets' key") from None
+    if not isinstance(buckets, list) or not all(isinstance(b, list) for b in buckets):
+        raise SerializationError("'buckets' must be a list of lists")
+    try:
+        return PartialRanking(buckets)
+    except InvalidRankingError as exc:
+        raise SerializationError(f"invalid ranking payload: {exc}") from exc
+
+
+def _open_for(target: str | Path | TextIO, mode: str):
+    if isinstance(target, (str, Path)):
+        return open(target, mode, encoding="utf-8"), True
+    return target, False
+
+
+def dump_ranking_json(sigma: PartialRanking, target: str | Path | TextIO) -> None:
+    """Write one ranking as JSON to a path or open text file."""
+    handle, owned = _open_for(target, "w")
+    try:
+        json.dump(ranking_to_dict(sigma), handle, indent=2)
+        handle.write("\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def load_ranking_json(source: str | Path | TextIO) -> PartialRanking:
+    """Read one ranking from a JSON path or open text file."""
+    handle, owned = _open_for(source, "r")
+    try:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"not valid JSON: {exc}") from exc
+    finally:
+        if owned:
+            handle.close()
+    return ranking_from_dict(payload)
+
+
+def dump_profile_json(
+    rankings: Mapping[str, PartialRanking] | Sequence[PartialRanking],
+    target: str | Path | TextIO,
+) -> None:
+    """Write a named or anonymous profile of rankings as JSON."""
+    if isinstance(rankings, Mapping):
+        named = list(rankings.items())
+    else:
+        named = [(f"ranking_{index}", sigma) for index, sigma in enumerate(rankings)]
+    payload = {
+        "rankings": [
+            {"name": name, **ranking_to_dict(sigma)} for name, sigma in named
+        ]
+    }
+    handle, owned = _open_for(target, "w")
+    try:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def load_profile_json(source: str | Path | TextIO) -> dict[str, PartialRanking]:
+    """Read a profile of rankings from JSON; returns name -> ranking."""
+    handle, owned = _open_for(source, "r")
+    try:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"not valid JSON: {exc}") from exc
+    finally:
+        if owned:
+            handle.close()
+    try:
+        entries = payload["rankings"]
+    except (KeyError, TypeError):
+        raise SerializationError("expected an object with a 'rankings' key") from None
+    profile: dict[str, PartialRanking] = {}
+    for index, entry in enumerate(entries):
+        name = entry.get("name", f"ranking_{index}")
+        if name in profile:
+            raise SerializationError(f"duplicate ranking name {name!r}")
+        profile[name] = ranking_from_dict(entry)
+    return profile
+
+
+def dump_profile_csv(
+    rankings: Mapping[str, PartialRanking],
+    target: str | Path | TextIO,
+) -> None:
+    """Write a named profile in long CSV format (ranking, item, bucket)."""
+    handle, owned = _open_for(target, "w")
+    try:
+        writer = csv.writer(handle, lineterminator="\n")
+        writer.writerow(["ranking", "item", "bucket"])
+        for name, sigma in rankings.items():
+            for index, bucket in enumerate(sigma.buckets):
+                for item in sorted(bucket, key=repr):
+                    writer.writerow([name, item, index])
+    finally:
+        if owned:
+            handle.close()
+
+
+def load_profile_csv(source: str | Path | TextIO) -> dict[str, PartialRanking]:
+    """Read a long-format CSV profile; items come back as strings."""
+    handle, owned = _open_for(source, "r")
+    try:
+        content = handle.read()
+    finally:
+        if owned:
+            handle.close()
+    reader = csv.DictReader(_io.StringIO(content))
+    required = {"ranking", "item", "bucket"}
+    if reader.fieldnames is None or not required <= set(reader.fieldnames):
+        raise SerializationError(
+            f"CSV must have columns {sorted(required)}, got {reader.fieldnames}"
+        )
+    grouped: dict[str, dict[int, list[str]]] = {}
+    for line_number, row in enumerate(reader, start=2):
+        try:
+            bucket_index = int(row["bucket"])
+        except (TypeError, ValueError):
+            raise SerializationError(
+                f"line {line_number}: bucket index {row['bucket']!r} is not an integer"
+            ) from None
+        if bucket_index < 0:
+            raise SerializationError(f"line {line_number}: negative bucket index")
+        grouped.setdefault(row["ranking"], {}).setdefault(bucket_index, []).append(
+            row["item"]
+        )
+    profile: dict[str, PartialRanking] = {}
+    for name, buckets_by_index in grouped.items():
+        indices = sorted(buckets_by_index)
+        if indices != list(range(len(indices))):
+            raise SerializationError(
+                f"ranking {name!r}: bucket indices must be 0..t-1 without gaps, "
+                f"got {indices}"
+            )
+        try:
+            profile[name] = PartialRanking(
+                [buckets_by_index[index] for index in indices]
+            )
+        except InvalidRankingError as exc:
+            raise SerializationError(f"ranking {name!r}: {exc}") from exc
+    if not profile:
+        raise SerializationError("CSV contained no rankings")
+    return profile

@@ -1,0 +1,217 @@
+"""Distance-measure / metric / near-metric property checking (paper §2.1).
+
+The paper's taxonomy:
+
+* a **distance measure** is non-negative, symmetric and regular
+  (``d(x, y) = 0`` iff ``x == y``);
+* a **metric** additionally satisfies the triangle inequality;
+* a **near metric** satisfies the *relaxed polygonal inequality*
+  ``d(x, z) <= c * (d(x, x1) + ... + d(x_{n-1}, z))`` for a constant ``c``
+  independent of the domain size — equivalently (Fagin–Kumar–Sivakumar), it
+  is within constant multiples of a metric.
+
+These properties quantify over all rankings, so they cannot be *verified*
+by sampling — but they can be *refuted*. This module provides samplers and
+checkers that either find a concrete counterexample (returned as a
+:class:`Violation`) or report that none was found in the sample. Experiment
+E1 uses them to map the metric/near-metric regimes of ``K^(p)`` and to
+reproduce the paper's two-element counterexamples (§A.2).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.partial_ranking import PartialRanking
+
+Distance = Callable[[PartialRanking, PartialRanking], float]
+
+__all__ = [
+    "Violation",
+    "AxiomReport",
+    "check_distance_measure",
+    "check_triangle_inequality",
+    "check_polygonal_inequality",
+    "check_axioms",
+    "paper_counterexample_rankings",
+]
+
+_ABS_TOL = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """A concrete counterexample to one of the axioms."""
+
+    axiom: str
+    rankings: tuple[PartialRanking, ...]
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.axiom} violated: {self.detail}"
+
+
+@dataclass(frozen=True, slots=True)
+class AxiomReport:
+    """Outcome of checking a distance function over a sample of rankings."""
+
+    checked_pairs: int
+    checked_triples: int
+    violations: tuple[Violation, ...]
+
+    @property
+    def is_distance_measure(self) -> bool:
+        return not any(
+            v.axiom in ("non-negativity", "symmetry", "regularity") for v in self.violations
+        )
+
+    @property
+    def satisfies_triangle(self) -> bool:
+        return not any(v.axiom == "triangle" for v in self.violations)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def check_distance_measure(
+    dist: Distance,
+    rankings: Sequence[PartialRanking],
+) -> list[Violation]:
+    """Check non-negativity, symmetry, and regularity over all pairs."""
+    violations: list[Violation] = []
+    for sigma in rankings:
+        if abs(dist(sigma, sigma)) > _ABS_TOL:
+            violations.append(
+                Violation(
+                    "regularity",
+                    (sigma,),
+                    f"d(x, x) = {dist(sigma, sigma)} != 0 for x = {sigma}",
+                )
+            )
+    for i, sigma in enumerate(rankings):
+        for tau in rankings[i + 1 :]:
+            forward = dist(sigma, tau)
+            backward = dist(tau, sigma)
+            if forward < -_ABS_TOL:
+                violations.append(
+                    Violation("non-negativity", (sigma, tau), f"d = {forward} < 0")
+                )
+            if abs(forward - backward) > _ABS_TOL:
+                violations.append(
+                    Violation(
+                        "symmetry",
+                        (sigma, tau),
+                        f"d(x, y) = {forward} but d(y, x) = {backward}",
+                    )
+                )
+            if sigma != tau and abs(forward) <= _ABS_TOL:
+                violations.append(
+                    Violation(
+                        "regularity",
+                        (sigma, tau),
+                        f"d = 0 for distinct rankings {sigma} and {tau}",
+                    )
+                )
+    return violations
+
+
+def check_triangle_inequality(
+    dist: Distance,
+    rankings: Sequence[PartialRanking],
+) -> list[Violation]:
+    """Check ``d(x, z) <= d(x, y) + d(y, z)`` over all ordered triples.
+
+    Distances are cached per pair, so the cost is O(k²) distance
+    evaluations plus O(k³) comparisons for k sample rankings.
+    """
+    cache: dict[tuple[int, int], float] = {}
+
+    def d(i: int, j: int) -> float:
+        key = (i, j) if i <= j else (j, i)
+        if key not in cache:
+            cache[key] = dist(rankings[key[0]], rankings[key[1]])
+        return cache[key]
+
+    violations: list[Violation] = []
+    k = len(rankings)
+    for i in range(k):
+        for j in range(k):
+            for m in range(k):
+                if d(i, m) > d(i, j) + d(j, m) + _ABS_TOL:
+                    violations.append(
+                        Violation(
+                            "triangle",
+                            (rankings[i], rankings[j], rankings[m]),
+                            f"d(x, z) = {d(i, m)} > {d(i, j)} + {d(j, m)}",
+                        )
+                    )
+    return violations
+
+
+def check_polygonal_inequality(
+    dist: Distance,
+    rankings: Sequence[PartialRanking],
+    c: float,
+    path_length: int = 4,
+    samples: int = 200,
+    rng: random.Random | int | None = None,
+) -> list[Violation]:
+    """Sample paths and check the *relaxed polygonal inequality* (Def. 1).
+
+    A near metric must satisfy
+    ``d(x, z) <= c * (d(x, x1) + d(x1, x2) + ... + d(x_{k-1}, z))`` for a
+    constant ``c`` independent of the domain. The triangle inequality is
+    the ``c = 1, k = 2`` case; longer paths are strictly stronger, which
+    is why Definition 1 quantifies over them. This checker samples random
+    paths of up to ``path_length`` intermediate rankings and reports the
+    ones violating the relaxed inequality at the given ``c``.
+    """
+    generator = rng if isinstance(rng, random.Random) else random.Random(rng)
+    if len(rankings) < 2:
+        return []
+    violations: list[Violation] = []
+    for _ in range(samples):
+        k = generator.randint(1, max(1, path_length))
+        path = [generator.choice(rankings) for _ in range(k + 1)]
+        through = sum(dist(a, b) for a, b in zip(path, path[1:]))
+        direct = dist(path[0], path[-1])
+        if direct > c * through + _ABS_TOL:
+            violations.append(
+                Violation(
+                    "relaxed-polygonal",
+                    tuple(path),
+                    f"d(x, z) = {direct} > {c} * {through} along a "
+                    f"{k}-hop path",
+                )
+            )
+    return violations
+
+
+def check_axioms(dist: Distance, rankings: Sequence[PartialRanking]) -> AxiomReport:
+    """Run every axiom check over a sample and collect violations."""
+    violations = check_distance_measure(dist, rankings)
+    violations.extend(check_triangle_inequality(dist, rankings))
+    k = len(rankings)
+    return AxiomReport(
+        checked_pairs=k * (k - 1) // 2,
+        checked_triples=k**3,
+        violations=tuple(violations),
+    )
+
+
+def paper_counterexample_rankings() -> tuple[PartialRanking, PartialRanking, PartialRanking]:
+    """The two-element rankings of §A.2 / Proposition 13.
+
+    ``tau_1``: a ahead of b; ``tau_2``: a and b tied; ``tau_3``: b ahead of
+    a. They witness that ``K^(0)`` is not a distance measure
+    (``K^(0)(tau_1, tau_2) = 0`` with ``tau_1 != tau_2``) and that ``K^(p)``
+    violates the triangle inequality for ``0 < p < 1/2``
+    (``K^(p)(tau_1, tau_3) = 1 > 2p``).
+    """
+    tau_1 = PartialRanking([["a"], ["b"]])
+    tau_2 = PartialRanking([["a", "b"]])
+    tau_3 = PartialRanking([["b"], ["a"]])
+    return tau_1, tau_2, tau_3

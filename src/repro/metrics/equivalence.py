@@ -1,0 +1,146 @@
+"""Equivalence of the four metrics (paper §5, Theorem 7).
+
+Theorem 7 proves the four metrics are within constant multiples of each
+other via three pairwise inequalities:
+
+* (4)  ``K_Haus <= F_Haus <= 2 K_Haus``      (Theorem 20)
+* (5)  ``K_prof <= F_prof <= 2 K_prof``      (Theorem 24, the hard one)
+* (6)  ``K_prof <= K_Haus <= 2 K_prof``      (Lemma 25)
+
+together with the classical Diaconis–Graham inequalities (1)
+``K <= F <= 2 K`` on full rankings. This module evaluates all four metrics
+on a pair at once, checks every proved inequality, and records the observed
+ratios so experiment E3 can report empirical tightness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.core.partial_ranking import PartialRanking
+from repro.metrics.footrule import footrule
+from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff_counts
+from repro.metrics.kendall import kendall
+
+__all__ = [
+    "MetricBundle",
+    "metric_bundle",
+    "PROVED_BOUNDS",
+    "check_proved_bounds",
+    "RatioSummary",
+    "summarize_ratios",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricBundle:
+    """All four metric values for one pair of partial rankings."""
+
+    k_prof: float
+    f_prof: float
+    k_haus: float
+    f_haus: float
+
+    def value(self, name: str) -> float:
+        try:
+            return {
+                "k_prof": self.k_prof,
+                "f_prof": self.f_prof,
+                "k_haus": self.k_haus,
+                "f_haus": self.f_haus,
+            }[name]
+        except KeyError:
+            raise KeyError(f"unknown metric name {name!r}") from None
+
+
+def metric_bundle(sigma: PartialRanking, tau: PartialRanking) -> MetricBundle:
+    """Evaluate ``K_prof``, ``F_prof``, ``K_Haus``, ``F_Haus`` on one pair."""
+    return MetricBundle(
+        k_prof=kendall(sigma, tau),
+        f_prof=footrule(sigma, tau),
+        k_haus=float(kendall_hausdorff_counts(sigma, tau)),
+        f_haus=footrule_hausdorff(sigma, tau),
+    )
+
+
+#: The inequalities proved in §5, as (lower metric, upper metric, factor)
+#: meaning ``lower <= upper <= factor * lower``.
+PROVED_BOUNDS: tuple[tuple[str, str, float], ...] = (
+    ("k_haus", "f_haus", 2.0),  # eq. (4), Theorem 20
+    ("k_prof", "f_prof", 2.0),  # eq. (5), Theorem 24
+    ("k_prof", "k_haus", 2.0),  # eq. (6), Lemma 25
+)
+
+_ABS_TOL = 1e-9
+
+
+def check_proved_bounds(bundle: MetricBundle) -> list[str]:
+    """Return human-readable descriptions of any violated proved bound.
+
+    An empty list means the pair satisfies every inequality of Theorem 7.
+    """
+    failures: list[str] = []
+    for low_name, high_name, factor in PROVED_BOUNDS:
+        low = bundle.value(low_name)
+        high = bundle.value(high_name)
+        if low > high + _ABS_TOL:
+            failures.append(f"{low_name} = {low} exceeds {high_name} = {high}")
+        if high > factor * low + _ABS_TOL:
+            failures.append(f"{high_name} = {high} exceeds {factor} * {low_name} = {factor * low}")
+    return failures
+
+
+@dataclass(frozen=True, slots=True)
+class RatioSummary:
+    """Observed ratio statistics for one proved bound over a sample."""
+
+    lower_metric: str
+    upper_metric: str
+    proved_factor: float
+    min_ratio: float
+    mean_ratio: float
+    max_ratio: float
+    samples: int
+
+    @property
+    def within_bounds(self) -> bool:
+        return 1.0 - _ABS_TOL <= self.min_ratio and self.max_ratio <= self.proved_factor + _ABS_TOL
+
+
+def summarize_ratios(
+    pairs: Iterable[tuple[PartialRanking, PartialRanking]],
+) -> list[RatioSummary]:
+    """Measure ``upper / lower`` across a sample of ranking pairs.
+
+    Pairs where the lower metric is 0 are skipped (both metrics are then 0
+    by regularity plus the proved lower bound). Returns one summary per
+    bound in :data:`PROVED_BOUNDS`.
+    """
+    ratios: dict[tuple[str, str], list[float]] = {
+        (low, high): [] for low, high, _ in PROVED_BOUNDS
+    }
+    for sigma, tau in pairs:
+        bundle = metric_bundle(sigma, tau)
+        for low_name, high_name, _ in PROVED_BOUNDS:
+            low = bundle.value(low_name)
+            if low > 0:
+                ratios[(low_name, high_name)].append(bundle.value(high_name) / low)
+    summaries = []
+    for low_name, high_name, factor in PROVED_BOUNDS:
+        observed = ratios[(low_name, high_name)]
+        if not observed:
+            continue
+        summaries.append(
+            RatioSummary(
+                lower_metric=low_name,
+                upper_metric=high_name,
+                proved_factor=factor,
+                min_ratio=min(observed),
+                mean_ratio=mean(observed),
+                max_ratio=max(observed),
+                samples=len(observed),
+            )
+        )
+    return summaries

@@ -1,0 +1,47 @@
+"""Spearman footrule metrics on partial rankings (paper §2.2, §3.1).
+
+``F_prof`` is simply the L1 distance between position vectors (the
+F-profiles): ``F_prof(sigma, tau) = sum_d |sigma(d) - tau(d)|``. On full
+rankings this is the classical Spearman footrule. Because every position is
+a multiple of one half, all arithmetic here is exact in floating point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.partial_ranking import Item, PartialRanking
+from repro.errors import DomainMismatchError, InvalidRankingError
+
+__all__ = ["footrule", "footrule_full", "l1_distance"]
+
+
+def l1_distance(f: Mapping[Item, float], g: Mapping[Item, float]) -> float:
+    """The L1 distance between two functions given as mappings.
+
+    Both mappings must have exactly the same key set (the shared domain
+    ``D`` of the paper's ``L1(f, g)`` notation).
+    """
+    if f.keys() != g.keys():
+        raise DomainMismatchError("L1 distance requires functions on a common domain")
+    return sum(abs(f[item] - g[item]) for item in f)
+
+
+def footrule(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """The footrule metric ``F_prof`` between two partial rankings.
+
+    This is the L1 distance between the two F-profiles (position vectors);
+    it is automatically a metric. Runs in O(n).
+    """
+    if sigma.domain != tau.domain:
+        raise DomainMismatchError(
+            f"rankings must share a domain (sizes {len(sigma)} and {len(tau)})"
+        )
+    return sum(abs(sigma[item] - tau[item]) for item in sigma.domain)
+
+
+def footrule_full(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """Classical Spearman footrule between two *full* rankings (§2.2)."""
+    if not sigma.is_full or not tau.is_full:
+        raise InvalidRankingError("footrule_full requires full rankings; use footrule() instead")
+    return footrule(sigma, tau)

@@ -1,0 +1,78 @@
+"""Normalized ([0, 1]-scaled) versions of the four metrics.
+
+Cross-domain comparisons ("is this pair of 10-item rankings closer than
+that pair of 1000-item rankings?") need scale-free values. Each metric is
+divided by its maximum over all pairs of partial rankings of the domain:
+
+* ``K_prof``, ``K_Haus`` — maximum ``n(n-1)/2``, attained by a full
+  ranking and its reverse (every pair discordant);
+* ``F_prof``, ``F_Haus`` — maximum ``floor(n^2 / 2)``, attained by the
+  same pair (the classical extremal value of Spearman's footrule).
+
+The maxima are verified exhaustively for small domains in the test suite.
+Normalization divides by a constant per domain, so metric axioms are
+preserved and the Theorem 7 equivalence constants carry over up to the
+ratio of the two maxima.
+"""
+
+from __future__ import annotations
+
+from repro.core.partial_ranking import PartialRanking
+from repro.metrics.footrule import footrule
+from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff_counts
+from repro.metrics.kendall import kendall
+
+__all__ = [
+    "max_kendall",
+    "max_footrule",
+    "normalized_kendall",
+    "normalized_footrule",
+    "normalized_kendall_hausdorff",
+    "normalized_footrule_hausdorff",
+    "NORMALIZED_METRICS",
+]
+
+
+def max_kendall(n: int) -> float:
+    """Maximum of ``K_prof`` (and ``K_Haus``) over an n-item domain."""
+    return n * (n - 1) / 2
+
+
+def max_footrule(n: int) -> float:
+    """Maximum of ``F_prof`` (and ``F_Haus``) over an n-item domain."""
+    return float(n * n // 2)
+
+
+def _normalize(value: float, maximum: float) -> float:
+    return 0.0 if maximum == 0 else value / maximum
+
+
+def normalized_kendall(sigma: PartialRanking, tau: PartialRanking, p: float = 0.5) -> float:
+    """``K^(p)`` scaled into [0, 1]."""
+    return _normalize(kendall(sigma, tau, p), max_kendall(len(sigma)))
+
+
+def normalized_footrule(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """``F_prof`` scaled into [0, 1]."""
+    return _normalize(footrule(sigma, tau), max_footrule(len(sigma)))
+
+
+def normalized_kendall_hausdorff(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """``K_Haus`` scaled into [0, 1]."""
+    return _normalize(
+        float(kendall_hausdorff_counts(sigma, tau)), max_kendall(len(sigma))
+    )
+
+
+def normalized_footrule_hausdorff(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """``F_Haus`` scaled into [0, 1]."""
+    return _normalize(footrule_hausdorff(sigma, tau), max_footrule(len(sigma)))
+
+
+#: Name -> normalized metric registry, mirroring objective.METRICS.
+NORMALIZED_METRICS = {
+    "k_prof": normalized_kendall,
+    "f_prof": normalized_footrule,
+    "k_haus": normalized_kendall_hausdorff,
+    "f_haus": normalized_footrule_hausdorff,
+}

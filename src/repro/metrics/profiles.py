@@ -1,0 +1,62 @@
+"""Explicit profile vectors (paper §3.1).
+
+The paper defines ``K_prof`` and ``F_prof`` as L1 distances between compact
+summaries ("profiles") of a partial ranking:
+
+* the **K-profile** is indexed by ordered pairs ``(i, j)`` of distinct
+  items, with entry +1/4 if ``sigma(i) < sigma(j)``, 0 if tied, and -1/4 if
+  ``sigma(i) > sigma(j)`` (the quarter instead of a half because each
+  unordered pair appears twice);
+* the **F-profile** is simply the position vector ``d -> sigma(d)``.
+
+These explicit vectors are quadratic-sized, so application code should use
+:func:`repro.metrics.kendall.kendall` and
+:func:`repro.metrics.footrule.footrule`; the vectors exist to make the
+"profile metric = penalty metric" identity directly testable.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.core.partial_ranking import Item, PartialRanking
+from repro.errors import DomainMismatchError
+
+__all__ = ["k_profile", "f_profile", "k_profile_l1", "f_profile_l1"]
+
+
+def k_profile(sigma: PartialRanking) -> dict[tuple[Item, Item], float]:
+    """The K-profile: ordered-pair vector with entries in {-1/4, 0, +1/4}."""
+    profile: dict[tuple[Item, Item], float] = {}
+    for i, j in permutations(sigma.domain, 2):
+        if sigma[i] < sigma[j]:
+            profile[(i, j)] = 0.25
+        elif sigma[i] > sigma[j]:
+            profile[(i, j)] = -0.25
+        else:
+            profile[(i, j)] = 0.0
+    return profile
+
+
+def f_profile(sigma: PartialRanking) -> dict[Item, float]:
+    """The F-profile: the position vector ``d -> sigma(d)``."""
+    return sigma.positions
+
+
+def k_profile_l1(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """``K_prof`` computed literally as the L1 distance between K-profiles.
+
+    Quadratic; equals ``kendall(sigma, tau, p=1/2)`` (property-tested).
+    """
+    if sigma.domain != tau.domain:
+        raise DomainMismatchError("profiles require a common domain")
+    ps, pt = k_profile(sigma), k_profile(tau)
+    return sum(abs(ps[pair] - pt[pair]) for pair in ps)
+
+
+def f_profile_l1(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """``F_prof`` computed literally as the L1 distance between F-profiles."""
+    if sigma.domain != tau.domain:
+        raise DomainMismatchError("profiles require a common domain")
+    fs, ft = f_profile(sigma), f_profile(tau)
+    return sum(abs(fs[item] - ft[item]) for item in fs)

@@ -1,0 +1,203 @@
+"""The reflection construction behind Theorem 24 (§A.5.2).
+
+The paper's hardest equivalence — ``K_prof <= F_prof <= 2 K_prof`` (eq. 5)
+— is proved by lifting a pair of partial rankings to a pair of *full*
+rankings on a doubled domain and invoking the classical Diaconis–Graham
+inequality there. The machinery, all implemented here:
+
+* **Reflection**: each item ``i`` gets a mirror ``i#``; the reflected
+  partial ranking ``sigma#`` over ``D ∪ D#`` places ``i`` and ``i#`` in
+  the (doubled) bucket of ``i``, so ``sigma#(i) = sigma#(i#) =
+  2 sigma(i) - 1/2``.
+* **pi-natural**: a full ranking ``pi`` on ``D`` extends to ``pi♮`` on
+  ``D ∪ D#`` ranking D in ``pi`` order, then D# in *reverse* ``pi`` order.
+* **sigma_pi** ``= pi♮ * sigma#``: a full ranking in which every bucket
+  reads ``a, b, c, c#, b#, a#`` — each element faces its mirror across the
+  bucket midpoint, giving the *reflected-duplicate* identity (eq. 7)
+  ``(sigma_pi(d) + sigma_pi(d#)) / 2 = 2 sigma(d) - 1/2``.
+* **Lemma 21**: ``K(sigma_pi, tau_pi) = 4 K_prof(sigma, tau)`` for *every*
+  ``pi``.
+* **Nesting** (the obstruction for F): ``d`` is nested if the interval
+  ``[sigma_pi(d), sigma_pi(d#)]`` strictly contains — or is strictly
+  contained in — ``[tau_pi(d), tau_pi(d#)]``.
+* **Lemma 22**: with no nested elements,
+  ``F(sigma_pi, tau_pi) = 4 F_prof(sigma, tau)``.
+* **Lemma 23**: a nesting-free ``pi`` always exists; the paper's proof is
+  constructive (repeatedly swap the first-nested element with a carefully
+  chosen bucket-mate, strictly increasing the "first nest"), and
+  :func:`nesting_free_permutation` implements it verbatim.
+
+Together these make Theorem 24 executable: the property tests rederive
+eq. (5) from the classical full-ranking inequality through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.partial_ranking import Item, PartialRanking
+from repro.core.refine import star
+from repro.errors import DomainMismatchError, ReproError
+
+__all__ = [
+    "Mirror",
+    "reflect",
+    "pi_natural",
+    "reflected_refinement",
+    "mirror_interval",
+    "is_nested",
+    "nested_elements",
+    "nesting_free_permutation",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Mirror:
+    """The mirror image ``i#`` of a domain item (the paper's ``i♯``)."""
+
+    item: Item
+
+    def __repr__(self) -> str:
+        return f"{self.item!r}#"
+
+
+def reflect(sigma: PartialRanking) -> PartialRanking:
+    """The reflected partial ranking ``sigma#`` over ``D ∪ D#``.
+
+    Each bucket ``B`` becomes ``B ∪ {i# : i in B}``; a direct calculation
+    shows the new position of every ``i`` and ``i#`` is
+    ``2 sigma(i) - 1/2`` (tested).
+    """
+    return PartialRanking(
+        [list(bucket) + [Mirror(item) for item in bucket] for bucket in sigma.buckets]
+    )
+
+
+def pi_natural(pi: PartialRanking) -> PartialRanking:
+    """Extend a full ranking on ``D`` to ``pi♮`` on ``D ∪ D#``.
+
+    ``pi♮`` ranks the original items first (in ``pi`` order) and then the
+    mirrors in *reverse* ``pi`` order: ``pi♮(d) = pi(d)``,
+    ``pi♮(d#) = 2|D| + 1 - pi(d)``.
+    """
+    if not pi.is_full:
+        raise DomainMismatchError("pi must be a full ranking on the base domain")
+    order = pi.items_in_order()
+    return PartialRanking.from_sequence(
+        order + [Mirror(item) for item in reversed(order)]
+    )
+
+
+def reflected_refinement(sigma: PartialRanking, pi: PartialRanking) -> PartialRanking:
+    """The full ranking ``sigma_pi = pi♮ * (sigma#)``.
+
+    Within each doubled bucket the originals appear in ``pi`` order
+    followed by the mirrors in reverse ``pi`` order — the palindromic
+    ``a, b, c, c#, b#, a#`` layout that makes every element face its
+    mirror across the bucket midpoint.
+    """
+    if pi.domain != sigma.domain:
+        raise DomainMismatchError("pi must rank exactly sigma's domain")
+    return star(pi_natural(pi), reflect(sigma))
+
+
+def mirror_interval(
+    d: Item, sigma_pi: PartialRanking
+) -> tuple[float, float]:
+    """The interval ``[sigma_pi(d), sigma_pi(d#)]`` spanned by ``d`` and its mirror."""
+    return sigma_pi[d], sigma_pi[Mirror(d)]
+
+
+def _strictly_contains(
+    outer: tuple[float, float], inner: tuple[float, float]
+) -> bool:
+    """The paper's ``⊐`` relation: containment with both endpoints strict."""
+    return outer[0] < inner[0] and inner[1] < outer[1]
+
+
+def is_nested(d: Item, sigma_pi: PartialRanking, tau_pi: PartialRanking) -> bool:
+    """True if ``d``'s sigma-interval and tau-interval strictly nest."""
+    sigma_interval = mirror_interval(d, sigma_pi)
+    tau_interval = mirror_interval(d, tau_pi)
+    return _strictly_contains(sigma_interval, tau_interval) or _strictly_contains(
+        tau_interval, sigma_interval
+    )
+
+
+def nested_elements(
+    sigma: PartialRanking,
+    tau: PartialRanking,
+    pi: PartialRanking,
+) -> list[Item]:
+    """All base-domain elements nested with respect to ``pi``."""
+    sigma_pi = reflected_refinement(sigma, pi)
+    tau_pi = reflected_refinement(tau, pi)
+    return [d for d in sigma.domain if is_nested(d, sigma_pi, tau_pi)]
+
+
+def nesting_free_permutation(
+    sigma: PartialRanking,
+    tau: PartialRanking,
+    initial: PartialRanking | None = None,
+) -> PartialRanking:
+    """Construct a full ranking ``pi`` with no nested elements (Lemma 23).
+
+    Follows the paper's proof: while some element is nested, take the
+    nested element ``a`` with minimal ``pi(a)`` (the *first nest*); letting
+    the sigma-interval be the outer one (else swap the roles of sigma and
+    tau), pick a bucket-mate ``b`` of ``a`` whose own sigma-interval sits
+    strictly inside ``a``'s but whose tau-interval does not (such a ``b``
+    exists by counting); swapping ``a`` and ``b`` in ``pi`` strictly
+    increases the first nest, so at most ``|D|`` rounds suffice.
+    """
+    if sigma.domain != tau.domain:
+        raise DomainMismatchError("rankings must share a domain")
+    if initial is None:
+        from repro.core.refine import common_full_ranking
+
+        pi = common_full_ranking(sigma)
+    else:
+        if not initial.is_full or initial.domain != sigma.domain:
+            raise DomainMismatchError("initial must be a full ranking of the domain")
+        pi = initial
+
+    max_rounds = len(sigma) + 1
+    for _ in range(max_rounds):
+        sigma_pi = reflected_refinement(sigma, pi)
+        tau_pi = reflected_refinement(tau, pi)
+        nested = [d for d in sigma.domain if is_nested(d, sigma_pi, tau_pi)]
+        if not nested:
+            return pi
+        a = min(nested, key=lambda d: pi[d])
+
+        # orient so that `outer` is the ranking whose interval for `a`
+        # strictly contains the other's
+        if _strictly_contains(
+            mirror_interval(a, sigma_pi), mirror_interval(a, tau_pi)
+        ):
+            outer_pi, inner_pi = sigma_pi, tau_pi
+        else:
+            outer_pi, inner_pi = tau_pi, sigma_pi
+
+        outer_interval = mirror_interval(a, outer_pi)
+        candidates = [
+            d
+            for d in sigma.domain
+            if d != a
+            and _strictly_contains(outer_interval, mirror_interval(d, outer_pi))
+            and not _strictly_contains(outer_interval, mirror_interval(d, inner_pi))
+        ]
+        if not candidates:  # pragma: no cover - impossible per the proof
+            raise ReproError("Lemma 23 invariant violated: no swap candidate")
+        b = min(candidates, key=lambda d: pi[d])
+
+        # swap a and b in pi
+        order: list[Any] = pi.items_in_order()
+        ia, ib = order.index(a), order.index(b)
+        order[ia], order[ib] = order[ib], order[ia]
+        pi = PartialRanking.from_sequence(order)
+
+    raise ReproError(  # pragma: no cover - the proof bounds the rounds
+        "nesting elimination did not converge; Lemma 23 invariant violated"
+    )

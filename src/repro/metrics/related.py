@@ -1,0 +1,156 @@
+"""Related-work rank correlation measures (paper's "Related work" section).
+
+The paper situates its metrics against earlier proposals, each of which
+this module implements so the comparison is executable:
+
+* **Kendall's tau-b** (Kendall 1945, [16]) — the classical tie-corrected
+  rank correlation. The paper notes one of Kendall's variants "is a
+  normalized version of the Kendall tau distance through profiles":
+  concretely, ``1 - tau_b`` relates monotonically to ``K_prof``, and on
+  tie-free data ``tau_a`` is an affine function of the Kendall distance.
+* **Goodman–Kruskal gamma** ([13]) — concordant/discordant odds. The
+  paper flags its "serious disadvantage": gamma is **undefined** when
+  every pair is tied in at least one ranking (zero concordant + zero
+  discordant), which this implementation surfaces as
+  :class:`UndefinedCorrelationError` rather than a silent NaN.
+* **Baggerly's footrule variants** ([2]) — footrule through positions
+  (identical to ``F_prof``) and a normalized version.
+* **Spearman's rho with ties** — included for completeness as the other
+  classical tie-aware coefficient.
+
+These are *correlations* (higher = more similar, range [-1, 1]), not
+metrics; experiment E13 measures how they rank pairs relative to the
+paper's metrics and demonstrates the gamma failure mode.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import ReproError
+from repro.metrics.footrule import footrule
+from repro.metrics.kendall import pair_counts
+
+__all__ = [
+    "UndefinedCorrelationError",
+    "kendall_tau_a",
+    "kendall_tau_b",
+    "goodman_kruskal_gamma",
+    "spearman_rho",
+    "baggerly_footrule",
+    "normalized_baggerly_footrule",
+]
+
+
+class UndefinedCorrelationError(ReproError, ArithmeticError):
+    """A correlation coefficient's denominator vanished.
+
+    Goodman–Kruskal gamma is undefined when no pair is strictly ordered in
+    both rankings; tau-b when either ranking is a single bucket. The paper
+    singles this out as the serious disadvantage of the Goodman–Kruskal
+    approach relative to its metrics, which are always defined.
+    """
+
+
+def kendall_tau_a(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """Kendall's tau-a: (concordant - discordant) / all pairs.
+
+    Ties count as neither concordant nor discordant, which silently
+    shrinks the magnitude — the standard objection tau-b fixes. On
+    tie-free rankings, ``tau_a = 1 - 4 K / (n(n-1))`` (an affine function
+    of the Kendall distance).
+    """
+    counts = pair_counts(sigma, tau)
+    if counts.total == 0:
+        raise UndefinedCorrelationError("tau-a undefined on a single-item domain")
+    return (counts.concordant - counts.discordant) / counts.total
+
+
+def kendall_tau_b(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """Kendall's tau-b: tie-corrected rank correlation (Kendall 1945).
+
+    ``(C - D) / sqrt((N - T_sigma)(N - T_tau))`` where ``T_sigma`` /
+    ``T_tau`` count pairs tied in each ranking. Undefined when either
+    ranking ties everything.
+    """
+    counts = pair_counts(sigma, tau)
+    tied_sigma = counts.tied_both + counts.tied_first_only
+    tied_tau = counts.tied_both + counts.tied_second_only
+    denominator = math.sqrt(
+        (counts.total - tied_sigma) * (counts.total - tied_tau)
+    )
+    if denominator == 0:
+        raise UndefinedCorrelationError(
+            "tau-b undefined: one of the rankings ties every pair"
+        )
+    return (counts.concordant - counts.discordant) / denominator
+
+
+def goodman_kruskal_gamma(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """Goodman–Kruskal gamma: (C - D) / (C + D).
+
+    Ignores ties entirely. Raises :class:`UndefinedCorrelationError` when
+    ``C + D = 0`` — the failure mode the paper cites as the reason this
+    approach is unsuitable for heavily tied database rankings. (Haveliwala
+    et al. avoided the problem only because their application never
+    produced such inputs.)
+    """
+    counts = pair_counts(sigma, tau)
+    strict = counts.concordant + counts.discordant
+    if strict == 0:
+        raise UndefinedCorrelationError(
+            "gamma undefined: no pair is strictly ordered in both rankings"
+        )
+    return (counts.concordant - counts.discordant) / strict
+
+
+def spearman_rho(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """Spearman's rho on tied data: Pearson correlation of the positions.
+
+    Uses the average-rank (mid-rank) convention, which is exactly the
+    paper's ``pos`` assignment, so this is the Pearson correlation of the
+    two F-profiles. Undefined when either ranking ties everything (zero
+    variance).
+    """
+    if sigma.domain != tau.domain:
+        from repro.errors import DomainMismatchError
+
+        raise DomainMismatchError("spearman_rho requires a common domain")
+    items = sorted(sigma.domain, key=repr)
+    n = len(items)
+    if n == 0:
+        raise UndefinedCorrelationError("rho undefined on an empty domain")
+    mean = (n + 1) / 2  # positions always average to (n+1)/2
+    cov = sum((sigma[x] - mean) * (tau[x] - mean) for x in items)
+    var_sigma = sum((sigma[x] - mean) ** 2 for x in items)
+    var_tau = sum((tau[x] - mean) ** 2 for x in items)
+    if var_sigma == 0 or var_tau == 0:
+        raise UndefinedCorrelationError(
+            "rho undefined: one of the rankings ties every pair"
+        )
+    return cov / math.sqrt(var_sigma * var_tau)
+
+
+def baggerly_footrule(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """Baggerly's footrule on partial rankings — identical to ``F_prof``.
+
+    Exposed under its own name so the related-work comparison in E13 can
+    refer to it; the paper notes Baggerly "defined two versions of the
+    Spearman footrule distance for partial rankings of which one is
+    similar to our Spearman footrule metric through profiles".
+    """
+    return footrule(sigma, tau)
+
+
+def normalized_baggerly_footrule(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """Baggerly's normalized footrule: ``F_prof`` scaled into [0, 1].
+
+    The maximum of the footrule over all pairs of rankings of a common
+    n-element domain is ``floor(n^2 / 2)`` (attained by a ranking and its
+    reverse), so dividing by it yields a [0, 1] dissimilarity.
+    """
+    n = len(sigma)
+    if n <= 1:
+        return 0.0
+    return footrule(sigma, tau) / (n * n // 2)

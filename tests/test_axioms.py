@@ -1,0 +1,135 @@
+"""Tests for the axiom checkers and Proposition 13's regimes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partial_ranking import PartialRanking
+from repro.generators.random import random_bucket_order, resolve_rng
+from repro.metrics.axioms import (
+    check_axioms,
+    check_distance_measure,
+    check_triangle_inequality,
+    paper_counterexample_rankings,
+)
+from repro.metrics.footrule import footrule
+from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff
+from repro.metrics.kendall import kendall
+
+
+def _sample_rankings(n: int = 6, count: int = 12, seed: int = 7):
+    rng = resolve_rng(seed)
+    rankings = [random_bucket_order(n, rng, tie_bias=0.5) for _ in range(count)]
+    # include degenerate corners
+    rankings.append(PartialRanking.single_bucket(range(n)))
+    rankings.append(PartialRanking.from_sequence(range(n)))
+    return rankings
+
+
+class TestPaperCounterexample:
+    def test_k0_is_not_a_distance_measure(self):
+        tau_1, tau_2, tau_3 = paper_counterexample_rankings()
+        d = lambda x, y: kendall(x, y, 0.0)  # noqa: E731
+        assert d(tau_1, tau_2) == 0.0 and tau_1 != tau_2
+        assert d(tau_1, tau_3) == 1.0
+        violations = check_distance_measure(d, [tau_1, tau_2, tau_3])
+        assert any(v.axiom == "regularity" for v in violations)
+
+    def test_triangle_fails_below_half(self):
+        rankings = list(paper_counterexample_rankings())
+        for p in (0.1, 0.25, 0.4):
+            violations = check_triangle_inequality(
+                lambda x, y, p=p: kendall(x, y, p), rankings
+            )
+            assert violations, f"expected a triangle violation at p={p}"
+
+    def test_triangle_holds_at_and_above_half(self):
+        rankings = list(paper_counterexample_rankings())
+        for p in (0.5, 0.75, 1.0):
+            violations = check_triangle_inequality(
+                lambda x, y, p=p: kendall(x, y, p), rankings
+            )
+            assert not violations
+
+
+class TestFourMetricsAreMetrics:
+    @pytest.mark.parametrize(
+        "name,metric",
+        [
+            ("k_prof", kendall),
+            ("f_prof", footrule),
+            ("k_haus", kendall_hausdorff),
+            ("f_haus", footrule_hausdorff),
+        ],
+    )
+    def test_axioms_on_sample(self, name, metric):
+        report = check_axioms(metric, _sample_rankings())
+        assert report.clean, f"{name}: {[str(v) for v in report.violations]}"
+        assert report.checked_pairs > 0
+        assert report.is_distance_measure
+        assert report.satisfies_triangle
+
+
+class TestPolygonalInequality:
+    """Definition 1: near metrics satisfy the relaxed polygonal inequality."""
+
+    def test_metric_satisfies_it_at_c_equals_one(self):
+        from repro.metrics.axioms import check_polygonal_inequality
+
+        rankings = _sample_rankings(count=10)
+        assert check_polygonal_inequality(kendall, rankings, c=1.0, rng=0) == []
+
+    def test_near_metric_kp_violates_at_one_but_not_at_its_constant(self):
+        from repro.metrics.axioms import check_polygonal_inequality
+
+        p = 0.25
+
+        def k_p(x, y):
+            return kendall(x, y, p)
+
+        counterexample = list(paper_counterexample_rankings())
+        at_one = check_polygonal_inequality(
+            k_p, counterexample, c=1.0, rng=0, samples=500
+        )
+        assert at_one, "K^(1/4) should violate the plain polygonal inequality"
+        # ... but the relaxed inequality holds at the near-metric constant,
+        # on the counterexample family and on random bucket orders alike
+        for rankings in (counterexample, _sample_rankings(count=8)):
+            at_constant = check_polygonal_inequality(
+                k_p, rankings, c=1 / (2 * p), rng=0, samples=500
+            )
+            assert at_constant == []
+
+    def test_violation_mentions_the_path(self):
+        from repro.metrics.axioms import check_polygonal_inequality
+
+        rankings = list(paper_counterexample_rankings())
+        violations = check_polygonal_inequality(
+            lambda x, y: kendall(x, y, 0.1), rankings, c=1.0, rng=1, samples=300
+        )
+        assert violations
+        assert "hop path" in violations[0].detail
+
+
+class TestViolationReporting:
+    def test_asymmetric_function_reported(self):
+        rankings = _sample_rankings(count=4)
+
+        def skewed(x, y):
+            return footrule(x, y) + (0.5 if repr(x) < repr(y) else 0.0)
+
+        violations = check_distance_measure(skewed, rankings)
+        assert any(v.axiom == "symmetry" for v in violations)
+
+    def test_violation_str_is_informative(self):
+        tau_1, tau_2, _ = paper_counterexample_rankings()
+        violations = check_distance_measure(
+            lambda x, y: kendall(x, y, 0.0), [tau_1, tau_2]
+        )
+        assert violations
+        assert "regularity" in str(violations[0])
+
+    def test_negative_distance_reported(self):
+        rankings = _sample_rankings(count=3)
+        violations = check_distance_measure(lambda x, y: -1.0, rankings)
+        assert any(v.axiom == "non-negativity" for v in violations)

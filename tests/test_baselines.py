@@ -1,0 +1,131 @@
+"""Tests for baseline aggregators: Borda, MC4, pick-a-perm, local Kemeny."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.aggregate.baselines import (
+    best_input,
+    borda,
+    locally_kemenize,
+    markov_chain_mc4,
+    pick_a_perm,
+)
+from repro.aggregate.objective import total_distance
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import AggregationError
+from repro.generators.random import random_bucket_order, random_full_ranking, resolve_rng
+
+
+def _consensus_profile() -> list[PartialRanking]:
+    """A profile with a clear majority order a < b < c < d."""
+    return [
+        PartialRanking.from_sequence("abcd"),
+        PartialRanking.from_sequence("abcd"),
+        PartialRanking.from_sequence("abdc"),
+        PartialRanking.from_sequence("bacd"),
+    ]
+
+
+class TestBorda:
+    def test_recovers_consensus(self):
+        assert borda(_consensus_profile()).items_in_order() == list("abcd")
+
+    def test_output_is_full(self):
+        rng = resolve_rng(1)
+        rankings = [random_bucket_order(6, rng) for _ in range(3)]
+        assert borda(rankings).is_full
+
+    def test_single_input_refines_it(self):
+        sigma = PartialRanking([["b", "a"], ["c"]])
+        assert borda([sigma]).is_refinement_of(sigma)
+
+
+class TestBestInput:
+    def test_picks_the_central_ranking(self):
+        outlier = PartialRanking.from_sequence("dcba")
+        center = PartialRanking.from_sequence("abcd")
+        rankings = [center, center, outlier]
+        assert best_input(rankings) == center
+
+    def test_two_approximation_property(self):
+        # best input is within 2x of any candidate by the triangle inequality
+        rng = resolve_rng(13)
+        rankings = [random_bucket_order(6, rng) for _ in range(4)]
+        chosen_cost = total_distance(best_input(rankings), rankings, "f_prof")
+        for candidate in rankings:
+            assert chosen_cost <= 2 * total_distance(candidate, rankings, "f_prof") + 1e-9
+
+    def test_custom_metric_callable(self):
+        from repro.metrics.kendall import kendall
+
+        rankings = _consensus_profile()
+        assert best_input(rankings, kendall) in rankings
+
+
+class TestPickAPerm:
+    def test_output_is_full_refinement_of_an_input(self):
+        rng = resolve_rng(2)
+        rankings = [random_bucket_order(6, rng) for _ in range(4)]
+        result = pick_a_perm(rankings, random.Random(0))
+        assert result.is_full
+        assert any(result.is_refinement_of(sigma) for sigma in rankings)
+
+    def test_deterministic_under_seed(self):
+        rankings = _consensus_profile()
+        assert pick_a_perm(rankings, random.Random(5)) == pick_a_perm(
+            rankings, random.Random(5)
+        )
+
+
+class TestMC4:
+    def test_recovers_consensus(self):
+        result = markov_chain_mc4(_consensus_profile())
+        assert result.items_in_order() == list("abcd")
+
+    def test_single_item_domain(self):
+        assert markov_chain_mc4([PartialRanking([["only"]])]).domain == {"only"}
+
+    def test_bad_damping_rejected(self):
+        with pytest.raises(AggregationError):
+            markov_chain_mc4(_consensus_profile(), damping=1.0)
+
+    def test_handles_ties_in_inputs(self):
+        rankings = [
+            PartialRanking([["a", "b"], ["c"]]),
+            PartialRanking([["a"], ["b", "c"]]),
+            PartialRanking([["a"], ["b"], ["c"]]),
+        ]
+        result = markov_chain_mc4(rankings)
+        assert result.ahead("a", "c")
+
+
+class TestLocalKemenization:
+    def test_never_increases_kendall_objective(self):
+        rng = resolve_rng(7)
+        for _ in range(10):
+            rankings = [random_full_ranking(7, rng) for _ in range(5)]
+            start = random_full_ranking(7, rng)
+            improved = locally_kemenize(start, rankings)
+            assert total_distance(improved, rankings, "k_prof") <= total_distance(
+                start, rankings, "k_prof"
+            ) + 1e-9
+
+    def test_local_optimum_has_no_improving_adjacent_swap(self):
+        rng = resolve_rng(19)
+        rankings = [random_full_ranking(6, rng) for _ in range(5)]
+        result = locally_kemenize(random_full_ranking(6, rng), rankings, max_passes=500)
+        order = result.items_in_order()
+        base = total_distance(result, rankings, "k_prof")
+        for i in range(len(order) - 1):
+            swapped = list(order)
+            swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+            candidate = PartialRanking.from_sequence(swapped)
+            assert total_distance(candidate, rankings, "k_prof") >= base - 1e-9
+
+    def test_partial_candidate_rejected(self):
+        rankings = _consensus_profile()
+        with pytest.raises(AggregationError):
+            locally_kemenize(PartialRanking([["a", "b"], ["c", "d"]]), rankings)

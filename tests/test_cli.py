@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.partial_ranking import PartialRanking
+from repro.io import dump_profile_csv, dump_profile_json, dump_ranking_json
+
+
+@pytest.fixture
+def profile_json(tmp_path):
+    path = tmp_path / "profile.json"
+    dump_profile_json(
+        {
+            "price": PartialRanking([["a", "b"], ["c"], ["d"]]),
+            "stars": PartialRanking([["d"], ["a", "c"], ["b"]]),
+            "dist": PartialRanking([["c"], ["a", "b", "d"]]),
+        },
+        path,
+    )
+    return str(path)
+
+
+@pytest.fixture
+def profile_csv(tmp_path, profile_json):
+    from repro.io import load_profile_json
+
+    path = tmp_path / "profile.csv"
+    dump_profile_csv(load_profile_json(profile_json), path)
+    return str(path)
+
+
+class TestCompare:
+    def test_pairwise_output(self, profile_json, capsys):
+        assert main(["compare", profile_json, "--pairwise"]) == 0
+        out = capsys.readouterr().out
+        assert "k_prof" in out and "price vs" in out
+
+    def test_single_metric(self, profile_json, capsys):
+        assert main(["compare", profile_json, "--metric", "f_prof"]) == 0
+        out = capsys.readouterr().out
+        assert "f_prof" in out and "k_haus" not in out
+
+    def test_two_single_ranking_files(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        dump_ranking_json(PartialRanking([["x", "y"]]), a)
+        dump_ranking_json(PartialRanking([["x"], ["y"]]), b)
+        assert main(["compare", str(a), str(b)]) == 0
+        assert "vs" in capsys.readouterr().out
+
+    def test_single_ranking_is_an_error(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        dump_ranking_json(PartialRanking([["x"]]), a)
+        assert main(["compare", str(a)]) == 2
+        assert "at least two" in capsys.readouterr().err
+
+
+class TestAggregate:
+    @pytest.mark.parametrize(
+        "algorithm", ["median", "borda", "mc4", "best-input", "matching"]
+    )
+    def test_all_algorithms_run(self, profile_json, capsys, algorithm):
+        assert main(["aggregate", profile_json, "--algorithm", algorithm]) == 0
+        out = capsys.readouterr().out
+        assert "total f_prof" in out
+
+    def test_topk_output(self, profile_csv, capsys):
+        assert main(["aggregate", profile_csv, "--output", "topk", "--k", "2"]) == 0
+        assert "aggregated 3 rankings" in capsys.readouterr().out
+
+    def test_json_output_parses(self, profile_json, capsys):
+        assert main(["aggregate", profile_json, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "buckets" in payload
+
+    def test_missing_file_is_reported(self, capsys):
+        assert main(["aggregate", "/nonexistent/profile.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_partial_output(self, profile_json, capsys):
+        assert main(["aggregate", profile_json, "--output", "partial"]) == 0
+        assert "PartialRanking" in capsys.readouterr().out
+
+
+class TestExperimentsSubcommand:
+    def test_lists_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "e01" in out and "e12" in out

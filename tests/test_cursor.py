@@ -1,0 +1,75 @@
+"""Tests for sorted-access cursors and access accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partial_ranking import PartialRanking
+from repro.db.cursor import CursorExhausted, CursorPool, SortedCursor
+
+
+class TestSortedCursor:
+    def test_yields_items_in_ranked_order(self):
+        sigma = PartialRanking([["b"], ["a", "c"]])
+        cursor = SortedCursor(sigma)
+        item, pos = cursor.next_item()
+        assert (item, pos) == ("b", 1.0)
+        item, pos = cursor.next_item()
+        assert pos == 2.5
+
+    def test_accounting(self):
+        sigma = PartialRanking.from_sequence("abc")
+        cursor = SortedCursor(sigma)
+        assert cursor.accesses == 0
+        cursor.next_item()
+        cursor.next_item()
+        assert cursor.accesses == 2
+        assert cursor.depth == 2
+        assert not cursor.exhausted
+
+    def test_exhaustion_raises(self):
+        cursor = SortedCursor(PartialRanking([["only"]]))
+        cursor.next_item()
+        assert cursor.exhausted
+        with pytest.raises(CursorExhausted):
+            cursor.next_item()
+
+    def test_peek_position_is_frontier(self):
+        sigma = PartialRanking([["a"], ["b", "c"], ["d"]])
+        cursor = SortedCursor(sigma)
+        assert cursor.peek_position() == 1.0
+        cursor.next_item()
+        assert cursor.peek_position() == 2.5
+        cursor.next_item()
+        # still inside the {b, c} bucket
+        assert cursor.peek_position() == 2.5
+
+    def test_peek_does_not_consume(self):
+        cursor = SortedCursor(PartialRanking.from_sequence("ab"))
+        cursor.peek_position()
+        assert cursor.accesses == 0
+
+    def test_peek_after_exhaustion_is_last_bucket(self):
+        cursor = SortedCursor(PartialRanking.from_sequence("ab"))
+        cursor.next_item()
+        cursor.next_item()
+        assert cursor.peek_position() == 2.0
+
+
+class TestCursorPool:
+    def test_round_advances_every_cursor(self):
+        rankings = [
+            PartialRanking.from_sequence("abc"),
+            PartialRanking.from_sequence("cab"),
+        ]
+        pool = CursorPool.over(rankings)
+        seen = pool.advance_round()
+        assert [(index, item) for index, item, _ in seen] == [(0, "a"), (1, "c")]
+        assert pool.total_accesses == 2
+
+    def test_exhaustion(self):
+        pool = CursorPool.over([PartialRanking([["x"]])])
+        assert not pool.exhausted
+        pool.advance_round()
+        assert pool.exhausted
+        assert pool.advance_round() == []

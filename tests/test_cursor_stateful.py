@@ -1,0 +1,70 @@
+"""Stateful property test: sorted cursors behave like list iterators.
+
+A hypothesis RuleBasedStateMachine drives a :class:`SortedCursor` with an
+arbitrary interleaving of ``next_item`` and ``peek_position`` calls and
+checks, after every step, that the cursor's accounting matches a simple
+reference model (the materialized item order).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.core.partial_ranking import PartialRanking
+from repro.db.cursor import CursorExhausted, SortedCursor
+from repro.generators.random import random_bucket_order
+
+
+class CursorMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.ranking: PartialRanking | None = None
+        self.cursor: SortedCursor | None = None
+        self.expected_order: list = []
+        self.consumed = 0
+
+    @precondition(lambda self: self.cursor is None)
+    @rule(seed=st.integers(min_value=0, max_value=10_000), n=st.integers(min_value=1, max_value=12))
+    def create(self, seed: int, n: int) -> None:
+        self.ranking = random_bucket_order(n, seed, tie_bias=0.5)
+        self.cursor = SortedCursor(self.ranking)
+        self.expected_order = self.ranking.items_in_order()
+        self.consumed = 0
+
+    @precondition(lambda self: self.cursor is not None)
+    @rule()
+    def consume(self) -> None:
+        if self.consumed < len(self.expected_order):
+            item, position = self.cursor.next_item()
+            assert item == self.expected_order[self.consumed]
+            assert position == self.ranking[item]
+            self.consumed += 1
+        else:
+            try:
+                self.cursor.next_item()
+            except CursorExhausted:
+                pass
+            else:  # pragma: no cover
+                raise AssertionError("exhausted cursor yielded an item")
+
+    @precondition(lambda self: self.cursor is not None)
+    @rule()
+    def peek(self) -> None:
+        # peeks never consume and never raise
+        frontier = self.cursor.peek_position()
+        index = min(self.consumed, len(self.expected_order) - 1)
+        assert frontier == self.ranking[self.expected_order[index]]
+
+    @invariant()
+    def accounting_matches_model(self) -> None:
+        if self.cursor is None:
+            return
+        assert self.cursor.depth == self.consumed
+        assert self.cursor.accesses == self.consumed
+        assert self.cursor.exhausted == (self.consumed == len(self.expected_order))
+
+
+TestCursorStateful = CursorMachine.TestCase
+TestCursorStateful.settings = settings(max_examples=25, stateful_step_count=30, deadline=None)

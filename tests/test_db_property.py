@@ -1,0 +1,106 @@
+"""Property-based fuzzing of the database substrate.
+
+Random relations (random schemas, value cardinalities, sizes) are pushed
+through the select / project / rank pipeline, and the structural
+invariants every stage must preserve are asserted.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.relation import Relation
+
+_ATTRIBUTE_NAMES = ("color", "size", "grade", "region", "score")
+
+
+@st.composite
+def relations(draw) -> Relation:
+    num_rows = draw(st.integers(min_value=1, max_value=25))
+    num_attributes = draw(st.integers(min_value=1, max_value=4))
+    attributes = list(_ATTRIBUTE_NAMES[:num_attributes])
+    # few-valued columns: the paper's tie drivers
+    cardinalities = {
+        attribute: draw(st.integers(min_value=1, max_value=4))
+        for attribute in attributes
+    }
+    rows = []
+    for index in range(num_rows):
+        row = {"id": index}
+        for attribute in attributes:
+            row[attribute] = draw(
+                st.integers(min_value=0, max_value=cardinalities[attribute] - 1)
+            )
+        rows.append(row)
+    return Relation.from_rows("fuzz", "id", rows)
+
+
+class TestRankByInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(relations(), st.booleans())
+    def test_rank_by_partitions_the_keys(self, relation, reverse):
+        for attribute in sorted(relation.attributes - {"id"}):
+            ranking = relation.rank_by(attribute, reverse=reverse)
+            assert ranking.domain == relation.keys
+            assert sum(ranking.type) == len(relation)
+            # one bucket per distinct value
+            assert len(ranking.buckets) == relation.distinct_values(attribute)
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations())
+    def test_rank_by_orders_by_value(self, relation):
+        for attribute in sorted(relation.attributes - {"id"}):
+            ranking = relation.rank_by(attribute)
+            column = relation.column(attribute)
+            for x in relation.keys:
+                for y in relation.keys:
+                    if column[x] < column[y]:
+                        assert ranking.ahead(x, y)
+                    elif column[x] == column[y]:
+                        assert ranking.tied(x, y)
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations())
+    def test_reverse_flips_strict_order(self, relation):
+        for attribute in sorted(relation.attributes - {"id"}):
+            forward = relation.rank_by(attribute)
+            backward = relation.rank_by(attribute, reverse=True)
+            for x in relation.keys:
+                for y in relation.keys:
+                    if forward.ahead(x, y):
+                        assert backward.ahead(y, x)
+
+
+class TestPipelineInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(relations(), st.integers(min_value=0, max_value=3))
+    def test_where_commutes_with_rank_restriction(self, relation, threshold):
+        """Filtering then ranking equals ranking then restricting."""
+        attribute = sorted(relation.attributes - {"id"})[0]
+        selected_keys = {
+            row["id"] for row in relation if row[attribute] <= threshold
+        }
+        if not selected_keys:
+            return
+        filtered = relation.where(lambda row: row[attribute] <= threshold)
+        direct = filtered.rank_by(attribute)
+        restricted = relation.rank_by(attribute).restricted_to(selected_keys)
+        assert direct == restricted
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations())
+    def test_project_preserves_rankings_of_kept_attributes(self, relation):
+        attribute = sorted(relation.attributes - {"id"})[0]
+        projected = relation.project([attribute])
+        assert projected.rank_by(attribute) == relation.rank_by(attribute)
+
+    @settings(max_examples=40, deadline=None)
+    @given(relations())
+    def test_lex_ranking_refines_primary(self, relation):
+        attributes = sorted(relation.attributes - {"id"})
+        if len(attributes) < 2:
+            return
+        lex = relation.rank_by_lex([(attributes[0], False), (attributes[1], False)])
+        primary = relation.rank_by(attributes[0])
+        assert lex.is_refinement_of(primary)

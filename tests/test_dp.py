@@ -1,0 +1,150 @@
+"""Tests for the Figure 1 optimal-bucketing dynamic program."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate.dp import (
+    BucketingResult,
+    brute_force_bucketing,
+    bucketing_cost,
+    figure1_boundaries,
+    optimal_bucketing,
+    optimal_partial_ranking,
+)
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import AggregationError
+from repro.metrics.footrule import l1_distance
+
+half_integral_scores = st.lists(
+    st.integers(min_value=0, max_value=24).map(lambda v: v / 2),
+    min_size=1,
+    max_size=11,
+).map(sorted)
+
+real_scores = st.lists(
+    st.floats(min_value=0, max_value=20, allow_nan=False),
+    min_size=1,
+    max_size=11,
+).map(sorted)
+
+
+class TestBucketingCost:
+    def test_single_bucket_cost(self):
+        # one bucket over [1, 2, 3]: position (0+3+1)/2 = 2
+        assert bucketing_cost([1.0, 2.0, 3.0], [0, 3]) == 2.0
+
+    def test_full_segmentation_of_ranks_is_free(self):
+        assert bucketing_cost([1.0, 2.0, 3.0], [0, 1, 2, 3]) == 0.0
+
+    def test_bad_boundaries_rejected(self):
+        with pytest.raises(AggregationError):
+            bucketing_cost([1.0, 2.0], [0, 1])
+        with pytest.raises(AggregationError):
+            bucketing_cost([1.0, 2.0], [0, 0, 2])
+        with pytest.raises(AggregationError):
+            bucketing_cost([1.0, 2.0], [1, 2])
+
+    def test_unsorted_scores_rejected(self):
+        with pytest.raises(AggregationError):
+            bucketing_cost([2.0, 1.0], [0, 2])
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(AggregationError):
+            bucketing_cost([], [0, 0])
+
+
+class TestOptimalBucketing:
+    @settings(max_examples=60, deadline=None)
+    @given(half_integral_scores)
+    def test_matches_bruteforce_on_half_integral(self, values):
+        assert optimal_bucketing(values).cost == pytest.approx(
+            brute_force_bucketing(values).cost
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(real_scores)
+    def test_matches_bruteforce_on_reals(self, values):
+        assert optimal_bucketing(values).cost == pytest.approx(
+            brute_force_bucketing(values).cost
+        )
+
+    @given(half_integral_scores)
+    def test_figure1_agrees_with_generic_dp(self, values):
+        assert figure1_boundaries(values).cost == pytest.approx(
+            optimal_bucketing(values).cost
+        )
+
+    def test_figure1_rejects_non_half_integral(self):
+        with pytest.raises(AggregationError):
+            figure1_boundaries([0.3])
+
+    def test_boundaries_reconstruct_reported_cost(self):
+        values = [1.0, 1.0, 2.5, 2.5, 2.5, 6.0]
+        result = optimal_bucketing(values)
+        assert bucketing_cost(values, result.boundaries) == pytest.approx(result.cost)
+
+    def test_exact_ranks_give_full_segmentation(self):
+        result = optimal_bucketing([1.0, 2.0, 3.0, 4.0])
+        assert result.cost == 0.0
+        assert result.bucket_type == (1, 1, 1, 1)
+
+    def test_identical_scores_give_single_bucket(self):
+        # n equal scores at the bucket's own position cost 0 as one bucket
+        result = optimal_bucketing([2.5, 2.5, 2.5, 2.5])
+        assert result.cost == 0.0
+        assert result.bucket_type == (4,)
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(AggregationError):
+            optimal_bucketing([3.0, 1.0])
+
+    def test_result_type_property(self):
+        result = BucketingResult(boundaries=(0, 2, 5), cost=1.0)
+        assert result.bucket_type == (2, 3)
+
+
+class TestOptimalPartialRanking:
+    def test_l1_optimality_against_all_bucket_orders(self):
+        from repro._util import ordered_partitions
+
+        scores = {"a": 1.0, "b": 1.5, "c": 1.5, "d": 4.0}
+        f_dagger = optimal_partial_ranking(scores)
+        best = l1_distance({x: f_dagger[x] for x in scores}, scores)
+        for buckets in ordered_partitions(list(scores)):
+            candidate = PartialRanking(buckets)
+            cost = l1_distance({x: candidate[x] for x in scores}, scores)
+            assert best <= cost + 1e-9
+
+    def test_exact_rank_scores_reproduced_exactly(self):
+        scores = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert optimal_partial_ranking(scores) == PartialRanking.from_sequence("abc")
+
+    def test_clustered_scores_form_buckets(self):
+        scores = {"a": 1.4, "b": 1.6, "c": 5.0, "d": 5.1}
+        result = optimal_partial_ranking(scores)
+        assert result.bucket_of("a") == {"a", "b"}
+        assert result.bucket_of("c") == {"c", "d"}
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(AggregationError):
+            optimal_partial_ranking({})
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=9),
+            st.floats(min_value=0, max_value=12, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_output_consistent_with_scores(self, scores):
+        """f-dagger never orders against the score function."""
+        result = optimal_partial_ranking(scores)
+        for x in scores:
+            for y in scores:
+                if scores[x] < scores[y]:
+                    assert result[x] <= result[y]

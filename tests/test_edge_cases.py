@@ -1,0 +1,155 @@
+"""Edge cases and corner behaviours across modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregate.median import MedianAggregator
+from repro.aggregate.medrank import medrank, nra_median
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import (
+    AggregationError,
+    DomainMismatchError,
+    InvalidRankingError,
+    ReproError,
+)
+from repro.experiments.runner import Table, format_table
+from repro.generators.random import random_bucket_order, resolve_rng
+from repro.metrics.footrule import footrule
+from repro.metrics.hausdorff import footrule_hausdorff, hausdorff_witnesses
+from repro.metrics.kendall import kendall, pair_counts
+from repro.metrics.reflection import Mirror
+
+
+class TestEmptyAndSingletonDomains:
+    def test_metrics_on_empty_rankings(self):
+        empty = PartialRanking([])
+        assert kendall(empty, empty) == 0
+        assert footrule(empty, empty) == 0
+        assert pair_counts(empty, empty).total == 0
+
+    def test_empty_ranking_properties(self):
+        empty = PartialRanking([])
+        assert len(empty) == 0
+        assert empty.is_full  # vacuously: no non-singleton buckets
+        assert empty.reverse() == empty
+        assert list(empty) == []
+
+    def test_single_item_everything_degenerates_gracefully(self):
+        single = PartialRanking([["x"]])
+        assert kendall(single, single) == 0
+        assert footrule_hausdorff(single, single) == 0
+        aggregator = MedianAggregator((single, single))
+        assert aggregator.full_ranking() == single
+        assert aggregator.partial_ranking() == single
+
+
+class TestTopKBoundaries:
+    def test_top_zero_is_single_bucket(self):
+        sigma = PartialRanking.top_k([], "abc")
+        assert sigma.type == (3,)
+        assert sigma.is_top_k(0)
+
+    def test_top_n_minus_one_is_a_full_ranking(self):
+        # the bottom bucket has size 1, so every bucket is a singleton
+        sigma = PartialRanking.top_k(["a", "b"], "abc")
+        assert sigma.is_top_k(2)
+        assert sigma.is_full
+
+
+class TestSequentialAccessBoundaries:
+    def test_medrank_k_equals_n_reads_everything_needed(self):
+        rng = resolve_rng(3)
+        rankings = [random_bucket_order(6, rng) for _ in range(3)]
+        result = medrank(rankings, k=6)
+        assert sorted(map(repr, result.winners)) == sorted(
+            map(repr, rankings[0].domain)
+        )
+        assert result.ranking.is_full
+
+    def test_nra_k_equals_n(self):
+        rng = resolve_rng(4)
+        rankings = [random_bucket_order(5, rng) for _ in range(3)]
+        result = nra_median(rankings, k=5)
+        assert len(result.winners) == 5
+
+    def test_nra_tie_rules(self):
+        rankings = [
+            PartialRanking.from_sequence("ab"),
+            PartialRanking.from_sequence("ba"),
+        ]
+        for tie in ("low", "mid", "high"):
+            result = nra_median(rankings, k=1, tie=tie)
+            assert len(result.winners) == 1
+
+    def test_identical_single_bucket_inputs(self):
+        single = PartialRanking.single_bucket("abcd")
+        result = medrank([single, single, single], k=2)
+        assert len(result.winners) == 2
+        certified = nra_median([single, single, single], k=2)
+        assert len(certified.winners) == 2
+
+
+class TestHausdorffWithExplicitRho:
+    def test_valid_rho_accepted_and_consistent(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking([["c", "b"], ["a"]])
+        rho = PartialRanking.from_sequence("cba")
+        witnesses = hausdorff_witnesses(sigma, tau, rho=rho)
+        assert witnesses.sigma_1.is_refinement_of(sigma)
+        # distances do not depend on the rho choice
+        default = footrule_hausdorff(sigma, tau)
+        assert footrule_hausdorff(sigma, tau, rho=rho) == default
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_are_repro_errors(self):
+        from repro.db.relation import SchemaError
+        from repro.db.cursor import CursorExhausted
+        from repro.io import SerializationError
+        from repro.metrics.related import UndefinedCorrelationError
+
+        for error_type in (
+            InvalidRankingError,
+            DomainMismatchError,
+            AggregationError,
+            SchemaError,
+            CursorExhausted,
+            SerializationError,
+            UndefinedCorrelationError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_value_error_compatibility(self):
+        # construction errors are also ValueErrors for duck-typed callers
+        with pytest.raises(ValueError):
+            PartialRanking([[]])
+
+
+class TestTableEdges:
+    def test_empty_rows_render(self):
+        table = Table(title="empty", columns=("a",), rows=())
+        rendered = format_table(table)
+        assert "empty" in rendered and "a" in rendered
+
+    def test_missing_cell_renders_blank(self):
+        table = Table(title="t", columns=("a", "b"), rows=({"a": 1},))
+        assert format_table(table)
+
+
+class TestMirrorRepr:
+    def test_mirror_is_distinct_from_item(self):
+        assert Mirror("a") != "a"
+        assert repr(Mirror("a")) == "'a'#"
+        assert Mirror(Mirror("a")) != Mirror("a")
+
+
+class TestCrossDomainErrors:
+    def test_every_metric_rejects_mismatched_domains(self):
+        from repro.metrics.hausdorff import kendall_hausdorff_counts
+
+        a = PartialRanking([["x"]])
+        b = PartialRanking([["y"]])
+        for metric in (kendall, footrule, kendall_hausdorff_counts, footrule_hausdorff):
+            with pytest.raises(DomainMismatchError):
+                metric(a, b)

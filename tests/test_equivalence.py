@@ -1,0 +1,90 @@
+"""Tests for the Theorem 7 equivalence bounds and ratio measurement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.partial_ranking import PartialRanking
+from repro.generators.random import random_bucket_order, resolve_rng
+from repro.metrics.equivalence import (
+    PROVED_BOUNDS,
+    check_proved_bounds,
+    metric_bundle,
+    summarize_ratios,
+)
+from tests.conftest import bucket_order_pairs
+
+
+class TestMetricBundle:
+    def test_values_consistent_with_direct_metrics(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking([["c"], ["a", "b"]])
+        bundle = metric_bundle(sigma, tau)
+        assert bundle.k_prof == 2.0  # (a,c) and (b,c) discordant
+        assert bundle.f_prof == 4.0
+        assert bundle.value("k_haus") == bundle.k_haus
+
+    def test_unknown_metric_name_rejected(self):
+        sigma = PartialRanking([["a"]])
+        bundle = metric_bundle(sigma, sigma)
+        with pytest.raises(KeyError):
+            bundle.value("nope")
+
+
+class TestProvedBounds:
+    def test_registry_shape(self):
+        assert ("k_prof", "f_prof", 2.0) in PROVED_BOUNDS
+        assert len(PROVED_BOUNDS) == 3
+
+    @given(bucket_order_pairs())
+    def test_no_pair_violates_theorem_7(self, pair):
+        sigma, tau = pair
+        failures = check_proved_bounds(metric_bundle(sigma, tau))
+        assert failures == []
+
+    def test_violation_detected_for_fake_bundle(self):
+        from repro.metrics.equivalence import MetricBundle
+
+        fake = MetricBundle(k_prof=1.0, f_prof=5.0, k_haus=1.0, f_haus=1.0)
+        failures = check_proved_bounds(fake)
+        assert any("f_prof" in failure for failure in failures)
+
+
+class TestTightness:
+    def test_f_equals_2k_on_tied_vs_split_pair(self):
+        # one tied pair vs strictly ordered: K_prof = 1/2, F_prof = 1
+        sigma = PartialRanking([["a", "b"]])
+        tau = PartialRanking.from_sequence("ab")
+        bundle = metric_bundle(sigma, tau)
+        assert bundle.f_prof == 2 * bundle.k_prof
+
+    def test_k_haus_equals_2k_prof_on_symmetric_ties(self):
+        # S and T balanced: K_prof = (|S|+|T|)/2, K_Haus = max = one side
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking([["a"], ["b", "c"]])
+        bundle = metric_bundle(sigma, tau)
+        assert bundle.k_prof == 1.0  # |S|=1, |T|=1, U=0
+        assert bundle.k_haus == 1.0
+
+
+class TestSummarizeRatios:
+    def test_ratios_within_bounds_on_random_sample(self):
+        rng = resolve_rng(11)
+        pairs = [
+            (
+                random_bucket_order(8, rng, tie_bias=0.5),
+                random_bucket_order(8, rng, tie_bias=0.5),
+            )
+            for _ in range(25)
+        ]
+        summaries = summarize_ratios(pairs)
+        assert summaries, "expected at least one summary"
+        for summary in summaries:
+            assert summary.within_bounds
+            assert 1.0 <= summary.mean_ratio <= summary.proved_factor
+
+    def test_zero_distance_pairs_are_skipped(self):
+        sigma = PartialRanking([["a", "b"]])
+        summaries = summarize_ratios([(sigma, sigma)])
+        assert summaries == []

@@ -1,0 +1,74 @@
+"""Tests for the brute-force enumeration oracles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregate.exact import (
+    all_full_rankings,
+    all_partial_rankings,
+    all_top_k_lists,
+    optimal_full_ranking,
+    optimal_partial_ranking_bruteforce,
+    optimal_top_k,
+)
+from repro.aggregate.objective import total_distance
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import AggregationError
+from repro.generators.random import random_bucket_order, resolve_rng
+
+
+class TestEnumerations:
+    def test_full_ranking_count(self):
+        assert sum(1 for _ in all_full_rankings("abcd")) == 24
+
+    def test_partial_ranking_count_is_fubini(self):
+        assert sum(1 for _ in all_partial_rankings("abc")) == 13
+        assert sum(1 for _ in all_partial_rankings("abcd")) == 75
+
+    def test_top_k_count(self):
+        # 4 items, k=2: 4*3 ordered pairs
+        assert sum(1 for _ in all_top_k_lists("abcd", 2)) == 12
+
+    def test_top_k_bad_k(self):
+        with pytest.raises(AggregationError):
+            list(all_top_k_lists("ab", 3))
+
+    def test_enumeration_guard(self):
+        with pytest.raises(AggregationError):
+            list(all_full_rankings(range(12)))
+
+    def test_shapes(self):
+        for sigma in all_top_k_lists("abcd", 2):
+            assert sigma.is_top_k(2)
+        for sigma in all_full_rankings("abc"):
+            assert sigma.is_full
+
+
+class TestOptima:
+    def test_optima_are_no_worse_than_samples(self):
+        rng = resolve_rng(5)
+        rankings = [random_bucket_order(4, rng) for _ in range(3)]
+        _, full_cost = optimal_full_ranking(rankings)
+        _, partial_cost = optimal_partial_ranking_bruteforce(rankings)
+        _, topk_cost = optimal_top_k(rankings, 2)
+        # partial optimum can only improve on the full optimum
+        assert partial_cost <= full_cost + 1e-9
+        for sigma in rankings:
+            assert partial_cost <= total_distance(sigma, rankings, "f_prof") + 1e-9
+        assert topk_cost >= 0
+
+    def test_unanimous_input_is_optimal(self):
+        sigma = PartialRanking([["a"], ["b", "c"]])
+        best, cost = optimal_partial_ranking_bruteforce([sigma, sigma])
+        assert best == sigma
+        assert cost == 0.0
+
+    def test_custom_metric(self):
+        rankings = [
+            PartialRanking.from_sequence("abc"),
+            PartialRanking.from_sequence("acb"),
+        ]
+        best, cost = optimal_full_ranking(rankings, metric="k_prof")
+        assert cost == 1.0  # one disagreement is unavoidable
+        assert best in rankings

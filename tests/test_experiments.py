@@ -1,0 +1,259 @@
+"""Integration tests: every experiment runs and its headline claim holds.
+
+Each test invokes the experiment runner with small parameters, then
+asserts the *shape* the paper proves — these are the executable versions
+of the EXPERIMENTS.md expectations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import all_experiments, format_table, format_tables, get_experiment
+from repro.experiments import (
+    e01_penalty,
+    e13_related_measures,
+    e14_exact_kemeny,
+    e15_condorcet_structure,
+    e16_robustness,
+    e02_hausdorff,
+    e03_equivalence,
+    e04_diaconis_graham,
+    e05_topk_aggregation,
+    e06_dp_bucketing,
+    e07_full_ranking,
+    e08_medrank_access,
+    e09_aggregator_comparison,
+    e10_scaling,
+    e11_strong_optimality,
+    e12_topk_location,
+)
+from repro.experiments.runner import Table
+
+
+class TestRegistry:
+    def test_all_sixteen_registered(self):
+        assert sorted(all_experiments()) == [f"e{i:02d}" for i in range(1, 17)]
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("e99")
+
+    def test_descriptions_present(self):
+        for _, description in all_experiments().values():
+            assert description
+
+
+class TestCommandLine:
+    def test_lists_when_no_experiment_given(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "available experiments" in out and "e15" in out
+
+    def test_runs_a_single_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["e04", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Diaconis" in out and "adjacent transposition" in out
+
+
+class TestTableFormatting:
+    def test_format_renders_all_columns(self):
+        table = Table(
+            title="demo", columns=("a", "b"), rows=({"a": 1, "b": 2.5},), notes="n"
+        )
+        rendered = format_table(table)
+        assert "demo" in rendered and "2.5" in rendered and "note: n" in rendered
+
+    def test_column_extraction(self):
+        table = Table(title="t", columns=("x",), rows=({"x": 3}, {"x": 4}))
+        assert table.column("x") == [3, 4]
+        with pytest.raises(KeyError):
+            table.column("y")
+
+    def test_format_tables_joins(self):
+        table = Table(title="t", columns=("x",), rows=({"x": 1},))
+        assert format_tables([table, table]).count("t\n-") == 2
+
+
+class TestE01:
+    def test_regimes_match_proposition_13(self):
+        counterexample, sweep = e01_penalty.run(seed=0, n=6, samples=10)
+        by_p = {row["p"]: row for row in counterexample.rows}
+        assert not by_p[0.0]["regular"]
+        assert not by_p[0.25]["triangle_holds"]
+        assert by_p[0.5]["triangle_holds"]
+        assert by_p[1.0]["triangle_holds"]
+        for row in sweep.rows:
+            if row["p"] >= 0.5:
+                assert row["triangle_violations"] == 0
+                assert row["regularity_violations"] == 0
+            if 0 < row["p"] < 0.5:
+                assert row["worst_triangle_ratio"] <= row["bound_1_over_2p"] + 1e-9
+
+
+class TestE02:
+    def test_characterizations_are_exact(self):
+        exhaustive, randomized = e02_hausdorff.run(
+            seed=0, exhaustive_n=3, random_n=5, samples=10
+        )
+        row = exhaustive.rows[0]
+        assert row["K_Haus_thm5_ok"] == row["pairs"]
+        assert row["F_Haus_thm5_ok"] == row["pairs"]
+        assert row["K_Haus_prop6_ok"] == row["pairs"]
+        random_row = randomized.rows[0]
+        assert random_row["K_Haus_ok"] == random_row["samples"]
+        assert random_row["F_Haus_ok"] == random_row["samples"]
+
+
+class TestE03:
+    def test_all_ratios_within_proved_constants(self):
+        for table in e03_equivalence.run(seed=0, n=12, samples=15):
+            for row in table.rows:
+                assert row["within_bounds"]
+                assert 1.0 - 1e-9 <= row["min_ratio"]
+                assert row["max_ratio"] <= row["proved_max"] + 1e-9
+
+
+class TestE04:
+    def test_ratios_in_one_to_two(self):
+        random_table, structured = e04_diaconis_graham.run(seed=0, n=20, samples=40)
+        row = random_table.rows[0]
+        assert 1.0 - 1e-9 <= row["min_ratio"] and row["max_ratio"] <= 2.0 + 1e-9
+        families = {r["family"]: r for r in structured.rows}
+        assert families["adjacent transposition"]["F_over_K"] == 2.0
+
+
+class TestE05:
+    def test_median_within_factor_three(self):
+        (table,) = e05_topk_aggregation.run(seed=0, n=5, k=2, m=3, trials=8)
+        by_name = {row["aggregator"]: row for row in table.rows}
+        assert by_name["median"]["max_ratio"] <= 3.0 + 1e-9
+
+
+class TestE06:
+    def test_dp_exact_and_aggregation_factor_two(self):
+        dp_table, agg_table = e06_dp_bucketing.run(
+            seed=0, dp_trials=15, dp_max_n=8, n=4, m=3, agg_trials=6
+        )
+        row = dp_table.rows[0]
+        assert row["dp_matches_bruteforce"] == row["trials"]
+        assert row["figure1_matches_bruteforce"] == row["trials"]
+        assert agg_table.rows[0]["max_ratio"] <= 2.0 + 1e-9
+
+
+class TestE07:
+    def test_median_within_factor_two(self):
+        (table,) = e07_full_ranking.run(seed=0, sizes=(8,), m=5, trials=4)
+        for row in table.rows:
+            assert row["median_max"] <= 2.0 + 1e-9
+
+
+class TestE08:
+    def test_access_is_sublinear_on_correlated_inputs(self):
+        (table,) = e08_medrank_access.run(seed=0, n=80, m=4, k=2)
+        by_workload = {row["workload"]: row for row in table.rows}
+        correlated = next(
+            row for name, row in by_workload.items() if "phi=0.2" in name
+        )
+        assert correlated["medrank_saturation"] < 0.5
+        for row in table.rows:
+            assert row["nra_winner_gap"] == pytest.approx(0.0)
+
+
+class TestE09:
+    def test_median_competitive_with_optimum(self):
+        (table,) = e09_aggregator_comparison.run(seed=0, n=25, m=5)
+        medians = [
+            row for row in table.rows if row["aggregator"] == "median (full)"
+        ]
+        assert medians
+        for row in medians:
+            # Corollary 30 ceiling (inputs here are partial rankings, so the
+            # stronger Theorem 11 factor 2 is not guaranteed)
+            assert row["f_prof_ratio"] <= 3.0 + 1e-9
+
+
+class TestE10:
+    def test_fast_beats_naive(self):
+        (table,) = e10_scaling.run(seed=0, sizes=(100, 200))
+        for row in table.rows:
+            assert row["kendall_fast_s"] > 0
+            if row["kendall_naive_s"] == row["kendall_naive_s"]:  # not NaN
+                assert row["kendall_naive_s"] >= row["kendall_fast_s"]
+
+
+class TestE11:
+    def test_within_both_ceilings(self):
+        (table,) = e11_strong_optimality.run(seed=0, n=4, k=2, m=3, trials=6)
+        for row in table.rows:
+            assert row["within_both"]
+            assert row["c (f-dagger ratio)"] <= 2.0 + 1e-9
+
+
+class TestE13:
+    def test_gamma_undefined_on_degenerate_workload(self):
+        (table,) = e13_related_measures.run(seed=0, n=20, m=8)
+        degenerate = [
+            row for row in table.rows if row["workload"] == "constant attribute"
+        ]
+        assert degenerate
+        assert all(row["undefined"] > 0 for row in degenerate)
+
+    def test_tau_b_agrees_with_k_prof_where_defined(self):
+        (table,) = e13_related_measures.run(seed=0, n=20, m=8)
+        tau_b_rows = [
+            row
+            for row in table.rows
+            if row["measure"] == "tau_b" and row["workload"] != "constant attribute"
+        ]
+        assert all(row["agreement_with_k_prof"] > 0.8 for row in tau_b_rows)
+
+
+class TestE14:
+    def test_median_near_exact_kemeny(self):
+        (table,) = e14_exact_kemeny.run(seed=0, sizes=(6, 9), m=5, trials=4)
+        for row in table.rows:
+            assert row["median_max"] <= 6.0  # transferred constant
+            assert row["optimum_over_lower_bound"] >= 1.0 - 1e-9
+
+
+class TestE15:
+    def test_acyclic_instances_match_exact_optimum(self):
+        (table,) = e15_condorcet_structure.run(seed=0, n=6, trials=10)
+        for row in table.rows:
+            fraction = row["topo_equals_exact"]
+            if fraction != "-":
+                matched, total = fraction.split("/")
+                assert matched == total
+
+
+class TestE16:
+    def test_median_more_robust_than_borda_below_breakdown(self):
+        (table,) = e16_robustness.run(seed=0, n=15, honest=8, trials=5)
+        contested = [
+            row
+            for row in table.rows
+            if 0.1 <= row["adversarial_fraction"] < 0.45
+        ]
+        assert contested
+        # averaged over the contested region, median beats Borda
+        mean_median = sum(r["median_error"] for r in contested) / len(contested)
+        mean_borda = sum(r["borda_error"] for r in contested) / len(contested)
+        assert mean_median <= mean_borda + 1e-9
+
+
+class TestE12:
+    def test_identity_holds_everywhere(self):
+        identity, sweep, fks = e12_topk_location.run(seed=0, n=20, k=4, samples=15)
+        fks_row = fks.rows[0]
+        assert fks_row["triangle_violations"] > 0
+        assert fks_row["worst_ratio"] <= 2.0 + 1e-9
+        row = identity.rows[0]
+        assert row["exact_matches"] == row["samples"]
+        canonical = (20 + 4 + 1) / 2
+        canonical_rows = [r for r in sweep.rows if r["ell"] == canonical]
+        assert canonical_rows and canonical_rows[0]["max_ratio"] == pytest.approx(1.0)

@@ -1,0 +1,74 @@
+"""Unit tests for the footrule metrics F, F_prof."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import DomainMismatchError, InvalidRankingError
+from repro.metrics.footrule import footrule, footrule_full, l1_distance
+from tests.conftest import bucket_order_pairs
+
+
+class TestL1Distance:
+    def test_basic(self):
+        assert l1_distance({"a": 1.0, "b": 2.0}, {"a": 3.0, "b": 2.0}) == 2.0
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(DomainMismatchError):
+            l1_distance({"a": 1.0}, {"b": 1.0})
+
+
+class TestFootrule:
+    def test_identical(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        assert footrule(sigma, sigma) == 0.0
+
+    def test_worked_example(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])  # a,b at 1.5, c at 3
+        tau = PartialRanking([["c"], ["a", "b"]])  # c at 1, a,b at 2.5
+        assert footrule(sigma, tau) == 1.0 + 1.0 + 2.0
+
+    def test_full_reversal(self):
+        sigma = PartialRanking.from_sequence("abcd")
+        assert footrule(sigma, sigma.reverse()) == 3 + 1 + 1 + 3
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(DomainMismatchError):
+            footrule(PartialRanking([["a"]]), PartialRanking([["b"]]))
+
+    @given(bucket_order_pairs())
+    def test_symmetry(self, pair):
+        sigma, tau = pair
+        assert footrule(sigma, tau) == footrule(tau, sigma)
+
+    @given(bucket_order_pairs())
+    def test_reversal_invariance(self, pair):
+        # |sigma^R - tau^R| = |(n+1-sigma) - (n+1-tau)| = |sigma - tau|
+        sigma, tau = pair
+        assert footrule(sigma.reverse(), tau.reverse()) == pytest.approx(
+            footrule(sigma, tau)
+        )
+
+    @given(bucket_order_pairs())
+    def test_single_bucket_distance_formula(self, pair):
+        # distance from sigma to the all-tied ranking is sum |pos - (n+1)/2|
+        sigma, _ = pair
+        single = PartialRanking.single_bucket(sigma.domain)
+        center = (len(sigma) + 1) / 2
+        expected = sum(abs(sigma[item] - center) for item in sigma.domain)
+        assert footrule(sigma, single) == pytest.approx(expected)
+
+
+class TestFootruleFull:
+    def test_requires_full_rankings(self):
+        partial = PartialRanking([["a", "b"]])
+        full = PartialRanking.from_sequence("ab")
+        with pytest.raises(InvalidRankingError):
+            footrule_full(partial, full)
+
+    def test_agrees_with_footrule_on_full(self):
+        sigma = PartialRanking.from_sequence("abc")
+        tau = PartialRanking.from_sequence("cba")
+        assert footrule_full(sigma, tau) == footrule(sigma, tau)

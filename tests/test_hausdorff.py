@@ -1,0 +1,137 @@
+"""Tests for the Hausdorff metrics and their characterizations (§3.2, §4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.partial_ranking import PartialRanking
+from repro.core.refine import full_refinements
+from repro.errors import DomainMismatchError
+from repro.metrics.footrule import footrule_full
+from repro.metrics.hausdorff import (
+    footrule_hausdorff,
+    footrule_hausdorff_bruteforce,
+    hausdorff_witnesses,
+    kendall_hausdorff,
+    kendall_hausdorff_bruteforce,
+    kendall_hausdorff_counts,
+)
+from repro.metrics.kendall import kendall_full
+from tests.conftest import bucket_order_pairs
+
+
+class TestWitnesses:
+    def test_witnesses_are_full_refinements(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking([["a"], ["b", "c"]])
+        w = hausdorff_witnesses(sigma, tau)
+        assert w.sigma_1.is_full and w.sigma_1.is_refinement_of(sigma)
+        assert w.sigma_2.is_full and w.sigma_2.is_refinement_of(sigma)
+        assert w.tau_1.is_full and w.tau_1.is_refinement_of(tau)
+        assert w.tau_2.is_full and w.tau_2.is_refinement_of(tau)
+
+    def test_sigma1_breaks_sigma_ties_against_tau(self):
+        sigma = PartialRanking([["a", "b"]])
+        tau = PartialRanking([["a"], ["b"]])
+        w = hausdorff_witnesses(sigma, tau)
+        # tau has a ahead; the adversarial refinement of sigma puts b ahead
+        assert w.sigma_1.ahead("b", "a")
+        assert w.tau_1.ahead("a", "b")
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(DomainMismatchError):
+            hausdorff_witnesses(PartialRanking([["a"]]), PartialRanking([["b"]]))
+
+    def test_bad_rho_rejected(self):
+        sigma = PartialRanking([["a", "b"]])
+        with pytest.raises(DomainMismatchError):
+            hausdorff_witnesses(sigma, sigma, rho=PartialRanking([["a", "b"]]))
+        with pytest.raises(DomainMismatchError):
+            hausdorff_witnesses(sigma, sigma, rho=PartialRanking.from_sequence("xy"))
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=40)
+    @given(bucket_order_pairs(max_size=5))
+    def test_kendall_hausdorff_matches_bruteforce(self, pair):
+        sigma, tau = pair
+        assert kendall_hausdorff(sigma, tau) == kendall_hausdorff_bruteforce(sigma, tau)
+
+    @settings(max_examples=40)
+    @given(bucket_order_pairs(max_size=5))
+    def test_footrule_hausdorff_matches_bruteforce(self, pair):
+        sigma, tau = pair
+        assert footrule_hausdorff(sigma, tau) == pytest.approx(
+            footrule_hausdorff_bruteforce(sigma, tau)
+        )
+
+    @given(bucket_order_pairs())
+    def test_prop6_matches_witness_construction(self, pair):
+        sigma, tau = pair
+        assert kendall_hausdorff_counts(sigma, tau) == kendall_hausdorff(sigma, tau)
+
+
+class TestChoiceOfRho:
+    @given(bucket_order_pairs(max_size=5))
+    def test_any_rho_gives_same_distance(self, pair):
+        """Theorem 5 holds for an arbitrary rho — verify with two choices."""
+        sigma, tau = pair
+        items = sorted(sigma.domain, key=repr)
+        rho_forward = PartialRanking.from_sequence(items)
+        rho_backward = PartialRanking.from_sequence(list(reversed(items)))
+        assert kendall_hausdorff(sigma, tau, rho_forward) == kendall_hausdorff(
+            sigma, tau, rho_backward
+        )
+        assert footrule_hausdorff(sigma, tau, rho_forward) == pytest.approx(
+            footrule_hausdorff(sigma, tau, rho_backward)
+        )
+
+
+class TestLemma3And4:
+    """The min/max structure behind Theorem 5, checked directly."""
+
+    @settings(max_examples=25)
+    @given(bucket_order_pairs(max_size=5))
+    def test_min_over_tau_refinements_attained_by_star(self, pair):
+        # Lemma 3: for full sigma, min_{tau' refines tau} d(sigma, tau')
+        # is attained at sigma * tau.
+        sigma_partial, tau = pair
+        for sigma in list(full_refinements(sigma_partial))[:2]:
+            best_f = min(
+                footrule_full(sigma, tau_full) for tau_full in full_refinements(tau)
+            )
+            best_k = min(
+                kendall_full(sigma, tau_full) for tau_full in full_refinements(tau)
+            )
+            star_refinement = tau.refined_by(sigma)
+            assert footrule_full(sigma, star_refinement) == pytest.approx(best_f)
+            assert kendall_full(sigma, star_refinement) == best_k
+
+
+class TestSpecialCases:
+    def test_full_rankings_reduce_to_classical_metrics(self):
+        sigma = PartialRanking.from_sequence("abcd")
+        tau = PartialRanking.from_sequence("badc")
+        assert kendall_hausdorff(sigma, tau) == kendall_full(sigma, tau)
+        assert footrule_hausdorff(sigma, tau) == footrule_full(sigma, tau)
+
+    def test_single_bucket_vs_full(self):
+        # K_Haus between the all-tied ranking and any full ranking is
+        # |S| = C(n,2): every pair is tied in one, split in the other.
+        n = 5
+        single = PartialRanking.single_bucket(range(n))
+        full = PartialRanking.from_sequence(range(n))
+        assert kendall_hausdorff(single, full) == n * (n - 1) // 2
+
+    def test_regularity_on_identical_partial_rankings(self):
+        # Hausdorff distance between a set and itself is 0, so the metrics
+        # are regular even though the refinement sets have positive diameter.
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        assert kendall_hausdorff(sigma, sigma) == 0
+        assert footrule_hausdorff(sigma, sigma) == 0.0
+
+    def test_distinct_full_rankings_positive(self):
+        sigma = PartialRanking.from_sequence("ab")
+        tau = PartialRanking.from_sequence("ba")
+        assert kendall_hausdorff(sigma, tau) == 1

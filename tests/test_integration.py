@@ -1,0 +1,142 @@
+"""End-to-end integration tests across the whole library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AttributePreference,
+    MedianAggregator,
+    PartialRanking,
+    PreferenceQuery,
+    footrule,
+    footrule_hausdorff,
+    kendall,
+    kendall_hausdorff,
+    medrank,
+    nra_median,
+    optimal_footrule_aggregation,
+    restaurant_catalog,
+    total_distance,
+)
+from repro.generators.workloads import db_profile_workload, mallows_profile_workload
+from repro.metrics.equivalence import check_proved_bounds, metric_bundle
+
+
+class TestRestaurantScenario:
+    """The paper's §1 scenario, front to back."""
+
+    def test_catalog_search_pipeline(self):
+        relation = restaurant_catalog(120, seed=4)
+        query = PreferenceQuery.build(
+            AttributePreference("cuisine", value_order=["thai", "italian"]),
+            AttributePreference("price"),
+            AttributePreference("stars", reverse=True),
+            AttributePreference("distance_miles", bins=(2.0, 5.0, 10.0)),
+            k=5,
+        )
+        result = query.execute(relation)
+
+        # the inputs really are heavily tied partial rankings
+        assert all(ties > 1 for ties in result.ties_per_input)
+        # the top-5 list is well-formed
+        assert result.ranking.is_top_k(5)
+        # sequential access read far less than the whole input
+        assert result.access_log.total_accesses < 4 * len(relation)
+
+        # the online (access-efficient) and offline aggregations agree on
+        # quality within the proved constant
+        offline = query.execute_offline(relation)
+        rankings = list(result.input_rankings)
+        online_cost = total_distance(result.ranking, rankings, "f_prof")
+        offline_cost = total_distance(offline, rankings, "f_prof")
+        assert online_cost <= 3 * offline_cost + 1e-9 or offline_cost == 0
+
+    def test_query_winner_is_defensible(self):
+        relation = restaurant_catalog(60, seed=9)
+        query = PreferenceQuery.build(
+            AttributePreference("price"),
+            AttributePreference("stars", reverse=True),
+            AttributePreference("distance_miles", bins=(5.0, 15.0)),
+            k=1,
+        )
+        result = query.execute(relation)
+        winner = result.top_items[0]
+        rankings = list(result.input_rankings)
+        # the majority-rule winner's median score stays close to the
+        # certified minimum (the rule's slack on bucket inputs is small)
+        certified = nra_median(rankings, k=1).winners[0]
+        from repro.aggregate.median import median_scores
+
+        scores = median_scores(rankings)
+        assert scores[certified] == min(scores.values())
+        assert scores[winner] <= scores[certified] + len(relation) / 2
+
+
+class TestMetasearchScenario:
+    """Noisy engines over a ground truth; aggregation should denoise."""
+
+    def test_aggregation_recovers_ground_truth_better_than_inputs(self):
+        workload = mallows_profile_workload(40, 7, phi=0.4, seed=2, max_bucket=4)
+        rankings = list(workload.rankings)
+        truth = PartialRanking.from_sequence(range(40))
+        aggregate = MedianAggregator(tuple(rankings)).full_ranking()
+        mean_input_distance = sum(
+            kendall(truth, sigma) for sigma in rankings
+        ) / len(rankings)
+        assert kendall(truth, aggregate) <= mean_input_distance
+
+    def test_medrank_matches_full_information_winner_quality(self):
+        workload = mallows_profile_workload(60, 5, phi=0.3, seed=8, max_bucket=4)
+        rankings = list(workload.rankings)
+        fast = medrank(rankings, k=1)
+        certified = nra_median(rankings, k=1)
+        from repro.aggregate.median import median_scores
+
+        scores = median_scores(rankings)
+        assert scores[certified.winners[0]] == min(scores.values())
+        assert scores[fast.winners[0]] <= min(scores.values()) + 3
+
+
+class TestFourMetricsOnRealWorkloads:
+    def test_bounds_hold_on_db_rankings(self):
+        workload = db_profile_workload(50, seed=1, catalog="flights")
+        rankings = list(workload.rankings)
+        for i, sigma in enumerate(rankings):
+            for tau in rankings[i + 1 :]:
+                assert check_proved_bounds(metric_bundle(sigma, tau)) == []
+
+    def test_metric_values_are_finite_and_consistent(self):
+        workload = db_profile_workload(30, seed=2, catalog="restaurants")
+        sigma, tau = workload.rankings[0], workload.rankings[1]
+        assert 0 <= kendall(sigma, tau) <= footrule(sigma, tau)
+        assert kendall_hausdorff(sigma, tau) <= footrule_hausdorff(sigma, tau)
+
+
+class TestAggregatorAgainstExactOptimum:
+    def test_median_close_to_matching_optimum_on_db_workload(self):
+        workload = db_profile_workload(40, seed=3, catalog="restaurants")
+        rankings = list(workload.rankings)
+        aggregate = MedianAggregator(tuple(rankings)).full_ranking()
+        _, optimum = optimal_footrule_aggregation(rankings)
+        cost = total_distance(aggregate, rankings, "f_prof")
+        assert cost <= 3 * optimum + 1e-9
+
+    def test_f_dagger_within_factor_two_of_matching_optimum(self):
+        # Theorem 10: the f-dagger objective is within 2x of ANY partial
+        # ranking's, and the matching optimum is in particular one of those
+        workload = db_profile_workload(40, seed=3, catalog="restaurants")
+        rankings = list(workload.rankings)
+        f_dagger = MedianAggregator(tuple(rankings)).partial_ranking()
+        _, matching_cost = optimal_footrule_aggregation(rankings)
+        assert total_distance(f_dagger, rankings, "f_prof") <= 2 * matching_cost + 1e-9
+
+
+class TestErrorPropagation:
+    def test_mixed_domain_query_pipeline_raises_cleanly(self):
+        from repro.errors import AggregationError
+
+        with pytest.raises(AggregationError):
+            MedianAggregator(
+                (PartialRanking([["a"]]), PartialRanking([["b"]]))
+            )

@@ -1,0 +1,141 @@
+"""Tests for ranking serialization (JSON and CSV)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given
+
+from repro.core.partial_ranking import PartialRanking
+from repro.io import (
+    SerializationError,
+    dump_profile_csv,
+    dump_profile_json,
+    dump_ranking_json,
+    load_profile_csv,
+    load_profile_json,
+    load_ranking_json,
+    ranking_from_dict,
+    ranking_to_dict,
+)
+from tests.conftest import bucket_orders
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self):
+        sigma = PartialRanking([["b", "a"], ["c"]])
+        assert ranking_from_dict(ranking_to_dict(sigma)) == sigma
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(SerializationError):
+            ranking_from_dict({"nope": []})
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(SerializationError):
+            ranking_from_dict({"buckets": "ab"})
+        with pytest.raises(SerializationError):
+            ranking_from_dict({"buckets": [["a"], []]})
+
+    @given(bucket_orders())
+    def test_round_trip_property(self, sigma):
+        assert ranking_from_dict(ranking_to_dict(sigma)) == sigma
+
+
+class TestJson:
+    def test_single_ranking_file_round_trip(self, tmp_path):
+        sigma = PartialRanking([["x"], ["y", "z"]])
+        path = tmp_path / "ranking.json"
+        dump_ranking_json(sigma, path)
+        assert load_ranking_json(path) == sigma
+
+    def test_stream_round_trip(self):
+        sigma = PartialRanking([["a", "b"]])
+        buffer = io.StringIO()
+        dump_ranking_json(sigma, buffer)
+        buffer.seek(0)
+        assert load_ranking_json(buffer) == sigma
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_ranking_json(path)
+
+    def test_profile_round_trip(self, tmp_path):
+        profile = {
+            "alpha": PartialRanking([["a"], ["b", "c"]]),
+            "beta": PartialRanking([["c", "b", "a"]]),
+        }
+        path = tmp_path / "profile.json"
+        dump_profile_json(profile, path)
+        assert load_profile_json(path) == profile
+
+    def test_anonymous_profile_gets_names(self, tmp_path):
+        rankings = [PartialRanking([["a", "b"]]), PartialRanking([["b"], ["a"]])]
+        path = tmp_path / "profile.json"
+        dump_profile_json(rankings, path)
+        loaded = load_profile_json(path)
+        assert set(loaded) == {"ranking_0", "ranking_1"}
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        path = tmp_path / "dup.json"
+        path.write_text(
+            '{"rankings": [{"name": "x", "buckets": [["a"]]},'
+            ' {"name": "x", "buckets": [["a"]]}]}'
+        )
+        with pytest.raises(SerializationError):
+            load_profile_json(path)
+
+    def test_profile_missing_key_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"buckets": [["a"]]}')
+        with pytest.raises(SerializationError):
+            load_profile_json(path)
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        profile = {
+            "alpha": PartialRanking([["a"], ["b", "c"]]),
+            "beta": PartialRanking([["c", "b", "a"]]),
+        }
+        path = tmp_path / "profile.csv"
+        dump_profile_csv(profile, path)
+        assert load_profile_csv(path) == profile
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SerializationError):
+            load_profile_csv(path)
+
+    def test_non_integer_bucket_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("ranking,item,bucket\nr,a,first\n")
+        with pytest.raises(SerializationError):
+            load_profile_csv(path)
+
+    def test_negative_bucket_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("ranking,item,bucket\nr,a,-1\n")
+        with pytest.raises(SerializationError):
+            load_profile_csv(path)
+
+    def test_gapped_bucket_indices_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("ranking,item,bucket\nr,a,0\nr,b,2\n")
+        with pytest.raises(SerializationError):
+            load_profile_csv(path)
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("ranking,item,bucket\n")
+        with pytest.raises(SerializationError):
+            load_profile_csv(path)
+
+    def test_duplicate_item_in_ranking_rejected(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text("ranking,item,bucket\nr,a,0\nr,a,1\n")
+        with pytest.raises(SerializationError):
+            load_profile_csv(path)

@@ -1,0 +1,124 @@
+"""Tests for the exact Kemeny (Held-Karp) aggregation solver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate.exact import optimal_full_ranking
+from repro.aggregate.kemeny import (
+    kemeny_lower_bound,
+    kemeny_optimal,
+    pair_cost_matrix,
+)
+from repro.aggregate.median import median_full_ranking
+from repro.aggregate.objective import total_distance
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import AggregationError
+from repro.generators.random import random_bucket_order, resolve_rng
+
+
+class TestPairCostMatrix:
+    def test_costs_reflect_disagreements_and_ties(self):
+        rankings = [
+            PartialRanking.from_sequence("ab"),
+            PartialRanking([["a", "b"]]),
+        ]
+        items, cost = pair_cost_matrix(rankings)
+        i, j = items.index("a"), items.index("b")
+        # placing a before b: 0 from the agreeing input, 1/2 from the tie
+        assert cost[i][j] == 0.5
+        # placing b before a: 1 from the strict input, 1/2 from the tie
+        assert cost[j][i] == 1.5
+
+    def test_pair_sum_is_constant(self):
+        rng = resolve_rng(3)
+        rankings = [random_bucket_order(6, rng) for _ in range(5)]
+        items, cost = pair_cost_matrix(rankings)
+        n = len(items)
+        sums = {
+            round(cost[i][j] + cost[j][i], 6)
+            for i in range(n)
+            for j in range(i + 1, n)
+        }
+        # each pair's forward+backward cost counts each input once:
+        # 1 for strict inputs, 2 * (1/2) for tied ones -> always m
+        assert sums == {float(len(rankings))}
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(AggregationError):
+            pair_cost_matrix([PartialRanking.from_sequence("ab")], p=2.0)
+
+
+class TestKemenyOptimal:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_matches_factorial_bruteforce(self, seed):
+        rng = resolve_rng(seed)
+        rankings = [random_bucket_order(5, rng) for _ in range(3)]
+        _, dp_cost = kemeny_optimal(rankings)
+        _, brute_cost = optimal_full_ranking(rankings, metric="k_prof")
+        assert dp_cost == pytest.approx(brute_cost)
+
+    def test_reported_cost_matches_objective(self):
+        rng = resolve_rng(9)
+        rankings = [random_bucket_order(8, rng) for _ in range(5)]
+        best, cost = kemeny_optimal(rankings)
+        assert best.is_full
+        assert total_distance(best, rankings, "k_prof") == pytest.approx(cost)
+
+    def test_beats_or_ties_median(self):
+        rng = resolve_rng(21)
+        for _ in range(5):
+            rankings = [random_bucket_order(7, rng) for _ in range(5)]
+            _, exact_cost = kemeny_optimal(rankings)
+            median_cost = total_distance(
+                median_full_ranking(rankings), rankings, "k_prof"
+            )
+            assert exact_cost <= median_cost + 1e-9
+
+    def test_unanimous_inputs_reproduced(self):
+        sigma = PartialRanking.from_sequence("dbca")
+        best, cost = kemeny_optimal([sigma, sigma, sigma])
+        assert best == sigma
+        assert cost == 0.0
+
+    def test_size_guard(self):
+        rankings = [PartialRanking.from_sequence(range(17))]
+        with pytest.raises(AggregationError):
+            kemeny_optimal(rankings)
+
+    def test_condorcet_cycle_resolved_optimally(self):
+        # the classical 3-voter cycle: a>b>c, b>c>a, c>a>b
+        rankings = [
+            PartialRanking.from_sequence("abc"),
+            PartialRanking.from_sequence("bca"),
+            PartialRanking.from_sequence("cab"),
+        ]
+        _, cost = kemeny_optimal(rankings)
+        # by symmetry every full ranking costs 4 here: each voter's own
+        # order disagrees with each other voter on exactly 2 pairs; the
+        # pairwise lower bound of 3 is unattainable because of the cycle
+        assert cost == 4.0
+        assert kemeny_lower_bound(rankings) == 3.0
+
+
+class TestLowerBound:
+    def test_lower_bound_never_exceeds_optimum(self):
+        rng = resolve_rng(33)
+        for _ in range(10):
+            rankings = [random_bucket_order(7, rng) for _ in range(4)]
+            bound = kemeny_lower_bound(rankings)
+            _, cost = kemeny_optimal(rankings)
+            assert bound <= cost + 1e-9
+
+    def test_tight_on_acyclic_majority(self):
+        rankings = [
+            PartialRanking.from_sequence("abcd"),
+            PartialRanking.from_sequence("abcd"),
+            PartialRanking.from_sequence("dcba"),
+        ]
+        bound = kemeny_lower_bound(rankings)
+        _, cost = kemeny_optimal(rankings)
+        assert bound == pytest.approx(cost)

@@ -1,0 +1,157 @@
+"""Unit and property tests for the Kendall metrics K, K^(p), K_prof."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import DomainMismatchError, InvalidRankingError
+from repro.metrics.kendall import kendall, kendall_full, kendall_naive, pair_counts
+from tests.conftest import bucket_order_pairs
+
+
+class TestKendallFull:
+    def test_identical_rankings(self):
+        sigma = PartialRanking.from_sequence("abc")
+        assert kendall_full(sigma, sigma) == 0
+
+    def test_reversal_counts_all_pairs(self):
+        sigma = PartialRanking.from_sequence("abcd")
+        assert kendall_full(sigma, sigma.reverse()) == 6
+
+    def test_adjacent_swap_is_one(self):
+        sigma = PartialRanking.from_sequence("abc")
+        tau = PartialRanking.from_sequence("bac")
+        assert kendall_full(sigma, tau) == 1
+
+    def test_partial_inputs_rejected(self):
+        partial = PartialRanking([["a", "b"]])
+        full = PartialRanking.from_sequence("ab")
+        with pytest.raises(InvalidRankingError):
+            kendall_full(partial, full)
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(DomainMismatchError):
+            kendall_full(
+                PartialRanking.from_sequence("ab"), PartialRanking.from_sequence("cd")
+            )
+
+
+class TestPenaltyCases:
+    """The three cases of §3.1, exercised explicitly."""
+
+    def test_case1_opposite_order_costs_one(self):
+        sigma = PartialRanking.from_sequence("ab")
+        tau = PartialRanking.from_sequence("ba")
+        for p in (0.0, 0.3, 0.5, 1.0):
+            assert kendall(sigma, tau, p) == 1.0
+
+    def test_case2_tied_in_both_is_free(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking([["a", "b"], ["c"]])
+        assert kendall(sigma, tau, 1.0) == 0.0
+
+    def test_case3_tied_in_one_costs_p(self):
+        sigma = PartialRanking([["a", "b"]])
+        tau = PartialRanking.from_sequence("ab")
+        for p in (0.0, 0.25, 0.5, 1.0):
+            assert kendall(sigma, tau, p) == p
+
+    def test_p_outside_unit_interval_rejected(self):
+        sigma = PartialRanking([["a", "b"]])
+        with pytest.raises(InvalidRankingError):
+            kendall(sigma, sigma, p=1.5)
+        with pytest.raises(InvalidRankingError):
+            kendall_naive(sigma, sigma, p=-0.1)
+
+
+class TestKProf:
+    def test_worked_example(self):
+        # pairs: (a,b) tied in sigma, split in tau -> 1/2;
+        #        (a,c) a<c both -> 0; (b,c) b<c vs c<b -> 1
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking([["a"], ["c"], ["b"]])
+        assert kendall(sigma, tau) == 1.5
+
+    def test_symmetry(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking([["c", "b"], ["a"]])
+        assert kendall(sigma, tau) == kendall(tau, sigma)
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(DomainMismatchError):
+            kendall(PartialRanking([["a"]]), PartialRanking([["b"]]))
+
+    @given(bucket_order_pairs())
+    def test_fast_matches_naive(self, pair):
+        sigma, tau = pair
+        for p in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert kendall(sigma, tau, p) == pytest.approx(kendall_naive(sigma, tau, p))
+
+    @given(bucket_order_pairs(), st.floats(min_value=0.01, max_value=1.0))
+    def test_monotone_in_p(self, pair, p):
+        sigma, tau = pair
+        assert kendall(sigma, tau, p) <= kendall(sigma, tau, 1.0) + 1e-9
+
+    @given(bucket_order_pairs())
+    def test_equivalence_class_scaling(self, pair):
+        # K^(p) <= K^(p') <= (p'/p) K^(p) for 0 < p < p' (§A.2)
+        sigma, tau = pair
+        p, p_prime = 0.25, 0.75
+        low = kendall(sigma, tau, p)
+        high = kendall(sigma, tau, p_prime)
+        assert low <= high + 1e-9
+        assert high <= (p_prime / p) * low + 1e-9
+
+
+class TestPairCounts:
+    def test_categories_sum_to_total(self):
+        sigma = PartialRanking([["a", "b"], ["c", "d"]])
+        tau = PartialRanking([["a"], ["b", "c"], ["d"]])
+        counts = pair_counts(sigma, tau)
+        assert counts.total == 6
+
+    def test_classification_worked_example(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking([["b"], ["a", "c"]])
+        counts = pair_counts(sigma, tau)
+        # (a,b): tied in sigma only -> S; (a,c): split both, same order;
+        # (b,c): split both, same order... b<c in sigma, b<c in tau: concordant
+        # (a,c): a<c sigma, a~c tau -> T
+        assert counts.tied_first_only == 1
+        assert counts.tied_second_only == 1
+        assert counts.discordant == 0
+        assert counts.concordant == 1
+        assert counts.tied_both == 0
+
+    def test_kendall_evaluation(self):
+        sigma = PartialRanking([["a", "b"]])
+        tau = PartialRanking.from_sequence("ba")
+        counts = pair_counts(sigma, tau)
+        assert counts.kendall(0.5) == 0.5
+        assert counts.kendall_hausdorff() == 1
+
+    @given(bucket_order_pairs())
+    def test_counts_are_consistent(self, pair):
+        sigma, tau = pair
+        counts = pair_counts(sigma, tau)
+        n = len(sigma)
+        assert counts.total == n * (n - 1) // 2
+        assert min(
+            counts.discordant,
+            counts.concordant,
+            counts.tied_both,
+            counts.tied_first_only,
+            counts.tied_second_only,
+        ) >= 0
+
+    @given(bucket_order_pairs())
+    def test_swapping_arguments_swaps_s_and_t(self, pair):
+        sigma, tau = pair
+        forward = pair_counts(sigma, tau)
+        backward = pair_counts(tau, sigma)
+        assert forward.tied_first_only == backward.tied_second_only
+        assert forward.discordant == backward.discordant
+        assert forward.tied_both == backward.tied_both

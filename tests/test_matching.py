@@ -1,0 +1,50 @@
+"""Tests for the exact matching-based footrule aggregation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate.exact import optimal_full_ranking
+from repro.aggregate.matching import optimal_footrule_aggregation
+from repro.aggregate.objective import total_distance
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import AggregationError
+from repro.generators.random import random_bucket_order, resolve_rng
+
+
+class TestOptimalFootruleAggregation:
+    def test_reported_cost_matches_objective(self):
+        rng = resolve_rng(3)
+        rankings = [random_bucket_order(8, rng) for _ in range(4)]
+        result, cost = optimal_footrule_aggregation(rankings)
+        assert result.is_full
+        assert total_distance(result, rankings, "f_prof") == pytest.approx(cost)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_matches_bruteforce_optimum(self, seed):
+        rng = resolve_rng(seed)
+        rankings = [random_bucket_order(5, rng) for _ in range(3)]
+        _, matching_cost = optimal_footrule_aggregation(rankings)
+        _, brute_cost = optimal_full_ranking(rankings, metric="f_prof")
+        assert matching_cost == pytest.approx(brute_cost)
+
+    def test_unanimous_full_inputs_reproduced(self):
+        sigma = PartialRanking.from_sequence("cadb")
+        result, cost = optimal_footrule_aggregation([sigma, sigma])
+        assert result == sigma
+        assert cost == 0.0
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(AggregationError):
+            optimal_footrule_aggregation([])
+
+    def test_beats_or_ties_every_input_refinement(self):
+        rng = resolve_rng(77)
+        rankings = [random_bucket_order(7, rng) for _ in range(5)]
+        _, cost = optimal_footrule_aggregation(rankings)
+        from repro.aggregate.baselines import borda
+
+        assert cost <= total_distance(borda(rankings), rankings, "f_prof") + 1e-9

@@ -1,0 +1,191 @@
+"""Tests for median rank aggregation (Lemma 8, Theorems 9/11, Cor. 30)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate.exact import optimal_top_k
+from repro.aggregate.median import (
+    MedianAggregator,
+    median_fixed_type,
+    median_full_ranking,
+    median_of,
+    median_partial_ranking,
+    median_scores,
+    median_top_k,
+)
+from repro.aggregate.objective import total_distance, total_l1_to_function
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import AggregationError
+from repro.generators.random import random_bucket_order, random_full_ranking, resolve_rng
+from tests.conftest import bucket_orders
+
+
+class TestMedianOf:
+    def test_odd_length(self):
+        assert median_of([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_length_tie_rules(self):
+        values = [1.0, 2.0, 4.0, 8.0]
+        assert median_of(values, tie="low") == 2.0
+        assert median_of(values, tie="high") == 4.0
+        assert median_of(values, tie="mid") == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AggregationError):
+            median_of([])
+
+    def test_unknown_tie_rule_rejected(self):
+        with pytest.raises(AggregationError):
+            median_of([1.0, 2.0], tie="weird")
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=9))
+    def test_median_is_within_range(self, values):
+        for tie in ("low", "mid", "high"):
+            assert min(values) <= median_of(values, tie=tie) <= max(values)
+
+
+class TestLemma8:
+    """The median minimizes sum_i L1(f, sigma_i) over all functions."""
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_median_beats_random_functions(self, seed):
+        rng = resolve_rng(seed)
+        n, m = 6, rng.choice([3, 4, 5])
+        rankings = [random_bucket_order(n, rng, tie_bias=0.5) for _ in range(m)]
+        for tie in ("low", "mid", "high"):
+            f = median_scores(rankings, tie=tie)
+            median_cost = total_l1_to_function(f, rankings)
+            for _ in range(10):
+                g = {item: rng.uniform(0, n + 1) for item in rankings[0].domain}
+                assert median_cost <= total_l1_to_function(g, rankings) + 1e-9
+
+    def test_median_scores_values(self):
+        rankings = [
+            PartialRanking.from_sequence("abc"),
+            PartialRanking.from_sequence("bca"),
+            PartialRanking.from_sequence("cab"),
+        ]
+        scores = median_scores(rankings)
+        assert scores == {"a": 2.0, "b": 2.0, "c": 2.0}
+
+
+class TestTheorem9:
+    """Median top-k is within factor 3 of the optimal top-k (F_prof)."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_factor_three_against_bruteforce(self, seed):
+        rng = resolve_rng(seed)
+        n, m, k = 5, 3, 2
+        rankings = [random_bucket_order(n, rng, tie_bias=0.5) for _ in range(m)]
+        top = median_top_k(rankings, k)
+        assert top.is_top_k(k)
+        cost = total_distance(top, rankings, "f_prof")
+        _, optimum = optimal_top_k(rankings, k, metric="f_prof")
+        assert cost <= 3 * optimum + 1e-9
+
+    def test_bad_k_rejected(self):
+        rankings = [PartialRanking.from_sequence("ab")]
+        with pytest.raises(AggregationError):
+            median_top_k(rankings, 0)
+        with pytest.raises(AggregationError):
+            median_top_k(rankings, 3)
+
+
+class TestTheorem11:
+    """For full-ranking inputs, median refinement is a 2-approximation."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_factor_two_against_all_full_rankings(self, seed):
+        from repro.aggregate.exact import optimal_full_ranking
+
+        rng = resolve_rng(seed)
+        n, m = 5, 3
+        rankings = [random_full_ranking(n, rng) for _ in range(m)]
+        aggregate = median_full_ranking(rankings)
+        assert aggregate.is_full
+        cost = total_distance(aggregate, rankings, "f_prof")
+        _, optimum = optimal_full_ranking(rankings, metric="f_prof")
+        assert cost <= 2 * optimum + 1e-9
+
+    def test_unanimous_inputs_are_reproduced(self):
+        sigma = PartialRanking.from_sequence("dcba")
+        assert median_full_ranking([sigma, sigma, sigma]) == sigma
+
+
+class TestFixedType:
+    def test_type_is_respected(self):
+        rankings = [PartialRanking.from_sequence("abcd")] * 3
+        result = median_fixed_type(rankings, (2, 1, 1))
+        assert result.type == (2, 1, 1)
+        assert result.buckets[0] == {"a", "b"}
+
+    def test_wrong_total_rejected(self):
+        rankings = [PartialRanking.from_sequence("ab")]
+        with pytest.raises(AggregationError):
+            median_fixed_type(rankings, (3,))
+
+    def test_nonpositive_bucket_rejected(self):
+        rankings = [PartialRanking.from_sequence("ab")]
+        with pytest.raises(AggregationError):
+            median_fixed_type(rankings, (2, 0))
+
+
+class TestMedianAggregator:
+    def test_all_outputs_share_domain(self):
+        rng = resolve_rng(5)
+        rankings = tuple(random_bucket_order(6, rng) for _ in range(3))
+        aggregator = MedianAggregator(rankings)
+        domain = rankings[0].domain
+        assert aggregator.full_ranking().domain == domain
+        assert aggregator.partial_ranking().domain == domain
+        assert aggregator.top_k(2).domain == domain
+        assert aggregator.fixed_type((2, 2, 2)).domain == domain
+        assert set(aggregator.scores()) == set(domain)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(AggregationError):
+            MedianAggregator(())
+
+    def test_mismatched_domains_rejected(self):
+        with pytest.raises(AggregationError):
+            MedianAggregator(
+                (PartialRanking([["a"]]), PartialRanking([["b"]]))
+            )
+
+    @given(bucket_orders(max_size=6))
+    def test_single_input_full_output_is_refinement(self, sigma):
+        result = median_full_ranking([sigma])
+        assert result.is_refinement_of(sigma)
+
+    def test_partial_output_matches_direct_dp(self):
+        rng = resolve_rng(9)
+        rankings = [random_bucket_order(7, rng) for _ in range(3)]
+        assert MedianAggregator(tuple(rankings)).partial_ranking() == (
+            median_partial_ranking(rankings)
+        )
+
+    def test_tie_rule_is_forwarded(self):
+        rankings = (
+            PartialRanking.from_sequence("ab"),
+            PartialRanking.from_sequence("ba"),
+        )
+        low = MedianAggregator(rankings, tie="low").scores()
+        high = MedianAggregator(rankings, tie="high").scores()
+        assert low["a"] == 1.0 and high["a"] == 2.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        rng_a = random.Random(3)
+        rng_b = random.Random(3)
+        rankings_a = [random_bucket_order(8, rng_a) for _ in range(4)]
+        rankings_b = [random_bucket_order(8, rng_b) for _ in range(4)]
+        assert median_full_ranking(rankings_a) == median_full_ranking(rankings_b)

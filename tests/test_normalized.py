@@ -1,0 +1,84 @@
+"""Tests for the normalized metric variants."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given
+
+from repro.aggregate.exact import all_partial_rankings
+from repro.core.partial_ranking import PartialRanking
+from repro.metrics.footrule import footrule
+from repro.metrics.kendall import kendall
+from repro.metrics.normalized import (
+    NORMALIZED_METRICS,
+    max_footrule,
+    max_kendall,
+    normalized_footrule,
+    normalized_footrule_hausdorff,
+    normalized_kendall,
+    normalized_kendall_hausdorff,
+)
+from tests.conftest import bucket_order_pairs
+
+
+class TestMaxima:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_maxima_verified_exhaustively(self, n):
+        """The claimed maxima are exact over ALL bucket-order pairs."""
+        rankings = list(all_partial_rankings(list(range(n))))
+        max_k = max(
+            kendall(a, b) for a, b in combinations(rankings, 2)
+        )
+        max_f = max(
+            footrule(a, b) for a, b in combinations(rankings, 2)
+        )
+        assert max_k == max_kendall(n)
+        assert max_f == max_footrule(n)
+
+    def test_reversal_attains_both(self):
+        sigma = PartialRanking.from_sequence(range(6))
+        assert kendall(sigma, sigma.reverse()) == max_kendall(6)
+        assert footrule(sigma, sigma.reverse()) == max_footrule(6)
+
+
+class TestNormalizedValues:
+    @given(bucket_order_pairs())
+    def test_all_in_unit_interval(self, pair):
+        sigma, tau = pair
+        for metric in NORMALIZED_METRICS.values():
+            value = metric(sigma, tau)
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_reversal_is_exactly_one(self):
+        sigma = PartialRanking.from_sequence("abcde")
+        assert normalized_kendall(sigma, sigma.reverse()) == 1.0
+        assert normalized_footrule(sigma, sigma.reverse()) == 1.0
+        assert normalized_kendall_hausdorff(sigma, sigma.reverse()) == 1.0
+        assert normalized_footrule_hausdorff(sigma, sigma.reverse()) == 1.0
+
+    def test_identity_is_zero(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        for metric in NORMALIZED_METRICS.values():
+            assert metric(sigma, sigma) == 0.0
+
+    def test_single_item_domain_is_zero(self):
+        single = PartialRanking([["x"]])
+        for metric in NORMALIZED_METRICS.values():
+            assert metric(single, single) == 0.0
+
+    @given(bucket_order_pairs())
+    def test_normalization_preserves_ordering(self, pair):
+        """Same-domain comparisons are unchanged by the constant scaling."""
+        sigma, tau = pair
+        raw = kendall(sigma, tau)
+        scaled = normalized_kendall(sigma, tau)
+        assert scaled == pytest.approx(raw / max_kendall(len(sigma)) if len(sigma) > 1 else 0.0)
+
+    def test_penalty_parameter_forwarded(self):
+        sigma = PartialRanking([["a", "b"]])
+        tau = PartialRanking.from_sequence("ab")
+        assert normalized_kendall(sigma, tau, p=1.0) == 2 * normalized_kendall(
+            sigma, tau, p=0.5
+        )

@@ -1,0 +1,74 @@
+"""Tests for aggregation objectives and profile validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregate.objective import (
+    METRICS,
+    total_distance,
+    total_l1_to_function,
+    validate_profile,
+)
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import AggregationError
+from repro.metrics.footrule import footrule
+
+
+class TestValidateProfile:
+    def test_returns_common_domain(self):
+        rankings = [PartialRanking([["a", "b"]]), PartialRanking([["b"], ["a"]])]
+        assert validate_profile(rankings) == {"a", "b"}
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(AggregationError):
+            validate_profile([])
+
+    def test_mismatched_domains_rejected(self):
+        with pytest.raises(AggregationError):
+            validate_profile([PartialRanking([["a"]]), PartialRanking([["b"]])])
+
+
+class TestTotalDistance:
+    def test_registry_covers_all_four_metrics(self):
+        assert set(METRICS) == {"k_prof", "f_prof", "k_haus", "f_haus"}
+
+    def test_named_metric(self):
+        sigma = PartialRanking.from_sequence("ab")
+        tau = PartialRanking.from_sequence("ba")
+        assert total_distance(sigma, [sigma, tau], "f_prof") == footrule(sigma, tau)
+
+    def test_callable_metric(self):
+        sigma = PartialRanking.from_sequence("ab")
+        assert total_distance(sigma, [sigma], lambda a, b: 7.0) == 7.0
+
+    def test_unknown_metric_rejected(self):
+        sigma = PartialRanking.from_sequence("ab")
+        with pytest.raises(AggregationError):
+            total_distance(sigma, [sigma], "nope")
+
+    def test_candidate_domain_mismatch_rejected(self):
+        sigma = PartialRanking.from_sequence("ab")
+        other = PartialRanking.from_sequence("xy")
+        with pytest.raises(AggregationError):
+            total_distance(other, [sigma])
+
+    def test_every_registered_metric_runs(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking([["c"], ["a", "b"]])
+        for name in METRICS:
+            value = total_distance(sigma, [tau, tau], name)
+            assert value >= 0
+
+
+class TestTotalL1ToFunction:
+    def test_matches_manual_sum(self):
+        sigma = PartialRanking.from_sequence("ab")  # a: 1, b: 2
+        tau = PartialRanking.from_sequence("ba")  # a: 2, b: 1
+        f = {"a": 1.0, "b": 1.0}
+        assert total_l1_to_function(f, [sigma, tau]) == (0 + 1) + (1 + 0)
+
+    def test_function_domain_mismatch_rejected(self):
+        sigma = PartialRanking.from_sequence("ab")
+        with pytest.raises(AggregationError):
+            total_l1_to_function({"a": 1.0}, [sigma])

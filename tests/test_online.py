@@ -1,0 +1,120 @@
+"""Tests for the incremental (online) median aggregator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate.median import (
+    median_full_ranking,
+    median_partial_ranking,
+    median_scores,
+    median_top_k,
+)
+from repro.aggregate.online import OnlineMedianAggregator
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import AggregationError
+from repro.generators.random import random_bucket_order, resolve_rng
+
+
+class TestConstruction:
+    def test_empty_domain_rejected(self):
+        with pytest.raises(AggregationError):
+            OnlineMedianAggregator([])
+
+    def test_no_inputs_yet(self):
+        aggregator = OnlineMedianAggregator("abc")
+        assert len(aggregator) == 0
+        with pytest.raises(AggregationError):
+            aggregator.scores()
+
+    def test_domain_mismatch_rejected(self):
+        aggregator = OnlineMedianAggregator("abc")
+        with pytest.raises(AggregationError):
+            aggregator.add(PartialRanking([["x", "y", "z"]]))
+
+
+class TestOnlineEqualsBatch:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_snapshots_match_batch_after_every_add(self, seed):
+        rng = resolve_rng(seed)
+        n = 6
+        aggregator = OnlineMedianAggregator(range(n))
+        added: list[PartialRanking] = []
+        for _ in range(4):
+            ranking = random_bucket_order(n, rng, tie_bias=0.5)
+            aggregator.add(ranking)
+            added.append(ranking)
+            assert aggregator.scores() == median_scores(added)
+            assert aggregator.full_ranking() == median_full_ranking(added)
+            assert aggregator.top_k(2) == median_top_k(added, 2)
+            assert aggregator.partial_ranking() == median_partial_ranking(added)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_discard_restores_previous_state(self, seed):
+        rng = resolve_rng(seed)
+        n = 6
+        aggregator = OnlineMedianAggregator(range(n))
+        first = random_bucket_order(n, rng, tie_bias=0.5)
+        second = random_bucket_order(n, rng, tie_bias=0.5)
+        aggregator.add(first)
+        baseline = aggregator.scores()
+        aggregator.add(second)
+        aggregator.discard(second)
+        assert aggregator.scores() == baseline
+        assert len(aggregator) == 1
+
+
+class TestDiscard:
+    def test_discard_unknown_ranking_is_rejected_and_noop(self):
+        aggregator = OnlineMedianAggregator("ab")
+        aggregator.add(PartialRanking.from_sequence("ab"))
+        before = aggregator.scores()
+        with pytest.raises(AggregationError):
+            aggregator.discard(PartialRanking.from_sequence("ba"))
+        assert aggregator.scores() == before
+        assert len(aggregator) == 1
+
+    def test_discard_from_empty_rejected(self):
+        aggregator = OnlineMedianAggregator("ab")
+        with pytest.raises(AggregationError):
+            aggregator.discard(PartialRanking.from_sequence("ab"))
+
+    def test_duplicate_adds_need_duplicate_discards(self):
+        aggregator = OnlineMedianAggregator("ab")
+        sigma = PartialRanking.from_sequence("ab")
+        aggregator.add(sigma)
+        aggregator.add(sigma)
+        aggregator.discard(sigma)
+        assert len(aggregator) == 1
+        aggregator.discard(sigma)
+        assert len(aggregator) == 0
+
+
+class TestInteractiveScenario:
+    def test_toggling_criteria_like_a_search_page(self):
+        """Add four criteria, drop one, like a user refining a search."""
+        rng = resolve_rng(5)
+        n = 12
+        criteria = [random_bucket_order(n, rng, tie_bias=0.6) for _ in range(4)]
+        aggregator = OnlineMedianAggregator(range(n))
+        for ranking in criteria:
+            aggregator.add(ranking)
+        with_all = aggregator.top_k(3)
+        aggregator.discard(criteria[1])
+        without_one = aggregator.top_k(3)
+        assert with_all.domain == without_one.domain
+        assert aggregator.scores() == median_scores(
+            [criteria[0], criteria[2], criteria[3]]
+        )
+
+    def test_bad_k_rejected(self):
+        aggregator = OnlineMedianAggregator("abc")
+        aggregator.add(PartialRanking.from_sequence("abc"))
+        with pytest.raises(AggregationError):
+            aggregator.top_k(0)
+        with pytest.raises(AggregationError):
+            aggregator.top_k(4)

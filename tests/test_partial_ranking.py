@@ -1,0 +1,262 @@
+"""Unit tests for the PartialRanking value type."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import DomainMismatchError, InvalidRankingError
+from tests.conftest import bucket_orders
+
+
+class TestConstruction:
+    def test_positions_follow_paper_definition(self):
+        sigma = PartialRanking([["a"], ["b", "c"], ["d", "e", "f"]])
+        assert sigma["a"] == 1.0
+        assert sigma["b"] == sigma["c"] == 2.5
+        assert sigma["d"] == sigma["e"] == sigma["f"] == 5.0
+
+    def test_full_ranking_positions_are_ranks(self):
+        sigma = PartialRanking.from_sequence("abcd")
+        assert [sigma[ch] for ch in "abcd"] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_bucket_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            PartialRanking([["a"], []])
+
+    def test_duplicate_item_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            PartialRanking([["a"], ["a", "b"]])
+
+    def test_duplicate_within_bucket_collapses(self):
+        # frozenset construction deduplicates within a bucket
+        sigma = PartialRanking([["a", "a"], ["b"]])
+        assert len(sigma) == 2
+
+    def test_unhashable_item_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            PartialRanking([[["unhashable-list"]]])
+
+    def test_no_buckets_means_empty_domain(self):
+        sigma = PartialRanking([])
+        assert len(sigma) == 0
+        assert sigma.buckets == ()
+
+    def test_mixed_item_types(self):
+        sigma = PartialRanking([[1, "a"], [(2, 3)]])
+        assert sigma[1] == sigma["a"] == 1.5
+        assert sigma[(2, 3)] == 3.0
+
+
+class TestFromScores:
+    def test_groups_equal_scores(self):
+        sigma = PartialRanking.from_scores({"a": 2, "b": 1, "c": 2})
+        assert sigma.buckets == (frozenset({"b"}), frozenset({"a", "c"}))
+
+    def test_reverse_ranks_high_scores_first(self):
+        sigma = PartialRanking.from_scores({"a": 1, "b": 3}, reverse=True)
+        assert sigma.ahead("b", "a")
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            PartialRanking.from_scores({})
+
+    def test_incomparable_scores_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            PartialRanking.from_scores({"a": 1, "b": "one"})
+
+
+class TestTopK:
+    def test_type_of_top_k(self):
+        sigma = PartialRanking.top_k(["a", "b"], "abcde")
+        assert sigma.type == (1, 1, 3)
+        assert sigma.is_top_k(2)
+
+    def test_top_k_of_whole_domain_is_full(self):
+        sigma = PartialRanking.top_k(list("abc"), "abc")
+        assert sigma.is_full
+        assert sigma.is_top_k(3)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            PartialRanking.top_k(["a", "a"], "abc")
+
+    def test_items_outside_domain_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            PartialRanking.top_k(["z"], "abc")
+
+    def test_is_top_k_rejects_wrong_shape(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        assert not sigma.is_top_k(1)
+        assert not sigma.is_top_k(5)
+
+    def test_single_bucket(self):
+        sigma = PartialRanking.single_bucket("abc")
+        assert sigma.type == (3,)
+        assert sigma.is_top_k(0)
+
+
+class TestAccessors:
+    def test_domain_and_len(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        assert sigma.domain == {"a", "b", "c"}
+        assert len(sigma) == 3
+        assert "a" in sigma
+        assert "z" not in sigma
+
+    def test_missing_item_raises_keyerror(self):
+        sigma = PartialRanking([["a"]])
+        with pytest.raises(KeyError):
+            sigma["z"]
+        with pytest.raises(KeyError):
+            sigma.bucket_index("z")
+
+    def test_bucket_of_and_index(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        assert sigma.bucket_of("a") == {"a", "b"}
+        assert sigma.bucket_index("c") == 1
+
+    def test_position_alias(self):
+        sigma = PartialRanking([["x"]])
+        assert sigma.position("x") == sigma["x"] == 1.0
+
+    def test_positions_returns_copy(self):
+        sigma = PartialRanking([["a"]])
+        positions = sigma.positions
+        positions["a"] = 99.0
+        assert sigma["a"] == 1.0
+
+    def test_items_in_order_is_deterministic(self):
+        sigma = PartialRanking([["b", "a"], ["c"]])
+        assert sigma.items_in_order() == ["a", "b", "c"]
+        assert list(iter(sigma)) == ["a", "b", "c"]
+
+    def test_ahead_and_tied(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        assert sigma.tied("a", "b")
+        assert sigma.ahead("a", "c")
+        assert not sigma.ahead("c", "a")
+
+
+class TestReverse:
+    def test_positions_satisfy_reversal_identity(self):
+        sigma = PartialRanking([["a"], ["b", "c"], ["d"]])
+        reverse = sigma.reverse()
+        n = len(sigma)
+        for item in sigma.domain:
+            assert reverse[item] == n + 1 - sigma[item]
+
+    def test_reverse_buckets_are_reversed(self):
+        sigma = PartialRanking([["a"], ["b", "c"]])
+        assert sigma.reverse().buckets == (frozenset({"b", "c"}), frozenset({"a"}))
+
+    @given(bucket_orders())
+    def test_reverse_is_involution(self, sigma):
+        assert sigma.reverse().reverse() == sigma
+
+
+class TestRefinementRelation:
+    def test_refines_itself(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        assert sigma.is_refinement_of(sigma)
+
+    def test_full_refines_partial(self):
+        partial = PartialRanking([["a", "b"], ["c"]])
+        full = PartialRanking.from_sequence("bac")
+        assert full.is_refinement_of(partial)
+
+    def test_order_violation_is_not_refinement(self):
+        partial = PartialRanking([["a"], ["b"]])
+        swapped = PartialRanking.from_sequence("ba")
+        assert not swapped.is_refinement_of(partial)
+
+    def test_bucket_split_across_is_not_refinement(self):
+        tau = PartialRanking([["a", "b"], ["c", "d"]])
+        sigma = PartialRanking([["a", "c"], ["b", "d"]])
+        assert not sigma.is_refinement_of(tau)
+
+    def test_different_domain_is_not_refinement(self):
+        assert not PartialRanking([["a"]]).is_refinement_of(PartialRanking([["b"]]))
+
+    def test_everything_refines_single_bucket(self):
+        single = PartialRanking.single_bucket("abc")
+        sigma = PartialRanking([["c"], ["a", "b"]])
+        assert sigma.is_refinement_of(single)
+        assert not single.is_refinement_of(sigma)
+
+
+class TestRefinedBy:
+    def test_ties_broken_by_tau(self):
+        sigma = PartialRanking([["a", "b", "c"]])
+        tau = PartialRanking([["c"], ["a", "b"]])
+        refined = sigma.refined_by(tau)
+        assert refined.buckets == (frozenset({"c"}), frozenset({"a", "b"}))
+
+    def test_existing_order_preserved(self):
+        sigma = PartialRanking([["a"], ["b", "c"]])
+        tau = PartialRanking.from_sequence("cba")
+        refined = sigma.refined_by(tau)
+        assert refined.items_in_order() == ["a", "c", "b"]
+
+    def test_domain_mismatch_raises(self):
+        with pytest.raises(DomainMismatchError):
+            PartialRanking([["a"]]).refined_by(PartialRanking([["b"]]))
+
+    @given(bucket_orders(max_size=6))
+    def test_refinement_by_self_is_identity(self, sigma):
+        assert sigma.refined_by(sigma) == sigma
+
+
+class TestRestriction:
+    def test_restriction_preserves_order(self):
+        sigma = PartialRanking([["a", "b"], ["c"], ["d"]])
+        restricted = sigma.restricted_to({"b", "d"})
+        assert restricted.buckets == (frozenset({"b"}), frozenset({"d"}))
+
+    def test_restriction_to_unknown_items_raises(self):
+        with pytest.raises(InvalidRankingError):
+            PartialRanking([["a"]]).restricted_to({"z"})
+
+    def test_restriction_to_empty_raises(self):
+        with pytest.raises(InvalidRankingError):
+            PartialRanking([["a"]]).restricted_to(set())
+
+
+class TestValueSemantics:
+    def test_equality_ignores_bucket_input_order(self):
+        assert PartialRanking([["b", "a"]]) == PartialRanking([["a", "b"]])
+
+    def test_inequality_on_different_orders(self):
+        assert PartialRanking([["a"], ["b"]]) != PartialRanking([["b"], ["a"]])
+
+    def test_not_equal_to_other_types(self):
+        assert PartialRanking([["a"]]) != "a"
+
+    def test_hash_consistency(self):
+        a = PartialRanking([["a", "b"], ["c"]])
+        b = PartialRanking([["b", "a"], ["c"]])
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_repr_is_readable(self):
+        sigma = PartialRanking([["b", "a"], ["c"]])
+        assert repr(sigma) == "PartialRanking['a', 'b' | 'c']"
+
+
+class TestTypeProperty:
+    def test_type_sequence(self):
+        assert PartialRanking([["a"], ["b", "c"]]).type == (1, 2)
+
+    def test_full_flag(self):
+        assert PartialRanking.from_sequence("ab").is_full
+        assert not PartialRanking([["a", "b"]]).is_full
+
+    @given(bucket_orders())
+    def test_type_sums_to_domain_size(self, sigma):
+        assert sum(sigma.type) == len(sigma)
+
+    @given(bucket_orders())
+    def test_positions_are_half_integral(self, sigma):
+        for item in sigma.domain:
+            assert (2 * sigma[item]) == int(2 * sigma[item])

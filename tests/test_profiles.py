@@ -1,0 +1,59 @@
+"""Tests for explicit profile vectors and their metric identities (§3.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import DomainMismatchError
+from repro.metrics.footrule import footrule
+from repro.metrics.kendall import kendall
+from repro.metrics.profiles import f_profile, f_profile_l1, k_profile, k_profile_l1
+from tests.conftest import bucket_order_pairs, bucket_orders
+
+
+class TestKProfile:
+    def test_entries(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        profile = k_profile(sigma)
+        assert profile[("a", "b")] == 0.0
+        assert profile[("a", "c")] == 0.25
+        assert profile[("c", "a")] == -0.25
+
+    def test_antisymmetric(self):
+        sigma = PartialRanking([["a"], ["b", "c"]])
+        profile = k_profile(sigma)
+        for (i, j), value in profile.items():
+            assert profile[(j, i)] == -value
+
+    @given(bucket_orders(max_size=5))
+    def test_size_is_ordered_pairs(self, sigma):
+        n = len(sigma)
+        assert len(k_profile(sigma)) == n * (n - 1)
+
+
+class TestFProfile:
+    def test_equals_positions(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        assert f_profile(sigma) == {"a": 1.5, "b": 1.5, "c": 3.0}
+
+
+class TestProfileMetricIdentities:
+    """The paper's definition: K_prof / F_prof ARE the profile L1 distances."""
+
+    @given(bucket_order_pairs())
+    def test_k_profile_l1_equals_kendall_half(self, pair):
+        sigma, tau = pair
+        assert k_profile_l1(sigma, tau) == pytest.approx(kendall(sigma, tau, 0.5))
+
+    @given(bucket_order_pairs())
+    def test_f_profile_l1_equals_footrule(self, pair):
+        sigma, tau = pair
+        assert f_profile_l1(sigma, tau) == pytest.approx(footrule(sigma, tau))
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(DomainMismatchError):
+            k_profile_l1(PartialRanking([["a"]]), PartialRanking([["b"]]))
+        with pytest.raises(DomainMismatchError):
+            f_profile_l1(PartialRanking([["a"]]), PartialRanking([["b"]]))

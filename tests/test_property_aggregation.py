@@ -1,0 +1,121 @@
+"""Property-based tests for the aggregation theorems (§6, appendix A.6)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate.dp import optimal_partial_ranking
+from repro.aggregate.exact import (
+    all_partial_rankings,
+    optimal_full_ranking,
+    optimal_partial_ranking_bruteforce,
+    optimal_top_k,
+)
+from repro.aggregate.median import (
+    median_full_ranking,
+    median_partial_ranking,
+    median_scores,
+    median_top_k,
+)
+from repro.aggregate.objective import total_distance, total_l1_to_function
+from repro.core.partial_ranking import PartialRanking
+from repro.generators.random import random_bucket_order, random_full_ranking, resolve_rng
+
+profiles = st.integers(min_value=0, max_value=100_000)
+
+
+def _random_profile(seed: int, n: int, m: int, tie_bias: float = 0.5):
+    rng = resolve_rng(seed)
+    return [random_bucket_order(n, rng, tie_bias=tie_bias) for _ in range(m)]
+
+
+class TestLemma8Property:
+    @settings(max_examples=25, deadline=None)
+    @given(profiles)
+    def test_median_beats_every_input_as_a_function(self, seed):
+        rankings = _random_profile(seed, 7, 5)
+        f = median_scores(rankings)
+        cost = total_l1_to_function(f, rankings)
+        for sigma in rankings:
+            assert cost <= total_l1_to_function(sigma.positions, rankings) + 1e-9
+
+
+class TestTheorem10Property:
+    @settings(max_examples=15, deadline=None)
+    @given(profiles)
+    def test_f_dagger_factor_two_over_bucket_orders(self, seed):
+        rankings = _random_profile(seed, 5, 3)
+        f_dagger = median_partial_ranking(rankings)
+        cost = total_distance(f_dagger, rankings, "f_prof")
+        _, optimum = optimal_partial_ranking_bruteforce(rankings, metric="f_prof")
+        assert cost <= 2 * optimum + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(profiles)
+    def test_f_dagger_is_l1_closest_to_median(self, seed):
+        rankings = _random_profile(seed, 5, 4)
+        f = median_scores(rankings)
+        f_dagger = optimal_partial_ranking(f)
+        best = sum(abs(f_dagger[x] - f[x]) for x in f)
+        for buckets_candidate in all_partial_rankings(sorted(f, key=repr)):
+            cost = sum(abs(buckets_candidate[x] - f[x]) for x in f)
+            assert best <= cost + 1e-9
+
+
+class TestTheorem9Property:
+    @settings(max_examples=15, deadline=None)
+    @given(profiles, st.integers(min_value=1, max_value=3))
+    def test_median_topk_factor_three(self, seed, k):
+        rankings = _random_profile(seed, 5, 4)
+        top = median_top_k(rankings, k)
+        cost = total_distance(top, rankings, "f_prof")
+        _, optimum = optimal_top_k(rankings, k, metric="f_prof")
+        assert cost <= 3 * optimum + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(profiles)
+    def test_constant_factor_transfers_to_other_metrics(self, seed):
+        """Theorem 7's equivalence: a 3-approx for F_prof is a constant-factor
+        approx for K_prof / K_Haus / F_Haus. Chaining the proved inequalities
+        gives d <= 4*F_prof and F_prof <= 2*d for every metric d, hence a
+        worst-case transfer constant of 3 * 4 * 2 = 24."""
+        rankings = _random_profile(seed, 5, 3)
+        k = 2
+        top = median_top_k(rankings, k)
+        for metric in ("k_prof", "k_haus", "f_haus"):
+            cost = total_distance(top, rankings, metric)
+            _, optimum = optimal_top_k(rankings, k, metric=metric)
+            assert cost <= 24 * optimum + 1e-9
+
+
+class TestTheorem11Property:
+    @settings(max_examples=15, deadline=None)
+    @given(profiles)
+    def test_full_input_full_output_factor_two(self, seed):
+        rng = resolve_rng(seed)
+        rankings = [random_full_ranking(5, rng) for _ in range(4)]
+        aggregate = median_full_ranking(rankings)
+        cost = total_distance(aggregate, rankings, "f_prof")
+        _, optimum = optimal_full_ranking(rankings, metric="f_prof")
+        assert cost <= 2 * optimum + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(profiles)
+    def test_full_output_refines_median_induced_ranking(self, seed):
+        rng = resolve_rng(seed)
+        rankings = [random_full_ranking(6, rng) for _ in range(5)]
+        f = median_scores(rankings)
+        induced = PartialRanking.from_scores(f)
+        assert median_full_ranking(rankings).is_refinement_of(induced)
+
+
+class TestCrossMetricConsistency:
+    @settings(max_examples=10, deadline=None)
+    @given(profiles)
+    def test_partial_optimum_never_worse_than_full_optimum(self, seed):
+        rankings = _random_profile(seed, 4, 3)
+        _, full_cost = optimal_full_ranking(rankings, metric="f_prof")
+        _, partial_cost = optimal_partial_ranking_bruteforce(rankings, metric="f_prof")
+        assert partial_cost <= full_cost + 1e-9

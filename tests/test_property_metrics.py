@@ -1,0 +1,168 @@
+"""Property-based tests: the paper's metric theorems as hypothesis invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.partial_ranking import PartialRanking
+from repro.core.refine import full_refinements, star
+from repro.metrics.footrule import footrule, footrule_full
+from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff_counts
+from repro.metrics.kendall import kendall, kendall_full, pair_counts
+from tests.conftest import bucket_order_pairs, bucket_order_triples, bucket_orders, full_rankings
+
+
+class TestMetricAxiomsProperty:
+    @given(bucket_order_pairs())
+    def test_all_four_metrics_are_symmetric(self, pair):
+        sigma, tau = pair
+        assert kendall(sigma, tau) == pytest.approx(kendall(tau, sigma))
+        assert footrule(sigma, tau) == pytest.approx(footrule(tau, sigma))
+        assert kendall_hausdorff_counts(sigma, tau) == kendall_hausdorff_counts(tau, sigma)
+        assert footrule_hausdorff(sigma, tau) == pytest.approx(footrule_hausdorff(tau, sigma))
+
+    @given(bucket_orders())
+    def test_all_four_metrics_are_regular_at_zero(self, sigma):
+        assert kendall(sigma, sigma) == 0
+        assert footrule(sigma, sigma) == 0
+        assert kendall_hausdorff_counts(sigma, sigma) == 0
+        assert footrule_hausdorff(sigma, sigma) == 0
+
+    @given(bucket_order_pairs())
+    def test_distinct_rankings_have_positive_distance(self, pair):
+        sigma, tau = pair
+        if sigma != tau:
+            assert kendall(sigma, tau) > 0
+            assert footrule(sigma, tau) > 0
+            assert kendall_hausdorff_counts(sigma, tau) > 0
+            assert footrule_hausdorff(sigma, tau) > 0
+
+    @settings(max_examples=60)
+    @given(bucket_order_triples())
+    def test_triangle_inequality_for_all_four(self, triple):
+        x, y, z = triple
+        assert kendall(x, z) <= kendall(x, y) + kendall(y, z) + 1e-9
+        assert footrule(x, z) <= footrule(x, y) + footrule(y, z) + 1e-9
+        assert kendall_hausdorff_counts(x, z) <= (
+            kendall_hausdorff_counts(x, y) + kendall_hausdorff_counts(y, z)
+        )
+        assert footrule_hausdorff(x, z) <= (
+            footrule_hausdorff(x, y) + footrule_hausdorff(y, z) + 1e-9
+        )
+
+
+class TestEquivalenceTheorems:
+    @given(bucket_order_pairs())
+    def test_eq4_hausdorff_diaconis_graham(self, pair):
+        sigma, tau = pair
+        kh = kendall_hausdorff_counts(sigma, tau)
+        fh = footrule_hausdorff(sigma, tau)
+        assert kh <= fh + 1e-9
+        assert fh <= 2 * kh + 1e-9
+
+    @given(bucket_order_pairs())
+    def test_eq5_profile_diaconis_graham(self, pair):
+        sigma, tau = pair
+        kp = kendall(sigma, tau)
+        fp = footrule(sigma, tau)
+        assert kp <= fp + 1e-9
+        assert fp <= 2 * kp + 1e-9
+
+    @given(bucket_order_pairs())
+    def test_eq6_kprof_vs_khaus(self, pair):
+        sigma, tau = pair
+        kp = kendall(sigma, tau)
+        kh = kendall_hausdorff_counts(sigma, tau)
+        assert kp <= kh + 1e-9
+        assert kh <= 2 * kp + 1e-9
+
+    @given(full_rankings(max_size=7))
+    def test_eq1_on_full_rankings(self, sigma):
+        tau = sigma.reverse()
+        k = kendall_full(sigma, tau)
+        f = footrule_full(sigma, tau)
+        assert k <= f <= 2 * k or (k == 0 and f == 0)
+
+
+class TestHausdorffSemantics:
+    @settings(max_examples=30)
+    @given(bucket_order_pairs(max_size=5))
+    def test_hausdorff_dominates_every_point_distance(self, pair):
+        """Every refinement of sigma is within F_Haus of SOME refinement of tau."""
+        sigma, tau = pair
+        fh = footrule_hausdorff(sigma, tau)
+        for gamma1 in full_refinements(sigma):
+            nearest = min(
+                footrule_full(gamma1, gamma2) for gamma2 in full_refinements(tau)
+            )
+            assert nearest <= fh + 1e-9
+
+    @given(bucket_order_pairs())
+    def test_hausdorff_upper_bounds_profile_metric(self, pair):
+        # K_prof = |U| + (|S|+|T|)/2 <= |U| + max(|S|,|T|) = K_Haus
+        sigma, tau = pair
+        counts = pair_counts(sigma, tau)
+        assert counts.kendall(0.5) <= counts.kendall_hausdorff()
+
+
+class TestProfileStructure:
+    @given(bucket_order_pairs())
+    def test_kendall_via_pair_count_identity(self, pair):
+        sigma, tau = pair
+        counts = pair_counts(sigma, tau)
+        expected = counts.discordant + 0.5 * (
+            counts.tied_first_only + counts.tied_second_only
+        )
+        assert kendall(sigma, tau) == pytest.approx(expected)
+
+    @given(bucket_orders())
+    def test_distance_to_reverse_is_maximal_kendall(self, sigma):
+        """K_prof(sigma, sigma^R) counts every strictly ordered pair once
+        (discordant) and leaves within-bucket pairs tied in both."""
+        reverse = sigma.reverse()
+        strict_pairs = 0
+        items = list(sigma.domain)
+        for i, x in enumerate(items):
+            for y in items[i + 1 :]:
+                if not sigma.tied(x, y):
+                    strict_pairs += 1
+        assert kendall(sigma, reverse) == strict_pairs
+
+
+class TestStarInteractions:
+    @given(bucket_order_pairs())
+    def test_star_never_increases_footrule_to_tau(self, pair):
+        """Refining sigma by tau moves it weakly closer to any refinement of tau
+        (Lemma 3 flavor, checked on the canonical refinement)."""
+        tau, sigma = pair
+        refined = star(tau, sigma)
+        assert refined.is_refinement_of(sigma)
+
+    @given(bucket_orders())
+    def test_star_with_reverse_gives_reverse_order_within_buckets(self, sigma):
+        reverse = sigma.reverse()
+        refined = star(reverse, sigma)
+        # each sigma-bucket is re-ordered by the reverse ranking, which ties
+        # exactly the items tied in sigma: the result equals sigma itself
+        assert refined == sigma
+
+
+class TestDomainCorners:
+    def test_singleton_domain_all_metrics_zero(self):
+        a = PartialRanking([["x"]])
+        assert kendall(a, a) == 0
+        assert footrule(a, a) == 0
+        assert kendall_hausdorff_counts(a, a) == 0
+        assert footrule_hausdorff(a, a) == 0
+
+    def test_two_element_extremes(self):
+        ab = PartialRanking.from_sequence("ab")
+        ba = PartialRanking.from_sequence("ba")
+        tied = PartialRanking([["a", "b"]])
+        assert kendall(ab, ba) == 1
+        assert kendall(ab, tied) == 0.5
+        assert footrule(ab, ba) == 2
+        assert footrule(ab, tied) == 1
+        assert kendall_hausdorff_counts(ab, tied) == 1
+        assert footrule_hausdorff(ab, tied) == 2

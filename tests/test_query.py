@@ -1,0 +1,102 @@
+"""Tests for declarative preference queries over relations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.query import AttributePreference, PreferenceQuery
+from repro.db.relation import Relation, SchemaError
+from repro.db.sources import restaurant_catalog
+
+ROWS = [
+    {"id": "r1", "cuisine": "thai", "price": 1, "stars": 4.5, "distance": 1.0},
+    {"id": "r2", "cuisine": "thai", "price": 2, "stars": 5.0, "distance": 4.0},
+    {"id": "r3", "cuisine": "french", "price": 4, "stars": 3.0, "distance": 12.0},
+    {"id": "r4", "cuisine": "mexican", "price": 1, "stars": 4.0, "distance": 2.0},
+    {"id": "r5", "cuisine": "thai", "price": 3, "stars": 2.5, "distance": 28.0},
+]
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows("restaurants", "id", ROWS)
+
+
+def _query(k: int = 2) -> PreferenceQuery:
+    return PreferenceQuery.build(
+        AttributePreference("cuisine", value_order=["thai", "mexican"]),
+        AttributePreference("price"),
+        AttributePreference("stars", reverse=True),
+        AttributePreference("distance", bins=(5.0, 10.0, 20.0)),
+        k=k,
+    )
+
+
+class TestAttributePreference:
+    def test_binning_maps_to_bin_indices(self):
+        preference = AttributePreference("distance", bins=(5.0, 10.0))
+        binning = preference.binning()
+        assert binning(1.0) == 0
+        assert binning(5.0) == 0
+        assert binning(7.0) == 1
+        assert binning(99.0) == 2
+
+    def test_no_bins_means_no_binning(self):
+        assert AttributePreference("price").binning() is None
+
+    def test_rank_produces_partial_ranking(self, relation):
+        ranking = AttributePreference("price").rank(relation)
+        assert ranking.tied("r1", "r4")
+
+
+class TestPreferenceQuery:
+    def test_compile_yields_one_ranking_per_preference(self, relation):
+        rankings = _query().compile(relation)
+        assert len(rankings) == 4
+        assert all(ranking.domain == relation.keys for ranking in rankings)
+
+    def test_execute_returns_topk_with_access_log(self, relation):
+        result = _query(k=2).execute(relation)
+        assert len(result.top_items) == 2
+        assert result.ranking.is_top_k(2)
+        assert result.access_log.num_lists == 4
+        assert 1 <= result.access_log.depth <= len(relation)
+        assert len(result.ties_per_input) == 4
+
+    def test_the_obvious_winner_wins(self, relation):
+        # r1: preferred cuisine, cheapest, near-best stars, closest
+        result = _query(k=1).execute(relation)
+        assert result.top_items[0] == "r1"
+
+    def test_offline_and_online_agree_on_winner(self, relation):
+        query = _query(k=1)
+        online = query.execute(relation)
+        offline = query.execute_offline(relation)
+        assert online.top_items[0] in {
+            item for bucket in offline.buckets[:1] for item in bucket
+        }
+
+    def test_k_clamped_to_relation_size(self, relation):
+        result = PreferenceQuery.build(AttributePreference("price"), k=50).execute(
+            relation
+        )
+        assert len(result.top_items) == len(relation)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(SchemaError):
+            PreferenceQuery.build(k=1)
+
+    def test_nonpositive_k_rejected(self):
+        with pytest.raises(SchemaError):
+            PreferenceQuery.build(AttributePreference("price"), k=0)
+
+    def test_against_synthetic_catalog(self):
+        relation = restaurant_catalog(50, seed=1)
+        result = PreferenceQuery.build(
+            AttributePreference("price"),
+            AttributePreference("stars", reverse=True),
+            k=5,
+        ).execute(relation)
+        assert len(result.top_items) == 5
+        # ties abound: price has at most 4 distinct values over 50 rows
+        assert max(result.ties_per_input) > 5

@@ -1,0 +1,115 @@
+"""Unit and property tests for the refinement algebra (the * operator)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.partial_ranking import PartialRanking
+from repro.core.refine import (
+    common_full_ranking,
+    count_full_refinements,
+    full_refinements,
+    is_refinement,
+    star,
+    star_chain,
+)
+from tests.conftest import bucket_order_pairs, bucket_order_triples, bucket_orders
+
+
+class TestStar:
+    def test_star_breaks_ties_by_tau(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking.from_sequence("bac")
+        result = star(tau, sigma)
+        assert result.items_in_order() == ["b", "a", "c"]
+
+    def test_star_with_full_tau_gives_full_ranking(self):
+        sigma = PartialRanking([["a", "b", "c"]])
+        tau = PartialRanking.from_sequence("cab")
+        assert star(tau, sigma).is_full
+
+    def test_items_tied_in_both_stay_tied(self):
+        sigma = PartialRanking([["a", "b", "c"]])
+        tau = PartialRanking([["a", "b"], ["c"]])
+        result = star(tau, sigma)
+        assert result.tied("a", "b")
+        assert result.ahead("a", "c")
+
+    @given(bucket_order_pairs())
+    def test_star_result_refines_sigma(self, pair):
+        tau, sigma = pair
+        assert star(tau, sigma).is_refinement_of(sigma)
+
+    @given(bucket_order_pairs())
+    def test_star_respects_tau_on_sigma_ties(self, pair):
+        tau, sigma = pair
+        result = star(tau, sigma)
+        for x in sigma.domain:
+            for y in sigma.domain:
+                if x != y and sigma.tied(x, y) and tau.ahead(x, y):
+                    assert result.ahead(x, y)
+
+    @given(bucket_order_triples())
+    def test_star_is_associative(self, triple):
+        rho, tau, sigma = triple
+        assert star(rho, star(tau, sigma)) == star(star(rho, tau), sigma)
+
+
+class TestStarChain:
+    def test_chain_matches_nested_star(self):
+        sigma = PartialRanking([["a", "b", "c"]])
+        tau = PartialRanking([["c"], ["a", "b"]])
+        rho = PartialRanking.from_sequence("bca")
+        assert star_chain(rho, tau, sigma) == star(rho, star(tau, sigma))
+
+    def test_single_element_chain(self):
+        sigma = PartialRanking([["a", "b"]])
+        assert star_chain(sigma) == sigma
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            star_chain()
+
+
+class TestIsRefinement:
+    def test_wrapper_agrees_with_method(self):
+        partial = PartialRanking([["a", "b"]])
+        full = PartialRanking.from_sequence("ab")
+        assert is_refinement(full, partial)
+        assert not is_refinement(partial, full)
+
+
+class TestFullRefinements:
+    def test_counts_are_products_of_factorials(self):
+        sigma = PartialRanking([["a", "b"], ["c", "d", "e"]])
+        assert count_full_refinements(sigma) == 2 * 6
+        assert sum(1 for _ in full_refinements(sigma)) == 12
+
+    def test_full_ranking_has_one_refinement(self):
+        sigma = PartialRanking.from_sequence("abc")
+        assert list(full_refinements(sigma)) == [sigma]
+
+    def test_all_refinements_are_full_and_refine(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        refinements = list(full_refinements(sigma))
+        assert len(refinements) == len(set(refinements))
+        for gamma in refinements:
+            assert gamma.is_full
+            assert gamma.is_refinement_of(sigma)
+
+    @given(bucket_orders(max_size=5))
+    def test_enumeration_matches_count(self, sigma):
+        assert sum(1 for _ in full_refinements(sigma)) == count_full_refinements(sigma)
+
+
+class TestCommonFullRanking:
+    def test_is_full_over_same_domain(self):
+        sigma = PartialRanking([["b", "a"], ["c"]])
+        rho = common_full_ranking(sigma)
+        assert rho.is_full
+        assert rho.domain == sigma.domain
+
+    def test_is_deterministic(self):
+        sigma = PartialRanking([["b", "a", "c"]])
+        assert common_full_ranking(sigma) == common_full_ranking(sigma.reverse())

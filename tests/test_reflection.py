@@ -1,0 +1,195 @@
+"""Tests for the §A.5.2 reflection construction (Lemmas 21-23, Theorem 24)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import DomainMismatchError
+from repro.generators.random import random_bucket_order, random_full_ranking, resolve_rng
+from repro.metrics.footrule import footrule, footrule_full
+from repro.metrics.kendall import kendall, kendall_full
+from repro.metrics.reflection import (
+    Mirror,
+    is_nested,
+    mirror_interval,
+    nested_elements,
+    nesting_free_permutation,
+    pi_natural,
+    reflect,
+    reflected_refinement,
+)
+from tests.conftest import bucket_order_pairs, bucket_orders
+
+
+def _random_pair_with_pi(seed: int, n: int = 6):
+    rng = resolve_rng(seed)
+    sigma = random_bucket_order(n, rng, tie_bias=rng.random())
+    tau = random_bucket_order(n, rng, tie_bias=rng.random())
+    pi = random_full_ranking(sorted(sigma.domain), rng)
+    return sigma, tau, pi
+
+
+class TestReflect:
+    @given(bucket_orders())
+    def test_reflected_positions(self, sigma):
+        """sigma#(i) = sigma#(i#) = 2 sigma(i) - 1/2 (the defining identity)."""
+        reflected = reflect(sigma)
+        for item in sigma.domain:
+            expected = 2 * sigma[item] - 0.5
+            assert reflected[item] == expected
+            assert reflected[Mirror(item)] == expected
+
+    @given(bucket_orders())
+    def test_reflection_doubles_the_type(self, sigma):
+        assert reflect(sigma).type == tuple(2 * size for size in sigma.type)
+
+
+class TestPiNatural:
+    def test_layout(self):
+        pi = PartialRanking.from_sequence("abc")
+        lifted = pi_natural(pi)
+        # originals in pi order, mirrors in reverse pi order afterwards
+        assert lifted.items_in_order() == [
+            "a",
+            "b",
+            "c",
+            Mirror("c"),
+            Mirror("b"),
+            Mirror("a"),
+        ]
+        n = 3
+        for item in "abc":
+            assert lifted[Mirror(item)] == 2 * n + 1 - pi[item]
+
+    def test_partial_pi_rejected(self):
+        with pytest.raises(DomainMismatchError):
+            pi_natural(PartialRanking([["a", "b"]]))
+
+
+class TestReflectedRefinement:
+    def test_palindromic_bucket_layout(self):
+        sigma = PartialRanking([["a", "b", "c"]])
+        pi = PartialRanking.from_sequence("abc")
+        sigma_pi = reflected_refinement(sigma, pi)
+        assert sigma_pi.items_in_order() == [
+            "a",
+            "b",
+            "c",
+            Mirror("c"),
+            Mirror("b"),
+            Mirror("a"),
+        ]
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_equation_7_midpoint_identity(self, seed):
+        sigma, _, pi = _random_pair_with_pi(seed)
+        sigma_pi = reflected_refinement(sigma, pi)
+        for d in sigma.domain:
+            midpoint = (sigma_pi[d] + sigma_pi[Mirror(d)]) / 2
+            assert midpoint == 2 * sigma[d] - 0.5
+
+    def test_domain_mismatch_rejected(self):
+        sigma = PartialRanking([["a", "b"]])
+        pi = PartialRanking.from_sequence("xy")
+        with pytest.raises(DomainMismatchError):
+            reflected_refinement(sigma, pi)
+
+
+class TestLemma21:
+    """K(sigma_pi, tau_pi) = 4 K_prof(sigma, tau), for EVERY pi."""
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_identity_for_random_pi(self, seed):
+        sigma, tau, pi = _random_pair_with_pi(seed)
+        sigma_pi = reflected_refinement(sigma, pi)
+        tau_pi = reflected_refinement(tau, pi)
+        assert kendall_full(sigma_pi, tau_pi) == 4 * kendall(sigma, tau)
+
+
+class TestNesting:
+    def test_nested_detection(self):
+        # sigma ties a with everything (wide interval); tau makes a strict
+        sigma = PartialRanking([["a", "b", "c"]])
+        tau = PartialRanking([["a"], ["b"], ["c"]])
+        pi = PartialRanking.from_sequence("bac")
+        sigma_pi = reflected_refinement(sigma, pi)
+        tau_pi = reflected_refinement(tau, pi)
+        # in tau_pi every interval is a tight adjacent pair; in sigma_pi
+        # the item pi ranks first ('b') spans the whole doubled bucket
+        # [1, 6], strictly containing its tau interval [3, 4]
+        assert mirror_interval("b", sigma_pi) == (1.0, 6.0)
+        assert is_nested("b", sigma_pi, tau_pi)
+        assert not is_nested("a", sigma_pi, tau_pi)
+
+    def test_interval_endpoints_are_item_then_mirror(self):
+        sigma = PartialRanking([["a", "b"]])
+        pi = PartialRanking.from_sequence("ab")
+        sigma_pi = reflected_refinement(sigma, pi)
+        low, high = mirror_interval("a", sigma_pi)
+        assert low < high
+
+
+class TestLemma22And23:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_constructed_pi_is_nesting_free(self, seed):
+        sigma, tau, _ = _random_pair_with_pi(seed)
+        pi = nesting_free_permutation(sigma, tau)
+        assert nested_elements(sigma, tau, pi) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_footrule_identity_at_constructed_pi(self, seed):
+        sigma, tau, _ = _random_pair_with_pi(seed)
+        pi = nesting_free_permutation(sigma, tau)
+        sigma_pi = reflected_refinement(sigma, pi)
+        tau_pi = reflected_refinement(tau, pi)
+        assert footrule_full(sigma_pi, tau_pi) == 4 * footrule(sigma, tau)
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_footrule_dominates_for_arbitrary_pi(self, seed):
+        """For any pi, F(sigma_pi, tau_pi) >= 4 F_prof — nesting only
+        inflates the lifted footrule, never deflates it."""
+        sigma, tau, pi = _random_pair_with_pi(seed)
+        sigma_pi = reflected_refinement(sigma, pi)
+        tau_pi = reflected_refinement(tau, pi)
+        assert footrule_full(sigma_pi, tau_pi) >= 4 * footrule(sigma, tau) - 1e-9
+
+    def test_respects_initial_permutation_argument(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking([["c"], ["a", "b"]])
+        initial = PartialRanking.from_sequence("bca")
+        pi = nesting_free_permutation(sigma, tau, initial=initial)
+        assert nested_elements(sigma, tau, pi) == []
+
+    def test_bad_initial_rejected(self):
+        sigma = PartialRanking([["a", "b"]])
+        with pytest.raises(DomainMismatchError):
+            nesting_free_permutation(sigma, sigma, initial=PartialRanking([["a", "b"]]))
+
+
+class TestTheorem24Rederived:
+    """Eq. (5) K_prof <= F_prof <= 2 K_prof, derived through the lift:
+    the classical Diaconis-Graham inequality on the doubled domain plus
+    Lemmas 21 and 23 yields the partial-ranking inequality."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(bucket_order_pairs(max_size=6))
+    def test_equation_5_via_reflection(self, pair):
+        sigma, tau = pair
+        pi = nesting_free_permutation(sigma, tau)
+        sigma_pi = reflected_refinement(sigma, pi)
+        tau_pi = reflected_refinement(tau, pi)
+        k_lifted = kendall_full(sigma_pi, tau_pi)
+        f_lifted = footrule_full(sigma_pi, tau_pi)
+        # classical DG on the lifted full rankings
+        assert k_lifted <= f_lifted <= 2 * k_lifted or (k_lifted == f_lifted == 0)
+        # transport back through the 4x identities
+        assert k_lifted == 4 * kendall(sigma, tau)
+        assert f_lifted == 4 * footrule(sigma, tau)

@@ -1,0 +1,142 @@
+"""Tests for the related-work correlation measures (§ Related work)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.partial_ranking import PartialRanking
+from repro.metrics.footrule import footrule
+from repro.metrics.kendall import kendall_full
+from repro.metrics.related import (
+    UndefinedCorrelationError,
+    baggerly_footrule,
+    goodman_kruskal_gamma,
+    kendall_tau_a,
+    kendall_tau_b,
+    normalized_baggerly_footrule,
+    spearman_rho,
+)
+from tests.conftest import bucket_order_pairs, full_rankings
+
+
+class TestTauA:
+    def test_identity_and_reversal(self):
+        sigma = PartialRanking.from_sequence("abcd")
+        assert kendall_tau_a(sigma, sigma) == 1.0
+        assert kendall_tau_a(sigma, sigma.reverse()) == -1.0
+
+    def test_affine_relation_to_kendall_distance(self):
+        sigma = PartialRanking.from_sequence("abcde")
+        tau = PartialRanking.from_sequence("baced")
+        n = 5
+        expected = 1 - 4 * kendall_full(sigma, tau) / (n * (n - 1))
+        assert kendall_tau_a(sigma, tau) == pytest.approx(expected)
+
+    def test_singleton_domain_undefined(self):
+        single = PartialRanking([["x"]])
+        with pytest.raises(UndefinedCorrelationError):
+            kendall_tau_a(single, single)
+
+
+class TestTauB:
+    def test_identity_on_tied_data(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        assert kendall_tau_b(sigma, sigma) == 1.0
+
+    def test_all_tied_is_undefined(self):
+        single_bucket = PartialRanking.single_bucket("abc")
+        full = PartialRanking.from_sequence("abc")
+        with pytest.raises(UndefinedCorrelationError):
+            kendall_tau_b(single_bucket, full)
+
+    @given(bucket_order_pairs(min_size=2))
+    def test_range(self, pair):
+        sigma, tau = pair
+        try:
+            value = kendall_tau_b(sigma, tau)
+        except UndefinedCorrelationError:
+            return
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    @given(full_rankings(min_size=2))
+    def test_matches_tau_a_without_ties(self, sigma):
+        tau = sigma.reverse()
+        assert kendall_tau_b(sigma, tau) == pytest.approx(kendall_tau_a(sigma, tau))
+
+
+class TestGamma:
+    def test_the_papers_objection(self):
+        """Gamma is undefined whenever every pair is tied somewhere —
+        e.g. against a constant attribute (single bucket)."""
+        sigma = PartialRanking.single_bucket("abcd")
+        tau = PartialRanking.from_sequence("abcd")
+        with pytest.raises(UndefinedCorrelationError):
+            goodman_kruskal_gamma(sigma, tau)
+        # two-element version from the module docstring
+        with pytest.raises(UndefinedCorrelationError):
+            goodman_kruskal_gamma(
+                PartialRanking([["a", "b"]]), PartialRanking.from_sequence("ab")
+            )
+
+    def test_defined_when_some_pair_is_strict_in_both(self):
+        sigma = PartialRanking([["a"], ["b"], ["c"]])
+        tau = PartialRanking([["a", "b"], ["c"]])
+        assert goodman_kruskal_gamma(sigma, tau) == 1.0
+
+    def test_ignores_ties_entirely(self):
+        # adding tied pairs never changes gamma; the metrics DO change
+        sigma = PartialRanking.from_sequence("ab")
+        tau = PartialRanking.from_sequence("ab")
+        assert goodman_kruskal_gamma(sigma, tau) == 1.0
+
+    @given(bucket_order_pairs(min_size=2))
+    def test_range_when_defined(self, pair):
+        sigma, tau = pair
+        try:
+            value = goodman_kruskal_gamma(sigma, tau)
+        except UndefinedCorrelationError:
+            return
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestSpearmanRho:
+    def test_identity_and_reversal(self):
+        sigma = PartialRanking.from_sequence("abcd")
+        assert spearman_rho(sigma, sigma) == pytest.approx(1.0)
+        assert spearman_rho(sigma, sigma.reverse()) == pytest.approx(-1.0)
+
+    def test_matches_scipy_on_tied_data(self):
+        from scipy.stats import spearmanr
+
+        sigma = PartialRanking([["a", "b"], ["c"], ["d", "e"]])
+        tau = PartialRanking([["c"], ["a"], ["b", "e"], ["d"]])
+        items = sorted(sigma.domain)
+        ours = spearman_rho(sigma, tau)
+        theirs = spearmanr(
+            [sigma[x] for x in items], [tau[x] for x in items]
+        ).statistic
+        assert ours == pytest.approx(float(theirs))
+
+    def test_all_tied_is_undefined(self):
+        single = PartialRanking.single_bucket("abc")
+        full = PartialRanking.from_sequence("abc")
+        with pytest.raises(UndefinedCorrelationError):
+            spearman_rho(single, full)
+
+
+class TestBaggerly:
+    def test_equals_f_prof(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking([["c"], ["a", "b"]])
+        assert baggerly_footrule(sigma, tau) == footrule(sigma, tau)
+
+    @given(bucket_order_pairs())
+    def test_normalized_is_in_unit_interval(self, pair):
+        sigma, tau = pair
+        value = normalized_baggerly_footrule(sigma, tau)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_normalized_hits_one_at_reversal(self):
+        sigma = PartialRanking.from_sequence("abcd")
+        assert normalized_baggerly_footrule(sigma, sigma.reverse()) == 1.0

@@ -1,0 +1,167 @@
+"""Tests for the in-memory relation and its ranking-producing sorts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.relation import Relation, SchemaError
+
+ROWS = [
+    {"id": "r1", "cuisine": "thai", "price": 2, "distance": 1.2},
+    {"id": "r2", "cuisine": "thai", "price": 1, "distance": 8.0},
+    {"id": "r3", "cuisine": "italian", "price": 2, "distance": 3.5},
+    {"id": "r4", "cuisine": "mexican", "price": 3, "distance": 25.0},
+]
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows("restaurants", "id", ROWS)
+
+
+class TestSchema:
+    def test_attributes_and_keys(self, relation):
+        assert relation.attributes == {"id", "cuisine", "price", "distance"}
+        assert relation.keys == {"r1", "r2", "r3", "r4"}
+        assert len(relation) == 4
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows("empty", "id", [])
+
+    def test_missing_key_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows("bad", "nope", ROWS)
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows("bad", "id", [{"id": 1, "a": 1}, {"id": 2}])
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows("bad", "id", [{"id": 1}, {"id": 1}])
+
+    def test_row_lookup(self, relation):
+        assert relation.row("r2")["price"] == 1
+        with pytest.raises(KeyError):
+            relation.row("zzz")
+
+    def test_column_and_distinct(self, relation):
+        assert relation.column("price") == {"r1": 2, "r2": 1, "r3": 2, "r4": 3}
+        assert relation.distinct_values("cuisine") == 3
+        with pytest.raises(SchemaError):
+            relation.column("nope")
+
+    def test_iteration(self, relation):
+        assert sum(1 for _ in relation) == 4
+
+
+class TestWhereAndProject:
+    def test_where_filters_rows(self, relation):
+        thai = relation.where(lambda row: row["cuisine"] == "thai")
+        assert thai.keys == {"r1", "r2"}
+        assert thai.attributes == relation.attributes
+
+    def test_where_empty_result_rejected(self, relation):
+        with pytest.raises(SchemaError):
+            relation.where(lambda row: False)
+
+    def test_filtered_constant_attribute_yields_single_bucket(self, relation):
+        # the degenerate case behind E13: after filtering, an attribute can
+        # become constant and its ranking ties everything
+        thai = relation.where(lambda row: row["cuisine"] == "thai")
+        ranking = thai.rank_by("cuisine")
+        assert ranking.type == (len(thai),)
+
+    def test_project_keeps_key(self, relation):
+        projected = relation.project(["price"])
+        assert projected.attributes == {"id", "price"}
+        assert projected.keys == relation.keys
+
+    def test_project_unknown_attribute_rejected(self, relation):
+        with pytest.raises(SchemaError):
+            relation.project(["nope"])
+
+    def test_where_then_rank_pipeline(self, relation):
+        nearby = relation.where(lambda row: row["distance"] <= 10.0)
+        ranking = nearby.rank_by("price")
+        assert ranking.domain == nearby.keys
+
+
+class TestRankBy:
+    def test_equal_values_are_tied(self, relation):
+        ranking = relation.rank_by("price")
+        assert ranking.tied("r1", "r3")
+        assert ranking.ahead("r2", "r1")
+        assert ranking.ahead("r1", "r4")
+
+    def test_reverse_direction(self, relation):
+        ranking = relation.rank_by("price", reverse=True)
+        assert ranking.ahead("r4", "r1")
+
+    def test_binning_coarsens(self, relation):
+        # "any distance up to ten miles is the same"
+        ranking = relation.rank_by("distance", binning=lambda d: d <= 10.0)
+        # True sorts after False in Python: use an explicit bin index instead
+        ranking = relation.rank_by("distance", binning=lambda d: 0 if d <= 10.0 else 1)
+        assert ranking.tied("r1", "r2")
+        assert ranking.tied("r1", "r3")
+        assert ranking.ahead("r1", "r4")
+
+    def test_value_order_for_categorical(self, relation):
+        ranking = relation.rank_by("cuisine", value_order=["italian", "thai"])
+        assert ranking.ahead("r3", "r1")
+        assert ranking.tied("r1", "r2")
+        # unlisted cuisines rank last
+        assert ranking.ahead("r1", "r4")
+
+    def test_unknown_attribute_rejected(self, relation):
+        with pytest.raises(SchemaError):
+            relation.rank_by("nope")
+
+    def test_ranking_domain_is_keys(self, relation):
+        assert relation.rank_by("price").domain == relation.keys
+
+
+class TestRankByLex:
+    def test_secondary_sort_breaks_primary_ties(self, relation):
+        # r1 and r3 tie on price=2; distance 1.2 < 3.5 breaks the tie
+        ranking = relation.rank_by_lex([("price", False), ("distance", False)])
+        assert ranking.ahead("r1", "r3")
+        assert ranking.ahead("r2", "r1")
+
+    def test_equals_star_of_attribute_rankings(self, relation):
+        from repro.core.refine import star
+
+        lex = relation.rank_by_lex([("price", False), ("distance", True)])
+        primary = relation.rank_by("price")
+        secondary = relation.rank_by("distance", reverse=True)
+        assert lex == star(secondary, primary)
+
+    def test_three_level_sort_is_associative_chain(self, relation):
+        from repro.core.refine import star_chain
+
+        lex = relation.rank_by_lex(
+            [("cuisine", False), ("price", False), ("distance", False)]
+        )
+        chained = star_chain(
+            relation.rank_by("distance"),
+            relation.rank_by("price"),
+            relation.rank_by("cuisine"),
+        )
+        assert lex == chained
+
+    def test_fully_tied_records_remain_tied(self):
+        rows = [
+            {"id": 1, "a": 0, "b": 0},
+            {"id": 2, "a": 0, "b": 0},
+            {"id": 3, "a": 1, "b": 0},
+        ]
+        relation = Relation.from_rows("t", "id", rows)
+        ranking = relation.rank_by_lex([("a", False), ("b", False)])
+        assert ranking.tied(1, 2)
+        assert ranking.ahead(1, 3)
+
+    def test_empty_criteria_rejected(self, relation):
+        with pytest.raises(SchemaError):
+            relation.rank_by_lex([])

@@ -1,0 +1,105 @@
+"""Tests for similarity search via rank aggregation ([11])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregate.median import median_scores
+from repro.db.relation import Relation, SchemaError
+from repro.db.similarity import similarity_rankings, similarity_search
+from repro.db.sources import restaurant_catalog
+
+ROWS = [
+    {"id": "q", "cuisine": "thai", "price": 2, "distance": 1.0},
+    {"id": "twin", "cuisine": "thai", "price": 2, "distance": 1.2},
+    {"id": "close", "cuisine": "thai", "price": 3, "distance": 2.0},
+    {"id": "far", "cuisine": "french", "price": 4, "distance": 30.0},
+    {"id": "mixed", "cuisine": "french", "price": 2, "distance": 1.0},
+]
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_rows("restaurants", "id", ROWS)
+
+
+class TestSimilarityRankings:
+    def test_one_ranking_per_attribute(self, relation):
+        rankings = similarity_rankings(relation, "q")
+        assert len(rankings) == 3  # cuisine, price, distance
+        assert all(r.domain == relation.keys for r in rankings)
+
+    def test_query_record_tops_every_ranking(self, relation):
+        for ranking in similarity_rankings(relation, "q"):
+            assert ranking.bucket_index("q") == 0
+
+    def test_categorical_attribute_gives_two_buckets(self, relation):
+        (ranking,) = similarity_rankings(relation, "q", attributes=["cuisine"])
+        assert len(ranking.buckets) == 2
+        assert ranking.tied("q", "twin")
+        assert ranking.ahead("q", "far")
+
+    def test_numeric_attribute_orders_by_distance(self, relation):
+        (ranking,) = similarity_rankings(relation, "q", attributes=["price"])
+        assert ranking.ahead("twin", "close")
+        assert ranking.ahead("close", "far")
+
+    def test_unknown_query_key_raises(self, relation):
+        with pytest.raises(KeyError):
+            similarity_rankings(relation, "nope")
+
+    def test_unknown_attribute_raises(self, relation):
+        with pytest.raises(SchemaError):
+            similarity_rankings(relation, "q", attributes=["nope"])
+
+    def test_empty_attribute_list_raises(self, relation):
+        with pytest.raises(SchemaError):
+            similarity_rankings(relation, "q", attributes=[])
+
+
+class TestSimilaritySearch:
+    def test_nearest_neighbors_are_the_two_near_matches(self, relation):
+        # 'twin' matches cuisine+price with a tiny distance gap; 'mixed'
+        # matches price+distance exactly with a cuisine mismatch — under
+        # median rank these legitimately tie as the two nearest neighbours
+        result = similarity_search(relation, "q", k=2)
+        assert set(result.neighbors) == {"twin", "mixed"}
+        assert "q" not in result.neighbors
+
+    def test_far_record_is_last_choice(self, relation):
+        result = similarity_search(relation, "q", k=4)
+        assert result.neighbors[-1] == "far"
+
+    def test_access_log_is_populated(self, relation):
+        result = similarity_search(relation, "q", k=1)
+        assert result.access_log.num_lists == 3
+        assert result.access_log.depth >= 1
+
+    def test_k_validation(self, relation):
+        with pytest.raises(SchemaError):
+            similarity_search(relation, "q", k=0)
+        with pytest.raises(SchemaError):
+            similarity_search(relation, "q", k=len(relation))
+
+    def test_neighbors_have_small_median_closeness_rank(self, relation):
+        result = similarity_search(relation, "q", k=2)
+        scores = median_scores(list(result.input_rankings))
+        worst_neighbor = max(scores[item] for item in result.neighbors)
+        non_neighbors = (
+            relation.keys - set(result.neighbors) - {"q"}
+        )
+        # neighbours returned by the sequential algorithm are no worse in
+        # median closeness than the records it skipped, up to bucket slack
+        assert all(
+            scores[other] >= worst_neighbor - max(r.type and max(r.type) for r in result.input_rankings)
+            for other in non_neighbors
+        )
+
+    def test_on_synthetic_catalog(self):
+        relation = restaurant_catalog(60, seed=2)
+        query = "r0000"
+        result = similarity_search(relation, query, k=5)
+        assert len(result.neighbors) == 5
+        assert query not in result.neighbors
+        # heavy ties in the closeness rankings (categorical + few-valued)
+        assert max(max(r.type) for r in result.input_rankings) > 5

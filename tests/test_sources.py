@@ -1,0 +1,116 @@
+"""Tests for the synthetic catalog generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.sources import (
+    AIRLINES,
+    CUISINES,
+    SUBJECT_AREAS,
+    bibliography_catalog,
+    flight_catalog,
+    restaurant_catalog,
+)
+
+
+class TestRestaurantCatalog:
+    def test_deterministic_under_seed(self):
+        assert restaurant_catalog(20, seed=3).rows == restaurant_catalog(20, seed=3).rows
+
+    def test_different_seeds_differ(self):
+        assert restaurant_catalog(20, seed=1).rows != restaurant_catalog(20, seed=2).rows
+
+    def test_schema(self):
+        relation = restaurant_catalog(10)
+        assert relation.attributes == {
+            "id",
+            "cuisine",
+            "price",
+            "stars",
+            "distance_miles",
+            "seats",
+        }
+        assert len(relation) == 10
+
+    def test_few_valued_attributes_create_ties(self):
+        relation = restaurant_catalog(200, seed=0)
+        assert relation.distinct_values("cuisine") <= len(CUISINES)
+        assert relation.distinct_values("price") <= 4
+        assert relation.distinct_values("stars") <= 9
+        ranking = relation.rank_by("cuisine", value_order=list(CUISINES))
+        assert max(ranking.type) > 10
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            restaurant_catalog(0)
+
+
+class TestFlightCatalog:
+    def test_deterministic_under_seed(self):
+        assert flight_catalog(20, seed=3).rows == flight_catalog(20, seed=3).rows
+
+    def test_connections_has_at_most_four_values(self):
+        relation = flight_catalog(300, seed=0)
+        assert relation.distinct_values("connections") <= 4
+        assert relation.distinct_values("airline") <= len(AIRLINES)
+
+    def test_duration_correlates_with_connections(self):
+        relation = flight_catalog(500, seed=0)
+        by_connections: dict[int, list[int]] = {}
+        for row in relation:
+            by_connections.setdefault(row["connections"], []).append(
+                row["duration_minutes"]
+            )
+        means = {
+            c: sum(values) / len(values) for c, values in by_connections.items()
+        }
+        assert means[0] < means[2]
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            flight_catalog(-5)
+
+
+class TestBibliographyCatalog:
+    def test_deterministic_under_seed(self):
+        assert (
+            bibliography_catalog(20, seed=3).rows == bibliography_catalog(20, seed=3).rows
+        )
+
+    def test_schema(self):
+        relation = bibliography_catalog(10)
+        assert relation.attributes == {
+            "id",
+            "year",
+            "citations",
+            "area",
+            "pages",
+            "num_authors",
+        }
+
+    def test_citations_are_heavy_tailed(self):
+        relation = bibliography_catalog(300, seed=0)
+        citations = [row["citations"] for row in relation]
+        zero_fraction = sum(1 for c in citations if c == 0) / len(citations)
+        assert zero_fraction > 0.3  # a large tied bucket at the bottom
+        assert max(citations) > 10  # but a real tail exists
+
+    def test_few_valued_attributes(self):
+        relation = bibliography_catalog(200, seed=0)
+        assert relation.distinct_values("area") <= len(SUBJECT_AREAS)
+        assert relation.distinct_values("year") <= 7
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            bibliography_catalog(0)
+
+
+class TestBibliographyWorkload:
+    def test_workload_wiring(self):
+        from repro.generators.workloads import db_profile_workload
+
+        workload = db_profile_workload(50, seed=0, catalog="bibliography")
+        assert workload.domain_size == 50
+        assert workload.num_inputs == 4
+        assert workload.max_bucket > 5  # the zero-citation bucket

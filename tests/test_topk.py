@@ -1,0 +1,139 @@
+"""Unit tests for top-k helpers and the Appendix A.3 correspondence."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partial_ranking import PartialRanking
+from repro.core.topk import (
+    footrule_location_parameter,
+    footrule_with_location,
+    project_to_active_domain,
+    top_items,
+    top_k_cutoff,
+    top_k_from_scores,
+)
+from repro.errors import DomainMismatchError, InvalidRankingError
+from repro.generators.random import random_top_k
+from repro.metrics.footrule import footrule
+
+
+class TestTopKFromScores:
+    def test_picks_best_scores(self):
+        scores = {"a": 3, "b": 1, "c": 2, "d": 9}
+        sigma = top_k_from_scores(scores, 2)
+        assert top_items(sigma, 2) == ["b", "c"]
+
+    def test_reverse_picks_largest(self):
+        scores = {"a": 3, "b": 1, "c": 2}
+        sigma = top_k_from_scores(scores, 1, reverse=True)
+        assert top_items(sigma, 1) == ["a"]
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            top_k_from_scores({"a": 1}, 0)
+        with pytest.raises(InvalidRankingError):
+            top_k_from_scores({"a": 1}, 2)
+
+    def test_ties_broken_deterministically(self):
+        scores = {"a": 1, "b": 1, "c": 1}
+        assert top_k_from_scores(scores, 2) == top_k_from_scores(dict(scores), 2)
+
+
+class TestTopKCutoff:
+    def test_collapses_tail(self):
+        sigma = PartialRanking.from_sequence("abcd")
+        cut = top_k_cutoff(sigma, 2)
+        assert cut.type == (1, 1, 2)
+        assert top_items(cut, 2) == ["a", "b"]
+
+    def test_straddling_bucket_rejected(self):
+        sigma = PartialRanking([["a", "b", "c"], ["d"]])
+        with pytest.raises(InvalidRankingError):
+            top_k_cutoff(sigma, 2)
+
+    def test_bucket_inside_cutoff_is_split_canonically(self):
+        sigma = PartialRanking([["b", "a"], ["c"], ["d"]])
+        cut = top_k_cutoff(sigma, 2)
+        assert top_items(cut, 2) == ["a", "b"]
+
+    def test_bad_k_rejected(self):
+        sigma = PartialRanking.from_sequence("abc")
+        with pytest.raises(InvalidRankingError):
+            top_k_cutoff(sigma, 3)
+
+
+class TestActiveDomain:
+    def test_union_of_tops(self):
+        domain = "abcdef"
+        sigma = PartialRanking.top_k(["a", "b"], domain)
+        tau = PartialRanking.top_k(["c", "b"], domain)
+        proj_sigma, proj_tau = project_to_active_domain(sigma, tau, 2)
+        assert proj_sigma.domain == proj_tau.domain == {"a", "b", "c"}
+
+    def test_non_topk_rejected(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking.top_k(["a"], "abc")
+        with pytest.raises(InvalidRankingError):
+            project_to_active_domain(sigma, tau, 1)
+
+
+class TestFootruleWithLocation:
+    def test_identity_at_canonical_location(self):
+        domain = "abcdefgh"
+        sigma = PartialRanking.top_k(["a", "b", "c"], domain)
+        tau = PartialRanking.top_k(["c", "d", "a"], domain)
+        ell = footrule_location_parameter(len(domain), 3)
+        assert footrule_with_location(sigma, tau, 3, ell) == pytest.approx(
+            footrule(sigma, tau)
+        )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_identity_on_random_topk_pairs(self, seed):
+        n, k = 12, 4
+        sigma = random_top_k(n, k, seed)
+        tau = random_top_k(n, k, seed + 1)
+        assert footrule_with_location(sigma, tau, k) == pytest.approx(
+            footrule(sigma, tau)
+        )
+
+    def test_location_must_exceed_k(self):
+        domain = "abcd"
+        sigma = PartialRanking.top_k(["a"], domain)
+        tau = PartialRanking.top_k(["b"], domain)
+        with pytest.raises(InvalidRankingError):
+            footrule_with_location(sigma, tau, 1, ell=1.0)
+
+    def test_domain_mismatch_rejected(self):
+        sigma = PartialRanking.top_k(["a"], "abc")
+        tau = PartialRanking.top_k(["x"], "xyz")
+        with pytest.raises(DomainMismatchError):
+            footrule_with_location(sigma, tau, 1)
+
+    def test_non_topk_rejected(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        tau = PartialRanking.top_k(["a"], "abc")
+        with pytest.raises(InvalidRankingError):
+            footrule_with_location(sigma, tau, 1)
+
+    def test_larger_location_grows_distance(self):
+        domain = "abcdef"
+        sigma = PartialRanking.top_k(["a"], domain)
+        tau = PartialRanking.top_k(["b"], domain)
+        canonical = footrule_location_parameter(len(domain), 1)
+        small = footrule_with_location(sigma, tau, 1, canonical)
+        large = footrule_with_location(sigma, tau, 1, canonical + 3)
+        assert large >= small
+
+
+class TestTopItems:
+    def test_returns_in_order(self):
+        sigma = PartialRanking.top_k(["c", "a"], "abcd")
+        assert top_items(sigma, 2) == ["c", "a"]
+
+    def test_rejects_wrong_shape(self):
+        sigma = PartialRanking([["a", "b"], ["c"]])
+        with pytest.raises(InvalidRankingError):
+            top_items(sigma, 1)

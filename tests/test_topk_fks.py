@@ -1,0 +1,129 @@
+"""Tests for the FKS varying-active-domain top-k measures (§A.3)."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import pytest
+
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import InvalidRankingError
+from repro.metrics.footrule import footrule
+from repro.metrics.kendall import kendall
+from repro.metrics.topk_fks import (
+    active_domain,
+    as_partial_rankings,
+    fks_footrule,
+    fks_footrule_hausdorff,
+    fks_kendall,
+    fks_kendall_hausdorff,
+)
+
+ALL_MEASURES = (
+    fks_kendall,
+    fks_footrule,
+    fks_kendall_hausdorff,
+    fks_footrule_hausdorff,
+)
+
+
+class TestProjection:
+    def test_active_domain_is_union(self):
+        assert active_domain(["a", "b"], ["b", "c"]) == {"a", "b", "c"}
+
+    def test_projection_shapes(self):
+        sigma, tau = as_partial_rankings(["a", "b"], ["c", "d"])
+        assert sigma.domain == tau.domain == {"a", "b", "c", "d"}
+        assert sigma.is_top_k(2)
+        assert tau.is_top_k(2)
+
+    def test_disjoint_lists_bottom_buckets(self):
+        sigma, _ = as_partial_rankings(["a"], ["b", "c"])
+        assert sigma.bucket_of("b") == {"b", "c"}
+
+    def test_identical_lists_are_full_over_their_items(self):
+        sigma, tau = as_partial_rankings(["a", "b"], ["a", "b"])
+        assert sigma == tau
+        assert sigma.is_full
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            fks_kendall([], ["a"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            fks_kendall(["a", "a"], ["b"])
+
+
+class TestAgreementWithFixedDomain:
+    def test_same_domain_lists_match_fixed_domain_metrics(self):
+        """When the two lists cover the same items, the FKS values equal the
+        fixed-domain metrics on the corresponding partial rankings (A.3:
+        'our definitions are then exactly the same in the two scenarios')."""
+        top1, top2 = ["a", "b", "c"], ["c", "a", "b"]
+        sigma = PartialRanking.from_sequence(top1)
+        tau = PartialRanking.from_sequence(top2)
+        assert fks_kendall(top1, top2) == kendall(sigma, tau)
+        assert fks_footrule(top1, top2) == footrule(sigma, tau)
+
+    def test_symmetry(self):
+        for measure in ALL_MEASURES:
+            assert measure(["a", "b"], ["c", "b"]) == measure(["c", "b"], ["a", "b"])
+
+    def test_regularity(self):
+        for measure in ALL_MEASURES:
+            assert measure(["a", "b"], ["a", "b"]) == 0
+
+
+class TestNearMetricBehaviour:
+    """A.3's punchline: the same formulas are metrics over a fixed domain
+    but only NEAR metrics when the active domain varies per pair."""
+
+    def _all_top2_lists(self):
+        return [list(t) for t in permutations("abcd", 2)]
+
+    def test_triangle_violations_exist_for_kendall(self):
+        lists = self._all_top2_lists()
+        violations = 0
+        worst = 1.0
+        for x in lists:
+            for y in lists:
+                for z in lists:
+                    through = fks_kendall(x, y) + fks_kendall(y, z)
+                    direct = fks_kendall(x, z)
+                    if direct > through + 1e-9:
+                        violations += 1
+                        if through > 0:
+                            worst = max(worst, direct / through)
+        assert violations > 0, "expected triangle violations in the FKS scenario"
+        # ... but only by a bounded factor: it is a NEAR metric
+        assert worst <= 2.0 + 1e-9
+
+    def test_fixed_domain_restriction_is_a_metric(self):
+        """Restricting to lists over one fixed item set removes violations."""
+        lists = [list(t) for t in permutations("abc", 3)]
+        for x in lists:
+            for y in lists:
+                for z in lists:
+                    assert fks_kendall(x, z) <= (
+                        fks_kendall(x, y) + fks_kendall(y, z) + 1e-9
+                    )
+
+    def test_known_violation_example(self):
+        # d(ab, cd) = 5 > d(ab, ac) + d(ac, cd) = 1 + 2
+        assert fks_kendall(["a", "b"], ["c", "d"]) == 5.0
+        assert fks_kendall(["a", "b"], ["a", "c"]) == 1.0
+        assert fks_kendall(["a", "c"], ["c", "d"]) == 2.0
+
+
+class TestHausdorffVariants:
+    def test_hausdorff_dominates_profile_versions(self):
+        top1, top2 = ["a", "b"], ["b", "c"]
+        assert fks_kendall_hausdorff(top1, top2) >= fks_kendall(top1, top2)
+        assert fks_footrule_hausdorff(top1, top2) >= fks_footrule(top1, top2) / 2
+
+    def test_disjoint_lists_kendall_structure(self):
+        # ab vs cd over {a,b,c,d}: the 4 cross pairs are strictly reversed
+        # (U=4), (a,b) is tied only in tau (S=1), (c,d) only in sigma (T=1),
+        # so Prop 6 gives K_Haus = 4 + max(1,1) = 5
+        assert fks_kendall_hausdorff(["a", "b"], ["c", "d"]) == 5

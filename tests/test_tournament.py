@@ -1,0 +1,109 @@
+"""Tests for the majority-tournament / Condorcet utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate.kemeny import kemeny_lower_bound, kemeny_optimal
+from repro.aggregate.objective import total_distance
+from repro.aggregate.tournament import (
+    condorcet_winner,
+    is_condorcet_consistent,
+    majority_digraph,
+    topological_aggregation,
+)
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import AggregationError
+from repro.generators.random import random_bucket_order, resolve_rng
+
+
+def _consensus_profile():
+    return [
+        PartialRanking.from_sequence("abcd"),
+        PartialRanking.from_sequence("abcd"),
+        PartialRanking.from_sequence("abdc"),
+    ]
+
+
+def _cycle_profile():
+    return [
+        PartialRanking.from_sequence("abc"),
+        PartialRanking.from_sequence("bca"),
+        PartialRanking.from_sequence("cab"),
+    ]
+
+
+class TestMajorityDigraph:
+    def test_consensus_graph_is_the_total_order(self):
+        graph = majority_digraph(_consensus_profile())
+        assert graph.has_edge("a", "b")
+        assert graph.has_edge("a", "c")
+        assert graph.has_edge("c", "d")  # 2 of 3 voters
+        assert not graph.has_edge("d", "c")
+
+    def test_margins_are_positive(self):
+        graph = majority_digraph(_consensus_profile())
+        for _, _, data in graph.edges(data=True):
+            assert data["margin"] > 0
+            assert data["cost"] >= 0
+
+    def test_tied_pair_has_no_edge(self):
+        rankings = [
+            PartialRanking.from_sequence("ab"),
+            PartialRanking.from_sequence("ba"),
+        ]
+        graph = majority_digraph(rankings)
+        assert graph.number_of_edges() == 0
+
+    def test_cycle_detected(self):
+        assert not is_condorcet_consistent(_cycle_profile())
+        assert is_condorcet_consistent(_consensus_profile())
+
+
+class TestCondorcetWinner:
+    def test_consensus_winner(self):
+        assert condorcet_winner(_consensus_profile()) == "a"
+
+    def test_cycle_has_no_winner(self):
+        assert condorcet_winner(_cycle_profile()) is None
+
+    def test_no_winner_with_tied_top(self):
+        rankings = [
+            PartialRanking.from_sequence("abc"),
+            PartialRanking.from_sequence("bac"),
+        ]
+        assert condorcet_winner(rankings) is None
+
+
+class TestTopologicalAggregation:
+    def test_matches_lower_bound_and_exact_optimum(self):
+        rankings = _consensus_profile()
+        ranking, cost = topological_aggregation(rankings)
+        assert ranking.is_full
+        assert cost == pytest.approx(kemeny_lower_bound(rankings))
+        _, exact = kemeny_optimal(rankings)
+        assert cost == pytest.approx(exact)
+        assert total_distance(ranking, rankings, "k_prof") == pytest.approx(cost)
+
+    def test_cyclic_instance_rejected(self):
+        with pytest.raises(AggregationError):
+            topological_aggregation(_cycle_profile())
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_acyclic_random_instances_are_solved_exactly(self, seed):
+        rng = resolve_rng(seed)
+        rankings = [random_bucket_order(6, rng) for _ in range(5)]
+        if not is_condorcet_consistent(rankings):
+            return
+        _, topo_cost = topological_aggregation(rankings)
+        _, exact_cost = kemeny_optimal(rankings)
+        assert topo_cost == pytest.approx(exact_cost)
+        assert topo_cost == pytest.approx(kemeny_lower_bound(rankings))
+
+    def test_condorcet_winner_tops_the_aggregation(self):
+        rankings = _consensus_profile()
+        ranking, _ = topological_aggregation(rankings)
+        assert ranking.items_in_order()[0] == condorcet_winner(rankings)

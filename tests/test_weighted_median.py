@@ -1,0 +1,112 @@
+"""Tests for weighted median aggregation (the Lemma 8 generalization)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate.median import (
+    MedianAggregator,
+    median_full_ranking,
+    median_of,
+    median_scores,
+)
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import AggregationError
+from repro.generators.random import random_bucket_order, resolve_rng
+
+
+class TestWeightedMedianOf:
+    def test_dominant_weight_wins(self):
+        assert median_of([1.0, 2.0, 10.0], weights=[1.0, 1.0, 5.0]) == 10.0
+
+    def test_unit_weights_match_unweighted(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        for tie in ("low", "mid", "high"):
+            assert median_of(values, tie=tie, weights=[1.0] * 4) == median_of(
+                values, tie=tie
+            )
+
+    def test_exact_half_split_uses_tie_rule(self):
+        assert median_of([1.0, 2.0], weights=[1.0, 1.0], tie="low") == 1.0
+        assert median_of([1.0, 2.0], weights=[1.0, 1.0], tie="high") == 2.0
+        assert median_of([1.0, 2.0], weights=[1.0, 1.0], tie="mid") == 1.5
+
+    def test_weight_validation(self):
+        with pytest.raises(AggregationError):
+            median_of([1.0, 2.0], weights=[1.0])
+        with pytest.raises(AggregationError):
+            median_of([1.0, 2.0], weights=[1.0, 0.0])
+        with pytest.raises(AggregationError):
+            median_of([1.0], weights=[-2.0])
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-20, max_value=20),
+                st.floats(min_value=0.1, max_value=5.0),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_weighted_median_minimizes_weighted_l1(self, pairs):
+        """The weighted Lemma 8: no point beats the weighted median."""
+        values = [v for v, _ in pairs]
+        weights = [w for _, w in pairs]
+
+        def objective(x: float) -> float:
+            return sum(w * abs(x - v) for (v, w) in pairs)
+
+        for tie in ("low", "mid", "high"):
+            m = median_of(values, tie=tie, weights=weights)
+            best = objective(m)
+            for candidate in values:
+                assert best <= objective(candidate) + 1e-9
+
+
+class TestWeightedScores:
+    def test_heavily_weighted_voter_dominates(self):
+        a = PartialRanking.from_sequence("abc")
+        b = PartialRanking.from_sequence("cba")
+        scores = median_scores([a, b, b], weights=[10.0, 1.0, 1.0])
+        assert scores["a"] < scores["c"]
+
+    def test_weight_count_validated(self):
+        a = PartialRanking.from_sequence("ab")
+        with pytest.raises(AggregationError):
+            median_scores([a, a], weights=[1.0])
+
+    def test_full_ranking_respects_weights(self):
+        a = PartialRanking.from_sequence("abc")
+        b = PartialRanking.from_sequence("cba")
+        heavy_a = median_full_ranking([a, b], weights=[5.0, 1.0])
+        heavy_b = median_full_ranking([a, b], weights=[1.0, 5.0])
+        assert heavy_a == a
+        assert heavy_b == b
+
+
+class TestWeightedAggregator:
+    def test_weights_forwarded_through_all_outputs(self):
+        rng = resolve_rng(7)
+        rankings = tuple(random_bucket_order(6, rng) for _ in range(3))
+        weighted = MedianAggregator(rankings, weights=(3.0, 1.0, 1.0))
+        assert weighted.full_ranking().domain == rankings[0].domain
+        assert weighted.partial_ranking().domain == rankings[0].domain
+        assert weighted.top_k(2).is_top_k(2)
+
+    def test_weight_count_validated_at_construction(self):
+        a = PartialRanking.from_sequence("ab")
+        with pytest.raises(AggregationError):
+            MedianAggregator((a, a), weights=(1.0,))
+
+    def test_unit_weights_match_unweighted_everywhere(self):
+        rng = resolve_rng(13)
+        rankings = tuple(random_bucket_order(7, rng) for _ in range(4))
+        plain = MedianAggregator(rankings)
+        weighted = MedianAggregator(rankings, weights=(1.0,) * 4)
+        assert plain.scores() == weighted.scores()
+        assert plain.full_ranking() == weighted.full_ranking()
+        assert plain.partial_ranking() == weighted.partial_ranking()
