@@ -1,0 +1,225 @@
+"""Runtime metric contracts — the dynamic half of the analysis subsystem.
+
+:func:`checked_metric` wraps a distance function with the paper's axioms as
+executable postconditions, active only when the ``REPRO_DEBUG`` environment
+variable is truthy (so production calls pay one ``dict`` lookup and nothing
+else):
+
+* **non-negativity** — ``d(sigma, tau) >= 0``;
+* **regularity at zero** — ``d(sigma, sigma) == 0`` (within tolerance);
+* **symmetry** — ``d(sigma, tau) == d(tau, sigma)``, recomputed;
+* **(near-)triangle inequality** — against a small rolling history of
+  recent calls sharing the same extra arguments: whenever the history
+  holds ``d(x, a) = u`` and the new call computes ``d(a, b) = v``, the
+  chained value ``d(x, b)`` must satisfy
+  ``d(x, b) <= c * (u + v) + tol``.
+
+The constant ``c`` comes from the paper. Metrics (``F_prof``, ``K_Haus``,
+``F_Haus``, and ``K^(p)`` with ``p >= 1/2``) use ``c = 1``. For
+``K^(p)`` with ``0 < p < 1/2``, Proposition 13's scaling relation
+``K^(p) <= K^(1/2) <= (1/(2p)) K^(p)`` makes the relaxed triangle
+inequality hold with ``c = 1/(2p)`` — see :func:`near_triangle_constant`.
+At ``p = 0`` the function is not a distance measure and the triangle check
+is skipped entirely.
+
+The static rule RP002 cross-references this layer: decorating an entry
+point with ``@checked_metric`` counts as domain-validation evidence,
+because a symmetric recomputation plus the library's own validators run
+under the contract.
+
+Violations raise :class:`repro.errors.MetricContractError`.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import os
+import threading
+from collections import deque
+from collections.abc import Callable
+from typing import Any, TypeVar
+
+from repro.errors import MetricContractError
+
+__all__ = [
+    "ENV_FLAG",
+    "contracts_enabled",
+    "near_triangle_constant",
+    "checked_metric",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_HISTORY",
+]
+
+ENV_FLAG = "REPRO_DEBUG"
+DEFAULT_TOLERANCE = 1e-9
+DEFAULT_HISTORY = 4
+
+_FALSY = frozenset({"", "0", "false", "False", "no", "off"})
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def contracts_enabled() -> bool:
+    """True when ``REPRO_DEBUG`` is set to a truthy value."""
+    return os.environ.get(ENV_FLAG, "") not in _FALSY
+
+
+def near_triangle_constant(p: float) -> float:
+    """The relaxed-triangle constant of ``K^(p)`` (Proposition 13).
+
+    ``c = 1`` for ``p >= 1/2`` (a genuine metric), ``c = 1/(2p)`` for
+    ``0 < p < 1/2`` (a near metric), and ``inf`` at ``p = 0`` (not a
+    distance measure — no triangle guarantee exists, so the check is
+    skipped).
+    """
+    if p <= 0.0:
+        return math.inf
+    return 1.0 if p >= 0.5 else 1.0 / (2.0 * p)
+
+
+_guard = threading.local()
+
+
+def _checking() -> bool:
+    return getattr(_guard, "active", False)
+
+
+class _History:
+    """Rolling record of recent calls, keyed by the extra (non-ranking)
+    arguments so only like-for-like values are chained."""
+
+    __slots__ = ("_entries", "_maxlen")
+
+    def __init__(self, maxlen: int) -> None:
+        self._entries: dict[Any, deque[tuple[Any, Any, float]]] = {}
+        self._maxlen = maxlen
+
+    @staticmethod
+    def _key(args: tuple[Any, ...], kwargs: dict[str, Any]) -> Any:
+        try:
+            key = (args, tuple(sorted(kwargs.items())))
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def chains_into(
+        self, key: Any, first: Any, *, symmetric: bool
+    ) -> list[tuple[Any, float]]:
+        """Entries ``(x, u)`` with a recorded ``d(x, first) = u``.
+
+        For symmetric metrics a recorded ``d(first, y)`` chains too, since
+        it equals ``d(y, first)``.
+        """
+        if key is None:
+            return []
+        chained: list[tuple[Any, float]] = []
+        for x, y, u in self._entries.get(key, ()):
+            if y == first:
+                chained.append((x, u))
+            elif symmetric and x == first:
+                chained.append((y, u))
+        return chained
+
+    def record(self, key: Any, sigma: Any, tau: Any, value: float) -> None:
+        if key is None:
+            return
+        bucket = self._entries.setdefault(key, deque(maxlen=self._maxlen))
+        bucket.append((sigma, tau, value))
+        if len(self._entries) > 16:  # bound the number of distinct arg keys
+            self._entries.pop(next(iter(self._entries)))
+
+
+def _violation(func_name: str, axiom: str, detail: str) -> MetricContractError:
+    return MetricContractError(
+        f"metric contract violated: {func_name} broke {axiom} — {detail} "
+        f"(checked because {ENV_FLAG} is set)"
+    )
+
+
+def checked_metric(
+    name: str | None = None,
+    *,
+    symmetric: bool = True,
+    constant: float = 1.0,
+    constant_from: Callable[[tuple[Any, ...], dict[str, Any]], float] | None = None,
+    history: int = DEFAULT_HISTORY,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Callable[[F], F]:
+    """Decorate a distance ``d(sigma, tau, *extras)`` with axiom contracts.
+
+    Parameters
+    ----------
+    name:
+        Display name in violation messages (defaults to the function name).
+    symmetric:
+        Check ``d(sigma, tau) == d(tau, sigma)`` by recomputation.
+    constant:
+        The (near-)triangle constant ``c``; ``math.inf`` disables the check.
+    constant_from:
+        Optional ``(args, kwargs) -> c`` override for parameter-dependent
+        constants (``K^(p)``'s regime depends on ``p``).
+    history:
+        How many recent calls per extra-argument key are retained for
+        triangle chaining.
+    tolerance:
+        Absolute slack applied to every comparison.
+    """
+
+    def decorate(func: F) -> F:
+        label = name or func.__name__
+        call_history = _History(history)
+
+        @functools.wraps(func)
+        def wrapper(sigma: Any, tau: Any, *args: Any, **kwargs: Any) -> Any:
+            value = func(sigma, tau, *args, **kwargs)
+            if not contracts_enabled() or _checking():
+                return value
+            _guard.active = True
+            try:
+                numeric = float(value)
+                if numeric < -tolerance:
+                    raise _violation(
+                        label, "non-negativity", f"d = {value!r} < 0"
+                    )
+                if sigma == tau and numeric > tolerance:
+                    raise _violation(
+                        label, "regularity", f"d(x, x) = {value!r} != 0"
+                    )
+                if symmetric:
+                    mirrored = float(func(tau, sigma, *args, **kwargs))
+                    if abs(mirrored - numeric) > tolerance:
+                        raise _violation(
+                            label,
+                            "symmetry",
+                            f"d(x, y) = {value!r} but d(y, x) = {mirrored!r}",
+                        )
+                c = constant_from(args, kwargs) if constant_from else constant
+                key = call_history._key(args, kwargs)
+                if math.isfinite(c):
+                    for x, u in call_history.chains_into(key, sigma, symmetric=symmetric):
+                        chained = float(func(x, tau, *args, **kwargs))
+                        bound = c * (u + numeric) + tolerance
+                        if chained > bound:
+                            raise _violation(
+                                label,
+                                "near-triangle inequality",
+                                f"d(x, z) = {chained!r} > "
+                                f"{c!r} * ({u!r} + {value!r}) with c = {c!r}",
+                            )
+                call_history.record(key, sigma, tau, numeric)
+            finally:
+                _guard.active = False
+            return value
+
+        wrapper.__repro_contract__ = {  # type: ignore[attr-defined]
+            "name": label,
+            "symmetric": symmetric,
+            "constant": constant,
+            "history": history,
+            "tolerance": tolerance,
+        }
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -1,0 +1,54 @@
+"""Reporters turning an :class:`~repro.analysis.engine.AnalysisResult`
+into text for humans or JSON for machines (CI annotations, dashboards)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisResult, Severity
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: AnalysisResult, *, show_suppressed: bool = False) -> str:
+    """GCC-style ``path:line:col: severity RPxxx message`` lines plus a
+    one-line summary."""
+    lines: list[str] = []
+    for finding in result.parse_errors:
+        lines.append(
+            f"{finding.location}: error {finding.rule} {finding.message}"
+        )
+    shown = result.findings if show_suppressed else result.active
+    for finding in shown:
+        suffix = "  [suppressed]" if finding.suppressed else ""
+        lines.append(
+            f"{finding.location}: {finding.severity} {finding.rule} "
+            f"{finding.message}{suffix}"
+        )
+    active = result.active
+    errors = sum(1 for f in active if f.severity >= Severity.ERROR)
+    warnings = sum(1 for f in active if f.severity == Severity.WARNING)
+    suppressed = len(result.findings) - len(active)
+    summary = (
+        f"{result.files_checked} file(s) checked, "
+        f"{len(result.rules_run)} rule(s): "
+        f"{errors} error(s), {warnings} warning(s), {suppressed} suppressed"
+    )
+    if result.parse_errors:
+        summary += f", {len(result.parse_errors)} unparseable file(s)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """A machine-readable report: schema version, run metadata, findings."""
+    payload = {
+        "schema": "repro.analysis/1",
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "errors": sum(1 for f in result.active if f.severity >= Severity.ERROR),
+        "warnings": sum(1 for f in result.active if f.severity == Severity.WARNING),
+        "findings": [finding.to_dict() for finding in result.findings],
+        "parse_errors": [finding.to_dict() for finding in result.parse_errors],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,34 @@
+"""The shipped RPxxx rules. Importing this package registers every rule
+with :mod:`repro.analysis.engine`.
+
+=====  ====================================  =========================================
+Code   Module                                What it enforces
+=====  ====================================  =========================================
+RP001  :mod:`~repro.analysis.rules.numerics`       no exact float equality on distances
+RP002  :mod:`~repro.analysis.rules.contracts_xref` entry points validate their domain
+RP003  :mod:`~repro.analysis.rules.api_surface`    ``__all__`` matches real bindings
+RP004  :mod:`~repro.analysis.rules.oracles`        naive oracles stay out of serving code
+RP005  :mod:`~repro.analysis.rules.hygiene`        no mutable default arguments
+RP006  :mod:`~repro.analysis.rules.theory`         paper citations exist in THEORY.md
+RP007  :mod:`~repro.analysis.rules.hygiene`        no bare/overbroad ``except``
+RP008  :mod:`~repro.analysis.rules.api_surface`    exported metrics have axiom coverage
+=====  ====================================  =========================================
+"""
+
+from repro.analysis.rules.api_surface import DunderAllRule, MetricTestMatrixRule
+from repro.analysis.rules.contracts_xref import DomainValidationRule
+from repro.analysis.rules.hygiene import MutableDefaultRule, OverbroadExceptRule
+from repro.analysis.rules.numerics import FloatDistanceComparisonRule
+from repro.analysis.rules.oracles import OracleImportRule
+from repro.analysis.rules.theory import TheoremCitationRule
+
+__all__ = [
+    "FloatDistanceComparisonRule",
+    "DomainValidationRule",
+    "DunderAllRule",
+    "OracleImportRule",
+    "MutableDefaultRule",
+    "TheoremCitationRule",
+    "OverbroadExceptRule",
+    "MetricTestMatrixRule",
+]

@@ -1,0 +1,173 @@
+"""Public-API surface rules: RP003 (``__all__`` consistency) and RP008
+(metric exported without axiom/equivalence test coverage)."""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, Project, Rule, Severity, SourceFile, register
+
+__all__ = ["DunderAllRule", "MetricTestMatrixRule", "module_all"]
+
+
+def module_all(tree: ast.Module) -> tuple[ast.expr | None, list[str]]:
+    """The ``__all__`` assignment node and its string entries (if literal)."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    entries = [
+                        element.value
+                        for element in value.elts
+                        if isinstance(element, ast.Constant) and isinstance(element.value, str)
+                    ]
+                    return value, entries
+                return value, []
+    return None, []
+
+
+def _defined_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.If, ast.Try)):
+            # names bound conditionally (TYPE_CHECKING blocks, fallbacks)
+            for inner in ast.walk(node):
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    names.add(inner.name)
+                elif isinstance(inner, (ast.Import, ast.ImportFrom)):
+                    for alias in inner.names:
+                        if alias.name != "*":
+                            names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+@register
+class DunderAllRule(Rule):
+    """RP003 — ``__all__`` out of sync with the module's actual bindings."""
+
+    code = "RP003"
+    name = "dunder-all-consistency"
+    severity = Severity.ERROR
+    description = (
+        "__all__ lists a name the module does not define/import, lists a "
+        "duplicate, or omits a public module-level def/class."
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        all_node, entries = module_all(source.tree)
+        if all_node is None:
+            return
+        defined = _defined_names(source.tree)
+        seen: set[str] = set()
+        if "__getattr__" in defined:
+            # PEP 562 module: names may be provided lazily; only the
+            # duplicate check remains meaningful.
+            for entry in entries:
+                if entry in seen:
+                    yield self.finding(source, all_node, f"__all__ lists {entry!r} twice")
+                seen.add(entry)
+            return
+        for entry in entries:
+            if entry in seen:
+                yield self.finding(source, all_node, f"__all__ lists {entry!r} twice")
+            seen.add(entry)
+            if entry not in defined:
+                yield self.finding(
+                    source,
+                    all_node,
+                    f"__all__ lists {entry!r}, which the module neither defines "
+                    "nor imports",
+                )
+        for node in source.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if not node.name.startswith("_") and node.name not in seen:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"public {node.name!r} is missing from __all__",
+                        severity=Severity.WARNING,
+                    )
+
+
+#: Exported metric names that must appear in the axiom/equivalence matrix.
+_METRIC_NAME_RE = re.compile(r"^(kendall|footrule|normalized_)")
+
+#: Names matching the pattern that are *not* distance entry points:
+#: reference oracles and the related-work correlation coefficients
+#: (values in [-1, 1]; distance axioms do not apply).
+_NON_METRIC_EXPORTS = frozenset({"kendall_naive", "kendall_tau_a", "kendall_tau_b"})
+
+#: The test files constituting the axiom/equivalence matrix.
+MATRIX_FILES = ("test_axioms.py", "test_equivalence.py")
+
+
+@register
+class MetricTestMatrixRule(Rule):
+    """RP008 — metric exported by ``repro.metrics`` but absent from the
+    axiom/equivalence test matrix.
+
+    Distance axioms (symmetry, triangle/near-triangle) are the load-bearing
+    correctness properties of every aggregation pipeline built on top;
+    a metric that ships without appearing in ``tests/test_axioms.py`` or
+    ``tests/test_equivalence.py`` has no automated guarantee of them.
+    """
+
+    code = "RP008"
+    name = "metric-missing-from-axiom-matrix"
+    severity = Severity.ERROR
+    description = (
+        "Metric registered in repro.metrics.__init__ does not appear in the "
+        "axiom/equivalence test matrix (tests/test_axioms.py, "
+        "tests/test_equivalence.py)."
+    )
+
+    @staticmethod
+    def _is_metrics_init(source: SourceFile) -> bool:
+        posix = source.posix
+        return posix.endswith("repro/metrics/__init__.py")
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        if not self._is_metrics_init(source):
+            return
+        matrix = project.test_sources(MATRIX_FILES)
+        if not matrix:  # no test suite in reach (e.g. analyzing a lone file)
+            return
+        corpus = "\n".join(matrix.values())
+        mentioned = set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", corpus))
+        all_node, entries = module_all(source.tree)
+        if all_node is None:
+            return
+        for entry in entries:
+            if not _METRIC_NAME_RE.match(entry) or entry in _NON_METRIC_EXPORTS:
+                continue
+            if entry not in mentioned:
+                yield self.finding(
+                    source,
+                    all_node,
+                    f"metric {entry!r} is exported but never exercised by the "
+                    f"axiom/equivalence matrix ({', '.join(sorted(matrix))})",
+                )

@@ -1,0 +1,192 @@
+"""RP002 — public metric/aggregator entry points must validate their domain.
+
+Every distance and aggregation entry point in this library is defined over
+a *common domain* (the paper's ``D``); feeding it rankings over different
+domains must raise ``DomainMismatchError``, not silently produce a number.
+This rule proves, statically, that each public entry point reaches a
+domain check before computing.
+
+It is a whole-program rule. Pass one collects, per module-level function:
+
+* **direct evidence** of validation — a call to a ``_require*`` /
+  ``require_*`` / ``*validate*`` helper, a ``.domain`` attribute access,
+  an explicit ``raise DomainMismatchError``, or decoration with the
+  runtime-contract decorator ``@checked_metric`` (the contract layer this
+  rule cross-references; see :mod:`repro.analysis.contracts`);
+* the set of function names it calls.
+
+Pass two (:meth:`finish`) propagates validation facts along the call graph
+to a fixpoint — ``kendall`` validates because it calls ``pair_counts``,
+which calls ``_require_common_domain`` — then reports every public entry
+point (two ``PartialRanking`` parameters in ``repro/metrics/``, or a
+``Sequence[PartialRanking]``-style parameter in ``repro/aggregate/``) with
+no validation path.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import Finding, Project, Rule, Severity, SourceFile, register
+from repro.analysis.rules.api_surface import module_all
+
+__all__ = ["DomainValidationRule"]
+
+_VALIDATOR_SUBSTRINGS = ("validate",)
+_VALIDATOR_PREFIXES = ("_require", "require_", "_check", "check_domain")
+_CONTRACT_DECORATOR = "checked_metric"
+_DOMAIN_ERROR = "DomainMismatchError"
+
+
+def _annotation_text(annotation: ast.expr | None) -> str:
+    return "" if annotation is None else ast.unparse(annotation)
+
+
+def _name_of(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _name_of(node.func)
+    return None
+
+
+@dataclass(slots=True)
+class _FunctionFacts:
+    source: SourceFile
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_candidate: bool
+    has_direct_evidence: bool
+    calls: set[str] = field(default_factory=set)
+
+
+def _parameters(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.arg]:
+    args = node.args
+    return [*args.posonlyargs, *args.args, *args.kwonlyargs]
+
+
+def _direct_evidence(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        if _name_of(decorator) == _CONTRACT_DECORATOR:
+            return True
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Attribute) and inner.attr == "domain":
+            return True
+        if isinstance(inner, ast.Call):
+            name = _name_of(inner.func)
+            if name is not None and _is_validator_name(name):
+                return True
+        if isinstance(inner, ast.Raise) and inner.exc is not None:
+            if _name_of(inner.exc) == _DOMAIN_ERROR:
+                return True
+    return False
+
+
+def _is_validator_name(name: str) -> bool:
+    lowered = name.lower()
+    return lowered.startswith(_VALIDATOR_PREFIXES) or any(
+        fragment in lowered for fragment in _VALIDATOR_SUBSTRINGS
+    )
+
+
+def _called_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Call):
+            name = _name_of(inner.func)
+            if name is not None:
+                names.add(name)
+    return names
+
+
+@register
+class DomainValidationRule(Rule):
+    """RP002 — entry point computes over rankings without a domain check."""
+
+    code = "RP002"
+    name = "missing-domain-validation"
+    severity = Severity.ERROR
+    description = (
+        "Public metric/aggregator entry point has no path to a domain-"
+        "validation check (a _require*/… helper, a .domain comparison, "
+        "DomainMismatchError, or the @checked_metric contract)."
+    )
+
+    def __init__(self) -> None:
+        self._facts: dict[str, _FunctionFacts] = {}
+
+    @staticmethod
+    def _candidate_kind(source: SourceFile) -> str | None:
+        posix = source.posix
+        if "repro/metrics/" in posix:
+            return "metric"
+        if "repro/aggregate/" in posix:
+            return "aggregator"
+        return None
+
+    def _is_candidate(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        kind: str,
+        exported: frozenset[str],
+    ) -> bool:
+        if node.name.startswith("_") or node.name not in exported:
+            return False
+        if _annotation_text(node.returns) == "bool":
+            return False  # predicates, not distances
+        parameters = _parameters(node)
+        direct = sum(
+            1 for arg in parameters if "PartialRanking" in _annotation_text(arg.annotation)
+        )
+        if kind == "metric":
+            # two rankings compared head-to-head
+            plural = any(
+                "[PartialRanking" in _annotation_text(arg.annotation) for arg in parameters
+            )
+            return direct >= 2 and not plural
+        # aggregator: a profile of rankings
+        return any(
+            "[PartialRanking" in _annotation_text(arg.annotation) for arg in parameters
+        )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        kind = self._candidate_kind(source)
+        _, entries = module_all(source.tree)
+        exported = frozenset(entries)
+        for node in source.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            self._facts[node.name] = _FunctionFacts(
+                source=source,
+                node=node,
+                is_candidate=kind is not None and self._is_candidate(node, kind, exported),
+                has_direct_evidence=_direct_evidence(node),
+                calls=_called_names(node),
+            )
+        return iter(())
+
+    def finish(self, project: Project) -> Iterator[Finding]:
+        validated = {
+            name for name, facts in self._facts.items() if facts.has_direct_evidence
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name, facts in self._facts.items():
+                if name in validated:
+                    continue
+                if facts.calls & validated:
+                    validated.add(name)
+                    changed = True
+        for name, facts in sorted(self._facts.items()):
+            if facts.is_candidate and name not in validated:
+                yield self.finding(
+                    facts.source,
+                    facts.node,
+                    f"entry point {name}() never reaches a domain-validation "
+                    "check; call a validator (or delegate to one) before "
+                    "computing",
+                )

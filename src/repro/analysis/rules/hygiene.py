@@ -1,0 +1,109 @@
+"""General code-hygiene rules: RP005 (mutable defaults), RP007 (overbroad
+``except``)."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, Project, Rule, Severity, SourceFile, register
+
+__all__ = ["MutableDefaultRule", "OverbroadExceptRule"]
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RP005 — a mutable default argument is shared across calls; the usual
+    Python footgun, doubly dangerous for cached rankings."""
+
+    code = "RP005"
+    name = "mutable-default-argument"
+    severity = Severity.ERROR
+    description = (
+        "Function parameter defaults to a mutable object (list/dict/set/...); "
+        "use None and create the object inside the function."
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            arguments = node.args
+            defaults = list(arguments.defaults) + [
+                default for default in arguments.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        source,
+                        default,
+                        f"mutable default argument in {node.name}(); "
+                        "default to None and build the object in the body",
+                    )
+
+
+@register
+class OverbroadExceptRule(Rule):
+    """RP007 — bare ``except:`` and ``except Exception:`` handlers that
+    swallow everything, including the library's own programming errors.
+
+    ``repro.errors`` exists precisely so callers can write
+    ``except ReproError``; a broad handler is accepted only when it
+    visibly re-raises."""
+
+    code = "RP007"
+    name = "overbroad-except"
+    severity = Severity.ERROR
+    description = (
+        "Bare except / except (Base)Exception without a re-raise; catch "
+        "ReproError (or a concrete exception) instead."
+    )
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        targets: list[ast.expr]
+        if isinstance(handler.type, ast.Tuple):
+            targets = list(handler.type.elts)
+        else:
+            targets = [handler.type]
+        for target in targets:
+            name = target.id if isinstance(target, ast.Name) else getattr(target, "attr", None)
+            if name in self._BROAD:
+                return True
+        return False
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(inner, ast.Raise) for inner in ast.walk(handler))
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node):
+                continue
+            if node.type is not None and self._reraises(node):
+                continue
+            what = "bare except" if node.type is None else "except Exception"
+            yield self.finding(
+                source,
+                node,
+                f"{what} swallows programming errors; catch ReproError or a "
+                "concrete exception (or re-raise)",
+            )

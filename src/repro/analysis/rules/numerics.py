@@ -1,0 +1,98 @@
+"""RP001 — exact float comparison on distance values.
+
+Most of this library's distances are floats (``K^(p)`` with fractional
+penalties, ``F_prof`` on half-integral positions, normalized variants).
+Comparing them with ``==`` / ``!=`` is a latent bug whenever a value ever
+leaves the exact half-integral regime (normalization, ratios, weighted
+aggregation); code must use ``math.isclose`` / ``pytest.approx`` or the
+tolerance constants the modules define.
+
+The rule is *domain-aware*: it only fires when an operand of the
+comparison is, syntactically, a call to a known float-valued distance
+function — so ``n == 0`` or ``phi == 1.0`` sentinel checks stay legal.
+Integer-exact distances (``kendall_full``, ``kendall_hausdorff_counts``,
+``pair_counts``) are deliberately excluded.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, Project, Rule, Severity, SourceFile, register
+
+__all__ = ["FloatDistanceComparisonRule", "FLOAT_DISTANCE_CALLS"]
+
+#: Float-valued distance entry points shipped by the library. A call to any
+#: of these (bare name or attribute suffix) taints the comparison.
+FLOAT_DISTANCE_CALLS = frozenset(
+    {
+        "kendall",
+        "kendall_naive",
+        "footrule",
+        "footrule_full",
+        "footrule_hausdorff",
+        "kendall_hausdorff_bruteforce",
+        "footrule_hausdorff_bruteforce",
+        "normalized_kendall",
+        "normalized_footrule",
+        "normalized_kendall_hausdorff",
+        "normalized_footrule_hausdorff",
+        "k_profile_l1",
+        "f_profile_l1",
+        "l1_distance",
+        "total_distance",
+        "total_l1_to_function",
+        "kendall_tau_a",
+        "kendall_tau_b",
+        "goodman_kruskal_gamma",
+        "spearman_rho",
+        "baggerly_footrule",
+        "normalized_baggerly_footrule",
+        "fks_kendall",
+        "fks_footrule",
+        "fks_footrule_hausdorff",
+    }
+)
+
+
+def _called_name(node: ast.expr) -> str | None:
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register
+class FloatDistanceComparisonRule(Rule):
+    """RP001 — ``==`` / ``!=`` where one side calls a float distance."""
+
+    code = "RP001"
+    name = "float-distance-equality"
+    severity = Severity.ERROR
+    description = (
+        "Exact ==/!= comparison on a float-valued distance; use math.isclose "
+        "(or pytest.approx in tests) with an explicit tolerance."
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            for operand in operands:
+                name = _called_name(operand)
+                if name in FLOAT_DISTANCE_CALLS:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"exact equality comparison on float distance {name}(); "
+                        "use math.isclose / pytest.approx with a tolerance",
+                    )
+                    break

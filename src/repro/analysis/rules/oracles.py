@@ -1,0 +1,71 @@
+"""RP004 — quadratic/exponential reference oracles leaking into serving code.
+
+``kendall_naive``, ``*_bruteforce`` and friends exist to validate the fast
+paths, not to run in them: the naive Kendall is O(n²) and the Hausdorff
+oracles enumerate full-refinement sets (product of factorials). They are
+legal in ``tests/``, ``benchmarks/`` and the experiment harness
+(``repro/experiments/``) — anywhere else an import is almost certainly an
+accidental 1000× slowdown at scale.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, Project, Rule, Severity, SourceFile, register
+
+__all__ = ["OracleImportRule", "ORACLE_SUFFIXES", "is_oracle_name"]
+
+#: Name suffixes identifying reference oracles.
+ORACLE_SUFFIXES = ("_naive", "_bruteforce")
+
+#: Path fragments where oracle imports are measurement, not serving.
+_ALLOWED_FRAGMENTS = ("tests/", "benchmarks/", "repro/experiments/", "conftest")
+
+
+def is_oracle_name(name: str) -> bool:
+    return name.endswith(ORACLE_SUFFIXES)
+
+
+def _is_allowed_location(source: SourceFile) -> bool:
+    posix = source.posix
+    return any(fragment in posix for fragment in _ALLOWED_FRAGMENTS)
+
+
+@register
+class OracleImportRule(Rule):
+    """RP004 — naive-oracle import outside tests/benchmarks/experiments."""
+
+    code = "RP004"
+    name = "oracle-import-in-serving-code"
+    severity = Severity.ERROR
+    description = (
+        "O(n²)/exponential reference oracle (…_naive, …_bruteforce) imported "
+        "outside tests/, benchmarks/, or repro/experiments/; use the fast "
+        "implementation instead."
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        if _is_allowed_location(source):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if is_oracle_name(alias.name):
+                        yield self.finding(
+                            source,
+                            node,
+                            f"reference oracle {alias.name!r} imported in serving "
+                            "code; oracles belong in tests/, benchmarks/, or "
+                            "repro/experiments/",
+                        )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if is_oracle_name(alias.name.rsplit(".", 1)[-1]):
+                        yield self.finding(
+                            source,
+                            node,
+                            f"reference-oracle module {alias.name!r} imported in "
+                            "serving code",
+                        )

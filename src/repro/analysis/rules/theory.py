@@ -1,0 +1,99 @@
+"""RP006 — docstring citations of nonexistent paper statements.
+
+Docstrings throughout this library cite the source paper by statement
+number ("Theorem 5", "Proposition 13"). Those citations are load-bearing
+documentation: ``docs/THEORY.md`` maintains the statement index mapping
+each cited result to its implementation and tests. A docstring citing a
+Theorem/Proposition/Lemma/Corollary number that the index does not know is
+either a typo or an undocumented dependency on the paper — both worth
+failing the build for.
+
+The index is the ``## Statement index`` section of ``docs/THEORY.md`` when
+present (preferred — it is explicit and reviewable); otherwise every
+statement reference anywhere in THEORY.md is accepted.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, Project, Rule, Severity, SourceFile, register
+
+__all__ = ["TheoremCitationRule", "statement_references"]
+
+_STATEMENT_RE = re.compile(
+    r"\b(?P<kind>Theorem|Proposition|Lemma|Corollary)s?\s+(?P<numbers>\d+(?:\s*/\s*\d+)*)"
+)
+
+_INDEX_HEADING_RE = re.compile(r"^##\s+Statement index\s*$", re.MULTILINE)
+
+
+def statement_references(text: str) -> set[tuple[str, int]]:
+    """All ``(kind, number)`` statement references in ``text``.
+
+    Handles the compact forms "Lemma 26/27" and "Theorems 33/35" as
+    multiple references.
+    """
+    references: set[tuple[str, int]] = set()
+    for match in _STATEMENT_RE.finditer(text):
+        kind = match.group("kind")
+        for number in re.split(r"\s*/\s*", match.group("numbers")):
+            references.add((kind, int(number)))
+    return references
+
+
+def _index_section(theory: str) -> str | None:
+    """The ``## Statement index`` section body, or None if absent."""
+    match = _INDEX_HEADING_RE.search(theory)
+    if match is None:
+        return None
+    rest = theory[match.end():]
+    next_heading = re.search(r"^##\s+", rest, re.MULTILINE)
+    return rest[: next_heading.start()] if next_heading else rest
+
+
+@register
+class TheoremCitationRule(Rule):
+    """RP006 — docstring cites a statement missing from THEORY.md's index."""
+
+    code = "RP006"
+    name = "unknown-theorem-citation"
+    severity = Severity.ERROR
+    description = (
+        "Docstring cites a Theorem/Proposition/Lemma/Corollary number that is "
+        "not in docs/THEORY.md's statement index."
+    )
+
+    _DOC = "docs/THEORY.md"
+
+    def _known_statements(self, project: Project) -> set[tuple[str, int]] | None:
+        theory = project.read_doc(self._DOC)
+        if theory is None:
+            return None
+        section = _index_section(theory)
+        return statement_references(section if section is not None else theory)
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        known = self._known_statements(project)
+        if known is None:  # no THEORY.md — nothing to cross-check against
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(
+                node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            docstring = ast.get_docstring(node, clean=False)
+            if not docstring:
+                continue
+            line = node.body[0].lineno if isinstance(node, ast.Module) else node.lineno
+            owner = getattr(node, "name", "module")
+            for kind, number in sorted(statement_references(docstring)):
+                if (kind, number) not in known:
+                    yield self.finding(
+                        source,
+                        line,
+                        f"docstring of {owner} cites {kind} {number}, which is "
+                        f"not in {self._DOC}'s statement index",
+                    )

@@ -33,7 +33,7 @@ from repro.io import (
     ranking_to_dict,
 )
 
-__all__ = ["main"]
+__all__ = ["main", "build_parser"]
 
 
 def _load_any(path: str) -> dict[str, PartialRanking]:

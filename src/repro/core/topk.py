@@ -23,6 +23,7 @@ __all__ = [
     "project_to_active_domain",
     "footrule_location_parameter",
     "footrule_with_location",
+    "top_items",
 ]
 
 

@@ -12,6 +12,7 @@ __all__ = [
     "InvalidRankingError",
     "DomainMismatchError",
     "AggregationError",
+    "MetricContractError",
 ]
 
 
@@ -41,4 +42,15 @@ class AggregationError(ReproError, ValueError):
 
     Raised for empty input lists, inconsistent domains across input
     rankings, or top-k requests exceeding the domain size.
+    """
+
+
+class MetricContractError(ReproError, AssertionError):
+    """A runtime metric contract was violated under ``REPRO_DEBUG``.
+
+    Raised by :func:`repro.analysis.contracts.checked_metric` when a
+    decorated distance breaks non-negativity, regularity, symmetry, or the
+    (near-)triangle inequality with its Proposition 13 / Theorem 7
+    constant. Seeing this means a metric implementation — not the caller —
+    is wrong.
     """

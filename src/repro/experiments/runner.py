@@ -12,7 +12,15 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["Table", "format_table", "format_tables", "register", "EXPERIMENTS", "get_experiment"]
+__all__ = [
+    "Table",
+    "format_table",
+    "format_tables",
+    "register",
+    "EXPERIMENTS",
+    "get_experiment",
+    "all_experiments",
+]
 
 
 @dataclass(frozen=True, slots=True)

@@ -29,7 +29,6 @@ from repro.metrics.hausdorff import (
 from repro.metrics.kendall import (
     kendall,
     kendall_full,
-    kendall_naive,
     pair_counts,
 )
 from repro.metrics.normalized import (
@@ -49,7 +48,6 @@ from repro.metrics.related import (
 __all__ = [
     "kendall",
     "kendall_full",
-    "kendall_naive",
     "pair_counts",
     "footrule",
     "footrule_full",

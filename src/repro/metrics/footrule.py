@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
+from repro.analysis.contracts import checked_metric
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import DomainMismatchError, InvalidRankingError
 
@@ -27,6 +28,7 @@ def l1_distance(f: Mapping[Item, float], g: Mapping[Item, float]) -> float:
     return sum(abs(f[item] - g[item]) for item in f)
 
 
+@checked_metric()
 def footrule(sigma: PartialRanking, tau: PartialRanking) -> float:
     """The footrule metric ``F_prof`` between two partial rankings.
 

@@ -22,9 +22,11 @@ test suite.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
-from repro.core.partial_ranking import PartialRanking
+from repro.analysis.contracts import checked_metric
+from repro.core.partial_ranking import Item, PartialRanking
 from repro.core.refine import common_full_ranking, star_chain
 from repro.errors import DomainMismatchError
 from repro.metrics.footrule import footrule_full
@@ -83,6 +85,7 @@ def hausdorff_witnesses(
     )
 
 
+@checked_metric()
 def footrule_hausdorff(
     sigma: PartialRanking,
     tau: PartialRanking,
@@ -103,6 +106,7 @@ def kendall_hausdorff_counts(sigma: PartialRanking, tau: PartialRanking) -> int:
     return pair_counts(sigma, tau).kendall_hausdorff()
 
 
+@checked_metric()
 def kendall_hausdorff(
     sigma: PartialRanking,
     tau: PartialRanking,
@@ -118,7 +122,7 @@ def kendall_hausdorff(
 
 
 def _refinement_position_vectors(
-    sigma: PartialRanking, items: list
+    sigma: PartialRanking, items: list[Item]
 ) -> list[tuple[float, ...]]:
     """Position vectors (aligned to ``items``) of every full refinement.
 
@@ -153,7 +157,12 @@ def _refinement_position_vectors(
     return vectors
 
 
-def _hausdorff_bruteforce(sigma: PartialRanking, tau: PartialRanking, dist) -> float:
+_VectorDistance = Callable[[tuple[float, ...], tuple[float, ...]], float]
+
+
+def _hausdorff_bruteforce(
+    sigma: PartialRanking, tau: PartialRanking, dist: _VectorDistance
+) -> float:
     """Exhaustive max–min over all full refinements (test oracle only).
 
     Works on plain position vectors to keep the exponential enumeration

@@ -16,8 +16,10 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 from itertools import combinations
+from typing import Any
 
 from repro._util import FenwickTree, pairs
+from repro.analysis.contracts import checked_metric, near_triangle_constant
 from repro.core.partial_ranking import PartialRanking
 from repro.errors import DomainMismatchError, InvalidRankingError
 
@@ -120,6 +122,14 @@ def pair_counts(sigma: PartialRanking, tau: PartialRanking) -> PairCounts:
     )
 
 
+def _kendall_constant(args: tuple[Any, ...], kwargs: dict[str, Any]) -> float:
+    """Near-triangle constant of ``K^(p)``: per Proposition 13, 1 in the
+    metric regime (p >= 1/2) and 1/(2p) in the near-metric regime."""
+    p = args[0] if args else kwargs.get("p", 0.5)
+    return near_triangle_constant(p)
+
+
+@checked_metric(constant_from=_kendall_constant)
 def kendall(sigma: PartialRanking, tau: PartialRanking, p: float = 0.5) -> float:
     """The Kendall distance ``K^(p)`` between two partial rankings.
 

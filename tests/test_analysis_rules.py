@@ -1,0 +1,511 @@
+"""Tests for the repro.analysis static-analysis subsystem.
+
+One positive (violating) and one negative (clean) fixture per RP rule,
+plus framework-level tests: noqa suppression, reporters, CLI exit codes,
+and the acceptance check that the shipped tree itself is clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import (
+    Severity,
+    analyze_paths,
+    analyze_source,
+    find_project_root,
+    registered_rules,
+)
+from repro.analysis.reporters import render_json, render_text
+
+REPO_ROOT = find_project_root(Path(__file__).resolve().parent)
+
+ALL_CODES = ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007", "RP008")
+
+
+def codes(result) -> list[str]:
+    return [finding.rule for finding in result.active]
+
+
+class TestRegistry:
+    def test_all_eight_rules_registered(self):
+        assert tuple(sorted(registered_rules())) == ALL_CODES
+
+    def test_rules_have_descriptions_and_severities(self):
+        for code, rule in registered_rules().items():
+            assert rule.description, code
+            assert isinstance(rule.severity, Severity)
+
+    def test_unknown_select_rejected(self):
+        with pytest.raises(ValueError, match="RP999"):
+            analyze_source("x = 1", select=["RP999"])
+
+
+class TestRP001FloatEquality:
+    def test_positive_exact_comparison_on_distance(self):
+        result = analyze_source(
+            "from repro.metrics import kendall\n"
+            "def check(a, b):\n"
+            "    return kendall(a, b) == 2.5\n",
+            select=["RP001"],
+        )
+        assert codes(result) == ["RP001"]
+        assert "kendall" in result.active[0].message
+
+    def test_negative_tolerant_comparison_and_plain_equality(self):
+        result = analyze_source(
+            "import math\n"
+            "from repro.metrics import kendall\n"
+            "def check(a, b, n):\n"
+            "    if n == 0:\n"  # plain int equality stays legal
+            "        return True\n"
+            "    return math.isclose(kendall(a, b), 2.5)\n",
+            select=["RP001"],
+        )
+        assert codes(result) == []
+
+    def test_integer_exact_distances_excluded(self):
+        result = analyze_source(
+            "from repro.metrics import kendall_hausdorff_counts\n"
+            "def check(a, b):\n"
+            "    return kendall_hausdorff_counts(a, b) == 3\n",
+            select=["RP001"],
+        )
+        assert codes(result) == []
+
+
+class TestRP002DomainValidation:
+    _HEADER = (
+        "from repro.core.partial_ranking import PartialRanking\n"
+        "__all__ = ['my_distance']\n"
+    )
+
+    def test_positive_entry_point_without_validation(self):
+        result = analyze_source(
+            self._HEADER
+            + "def my_distance(sigma: PartialRanking, tau: PartialRanking) -> float:\n"
+            "    return 1.0\n",
+            filename="src/repro/metrics/mymetric.py",
+            select=["RP002"],
+        )
+        assert codes(result) == ["RP002"]
+        assert "my_distance" in result.active[0].message
+
+    def test_negative_direct_validation(self):
+        result = analyze_source(
+            self._HEADER
+            + "def my_distance(sigma: PartialRanking, tau: PartialRanking) -> float:\n"
+            "    if sigma.domain != tau.domain:\n"
+            "        raise ValueError('mismatch')\n"
+            "    return 1.0\n",
+            filename="src/repro/metrics/mymetric.py",
+            select=["RP002"],
+        )
+        assert codes(result) == []
+
+    def test_negative_validation_via_call_graph(self):
+        result = analyze_source(
+            self._HEADER
+            + "def _require_common_domain(sigma, tau):\n"
+            "    pass\n"
+            "def _inner(sigma, tau):\n"
+            "    _require_common_domain(sigma, tau)\n"
+            "    return 1.0\n"
+            "def my_distance(sigma: PartialRanking, tau: PartialRanking) -> float:\n"
+            "    return _inner(sigma, tau)\n",
+            filename="src/repro/metrics/mymetric.py",
+            select=["RP002"],
+        )
+        assert codes(result) == []
+
+    def test_negative_contract_decorator_counts(self):
+        result = analyze_source(
+            "from repro.analysis.contracts import checked_metric\n"
+            + self._HEADER
+            + "@checked_metric()\n"
+            "def my_distance(sigma: PartialRanking, tau: PartialRanking) -> float:\n"
+            "    return 1.0\n",
+            filename="src/repro/metrics/mymetric.py",
+            select=["RP002"],
+        )
+        assert codes(result) == []
+
+    def test_private_and_non_metric_functions_ignored(self):
+        result = analyze_source(
+            self._HEADER
+            + "def _helper(sigma: PartialRanking, tau: PartialRanking) -> float:\n"
+            "    return 1.0\n"
+            "def my_distance(sigma: PartialRanking, tau: PartialRanking) -> bool:\n"
+            "    return True\n",  # predicate: bool return is exempt
+            filename="src/repro/metrics/mymetric.py",
+            select=["RP002"],
+        )
+        assert codes(result) == []
+
+    def test_aggregator_profile_parameter(self):
+        body = (
+            "from collections.abc import Sequence\n"
+            "from repro.core.partial_ranking import PartialRanking\n"
+            "__all__ = ['aggregate']\n"
+            "def aggregate(rankings: Sequence[PartialRanking]) -> float:\n"
+            "    return 0.0\n"
+        )
+        flagged = analyze_source(
+            body, filename="src/repro/aggregate/myagg.py", select=["RP002"]
+        )
+        assert codes(flagged) == ["RP002"]
+
+
+class TestRP003DunderAll:
+    def test_positive_phantom_and_duplicate_entries(self):
+        result = analyze_source(
+            "__all__ = ['real', 'phantom', 'real']\n"
+            "def real():\n"
+            "    pass\n",
+            select=["RP003"],
+        )
+        messages = sorted(f.message for f in result.active)
+        assert len(messages) == 2
+        assert any("phantom" in m for m in messages)
+        assert any("twice" in m for m in messages)
+
+    def test_public_def_missing_is_warning(self):
+        result = analyze_source(
+            "__all__ = ['listed']\n"
+            "def listed():\n"
+            "    pass\n"
+            "def unlisted():\n"
+            "    pass\n",
+            select=["RP003"],
+        )
+        assert [f.severity for f in result.active] == [Severity.WARNING]
+
+    def test_negative_consistent_module(self):
+        result = analyze_source(
+            "from os.path import join\n"
+            "__all__ = ['api', 'join', 'CONST']\n"
+            "CONST = 3\n"
+            "def api():\n"
+            "    pass\n"
+            "def _private():\n"
+            "    pass\n",
+            select=["RP003"],
+        )
+        assert codes(result) == []
+
+    def test_negative_pep562_lazy_module(self):
+        result = analyze_source(
+            "__all__ = ['lazy_name']\n"
+            "def __getattr__(name):\n"
+            "    raise AttributeError(name)\n",
+            select=["RP003"],
+        )
+        assert codes(result) == []
+
+
+class TestRP004OracleImports:
+    def test_positive_oracle_in_serving_code(self):
+        result = analyze_source(
+            "from repro.metrics.kendall import kendall_naive\n",
+            filename="src/repro/db/query.py",
+            select=["RP004"],
+        )
+        assert codes(result) == ["RP004"]
+
+    def test_negative_allowed_locations(self):
+        snippet = "from repro.metrics.kendall import kendall_naive\n"
+        for filename in (
+            "tests/test_something.py",
+            "benchmarks/bench_metrics.py",
+            "src/repro/experiments/e99_new.py",
+        ):
+            result = analyze_source(snippet, filename=filename, select=["RP004"])
+            assert codes(result) == [], filename
+
+    def test_negative_fast_import(self):
+        result = analyze_source(
+            "from repro.metrics.kendall import kendall\n",
+            filename="src/repro/db/query.py",
+            select=["RP004"],
+        )
+        assert codes(result) == []
+
+
+class TestRP005MutableDefaults:
+    def test_positive_list_literal_and_constructor(self):
+        result = analyze_source(
+            "def f(x, acc=[]):\n"
+            "    return acc\n"
+            "def g(x, *, table=dict()):\n"
+            "    return table\n",
+            select=["RP005"],
+        )
+        assert codes(result) == ["RP005", "RP005"]
+
+    def test_negative_none_sentinel(self):
+        result = analyze_source(
+            "def f(x, acc=None, scale=1.0, name='x', items=()):\n"
+            "    acc = [] if acc is None else acc\n"
+            "    return acc\n",
+            select=["RP005"],
+        )
+        assert codes(result) == []
+
+
+class TestRP006TheoremCitations:
+    def _project(self, tmp_path: Path) -> Path:
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "THEORY.md").write_text(
+            "# THEORY\n\n"
+            "## Statement index\n\n"
+            "* **Theorem 5** — witnesses.\n"
+            "* **Proposition 13** — penalty regimes.\n"
+            "* **Lemma 26** / **Lemma 27** — matchings.\n\n"
+            "## Other\n\n"
+            "Theorem 99 is mentioned here but is NOT in the index.\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        return tmp_path
+
+    def test_positive_unknown_statement(self, tmp_path):
+        root = self._project(tmp_path)
+        result = analyze_source(
+            'def f():\n    """Implements Theorem 42."""\n',
+            root=root,
+            select=["RP006"],
+        )
+        assert codes(result) == ["RP006"]
+        assert "Theorem 42" in result.active[0].message
+
+    def test_index_section_is_authoritative(self, tmp_path):
+        root = self._project(tmp_path)
+        result = analyze_source(
+            'def f():\n    """Uses Theorem 99."""\n',  # outside the index section
+            root=root,
+            select=["RP006"],
+        )
+        assert codes(result) == ["RP006"]
+
+    def test_negative_known_statements_and_compact_form(self, tmp_path):
+        root = self._project(tmp_path)
+        result = analyze_source(
+            '"""Module on Proposition 13."""\n'
+            "def f():\n"
+            '    """Lemma 26/27 and Theorem 5 apply."""\n',
+            root=root,
+            select=["RP006"],
+        )
+        assert codes(result) == []
+
+    def test_skipped_without_theory_doc(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        result = analyze_source(
+            'def f():\n    """Implements Theorem 42."""\n',
+            root=tmp_path,
+            select=["RP006"],
+        )
+        assert codes(result) == []
+
+
+class TestRP007OverbroadExcept:
+    def test_positive_bare_and_broad(self):
+        result = analyze_source(
+            "try:\n"
+            "    x = 1\n"
+            "except:\n"
+            "    pass\n"
+            "try:\n"
+            "    y = 2\n"
+            "except Exception:\n"
+            "    y = 0\n",
+            select=["RP007"],
+        )
+        assert codes(result) == ["RP007", "RP007"]
+
+    def test_negative_specific_or_reraising(self):
+        result = analyze_source(
+            "try:\n"
+            "    x = 1\n"
+            "except (KeyError, ValueError):\n"
+            "    pass\n"
+            "try:\n"
+            "    y = 2\n"
+            "except Exception as exc:\n"
+            "    raise RuntimeError('wrapped') from exc\n",
+            select=["RP007"],
+        )
+        assert codes(result) == []
+
+
+class TestRP008MetricMatrix:
+    def _project(self, tmp_path: Path, test_body: str) -> Path:
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "test_axioms.py").write_text(test_body, encoding="utf-8")
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        return tmp_path
+
+    _INIT = (
+        "from repro.metrics.kendall import kendall\n"
+        "__all__ = ['kendall', 'kendall_brandnew']\n"
+        "def kendall_brandnew(a, b):\n"
+        "    return kendall(a, b)\n"
+    )
+
+    def test_positive_uncovered_metric(self, tmp_path):
+        root = self._project(tmp_path, "from repro.metrics import kendall\n")
+        result = analyze_source(
+            self._INIT,
+            filename="src/repro/metrics/__init__.py",
+            root=root,
+            select=["RP008"],
+        )
+        assert codes(result) == ["RP008"]
+        assert "kendall_brandnew" in result.active[0].message
+
+    def test_negative_covered_metric(self, tmp_path):
+        root = self._project(
+            tmp_path,
+            "from repro.metrics import kendall, kendall_brandnew\n",
+        )
+        result = analyze_source(
+            self._INIT,
+            filename="src/repro/metrics/__init__.py",
+            root=root,
+            select=["RP008"],
+        )
+        assert codes(result) == []
+
+    def test_only_fires_on_metrics_init(self, tmp_path):
+        root = self._project(tmp_path, "")
+        result = analyze_source(
+            self._INIT,
+            filename="src/repro/metrics/kendall2.py",
+            root=root,
+            select=["RP008"],
+        )
+        assert codes(result) == []
+
+
+class TestSuppressions:
+    def test_noqa_silences_a_specific_code(self):
+        result = analyze_source(
+            "def f(x, acc=[]):  # repro: noqa[RP005]\n"
+            "    return acc\n",
+            select=["RP005"],
+        )
+        assert codes(result) == []
+        assert [f.rule for f in result.findings] == ["RP005"]
+        assert result.findings[0].suppressed
+
+    def test_noqa_with_wrong_code_does_not_silence(self):
+        result = analyze_source(
+            "def f(x, acc=[]):  # repro: noqa[RP001]\n"
+            "    return acc\n",
+            select=["RP005"],
+        )
+        assert codes(result) == ["RP005"]
+
+    def test_bare_noqa_silences_everything_on_the_line(self):
+        result = analyze_source(
+            "def f(x, acc=[]):  # repro: noqa\n"
+            "    return acc\n",
+            select=["RP005"],
+        )
+        assert codes(result) == []
+
+
+class TestReporters:
+    def _result(self):
+        return analyze_source(
+            "def f(x, acc=[]):\n    return acc\n", select=["RP005"]
+        )
+
+    def test_text_report_has_location_and_summary(self):
+        text = render_text(self._result())
+        assert "RP005" in text
+        assert ":1:" in text.splitlines()[0]
+        assert "1 error(s)" in text
+
+    def test_json_report_round_trips(self):
+        payload = json.loads(render_json(self._result()))
+        assert payload["schema"] == "repro.analysis/1"
+        assert payload["errors"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "RP005"
+        assert finding["severity"] == "error"
+        assert finding["suppressed"] is False
+
+
+def _run_cli(*argv: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+class TestCommandLine:
+    def test_shipped_tree_is_clean(self):
+        """Acceptance criterion: ``python -m repro.analysis src/`` exits 0."""
+        completed = _run_cli("src")
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert "0 error(s)" in completed.stdout
+
+    def test_seeded_violation_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x, acc=[]):\n    return acc\n", encoding="utf-8")
+        completed = _run_cli(str(bad), cwd=tmp_path)
+        assert completed.returncode == 1
+        assert "RP005" in completed.stdout
+
+    def test_json_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("try:\n    x = 1\nexcept:\n    pass\n", encoding="utf-8")
+        completed = _run_cli(str(bad), "--format", "json", cwd=tmp_path)
+        assert completed.returncode == 1
+        payload = json.loads(completed.stdout)
+        assert payload["errors"] == 1
+        assert payload["findings"][0]["rule"] == "RP007"
+
+    def test_fail_on_never(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x, acc=[]):\n    return acc\n", encoding="utf-8")
+        completed = _run_cli(str(bad), "--fail-on", "never", cwd=tmp_path)
+        assert completed.returncode == 0
+
+    def test_list_rules(self):
+        completed = _run_cli("--list-rules")
+        assert completed.returncode == 0
+        for code in ALL_CODES:
+            assert code in completed.stdout
+
+    def test_select_subset(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x, acc=[]):\n    return acc\n", encoding="utf-8")
+        completed = _run_cli(str(bad), "--select", "RP007", cwd=tmp_path)
+        assert completed.returncode == 0  # RP005 violation not selected
+
+    def test_missing_path_is_usage_error(self):
+        completed = _run_cli("no/such/path.py")
+        assert completed.returncode == 2
+
+
+class TestUnparseableFiles:
+    def test_syntax_error_reported_not_crashing(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n", encoding="utf-8")
+        result = analyze_paths([bad], root=tmp_path)
+        assert result.parse_errors
+        assert result.exit_code() == 1

@@ -12,9 +12,19 @@ from repro.metrics.axioms import (
     check_triangle_inequality,
     paper_counterexample_rankings,
 )
-from repro.metrics.footrule import footrule
-from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff
-from repro.metrics.kendall import kendall
+from repro.metrics.footrule import footrule, footrule_full
+from repro.metrics.hausdorff import (
+    footrule_hausdorff,
+    kendall_hausdorff,
+    kendall_hausdorff_counts,
+)
+from repro.metrics.kendall import kendall, kendall_full
+from repro.metrics.normalized import (
+    normalized_footrule,
+    normalized_footrule_hausdorff,
+    normalized_kendall,
+    normalized_kendall_hausdorff,
+)
 
 
 def _sample_rankings(n: int = 6, count: int = 12, seed: int = 7):
@@ -66,6 +76,47 @@ class TestFourMetricsAreMetrics:
         report = check_axioms(metric, _sample_rankings())
         assert report.clean, f"{name}: {[str(v) for v in report.violations]}"
         assert report.checked_pairs > 0
+        assert report.is_distance_measure
+        assert report.satisfies_triangle
+
+
+class TestExportedMetricMatrix:
+    """Every float/int distance exported by ``repro.metrics`` passes the
+    axiom battery on the same sample. This is the axiom half of the matrix
+    the RP008 static-analysis rule cross-checks against ``__all__``:
+    a metric added to ``repro.metrics.__init__`` must also be added here
+    (or to test_equivalence.py) or ``python -m repro.analysis`` fails."""
+
+    VARIANT_METRICS = [
+        ("kendall_hausdorff_counts", kendall_hausdorff_counts),
+        ("normalized_kendall", normalized_kendall),
+        ("normalized_footrule", normalized_footrule),
+        ("normalized_kendall_hausdorff", normalized_kendall_hausdorff),
+        ("normalized_footrule_hausdorff", normalized_footrule_hausdorff),
+    ]
+
+    @pytest.mark.parametrize("name,metric", VARIANT_METRICS)
+    def test_axioms_on_sample(self, name, metric):
+        report = check_axioms(metric, _sample_rankings(count=8))
+        assert report.clean, f"{name}: {[str(v) for v in report.violations]}"
+        assert report.is_distance_measure
+        assert report.satisfies_triangle
+
+    FULL_RANKING_METRICS = [
+        ("kendall_full", kendall_full),
+        ("footrule_full", footrule_full),
+    ]
+
+    @pytest.mark.parametrize("name,metric", FULL_RANKING_METRICS)
+    def test_axioms_on_full_rankings(self, name, metric):
+        rng = resolve_rng(11)
+        rankings = []
+        for _ in range(10):
+            items = list(range(6))
+            rng.shuffle(items)
+            rankings.append(PartialRanking.from_sequence(items))
+        report = check_axioms(metric, rankings)
+        assert report.clean, f"{name}: {[str(v) for v in report.violations]}"
         assert report.is_distance_measure
         assert report.satisfies_triangle
 

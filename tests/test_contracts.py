@@ -1,0 +1,191 @@
+"""Tests for the runtime metric-contract layer (repro.analysis.contracts)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.contracts import (
+    ENV_FLAG,
+    checked_metric,
+    contracts_enabled,
+    near_triangle_constant,
+)
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import MetricContractError, ReproError
+
+
+@pytest.fixture
+def debug_mode(monkeypatch):
+    monkeypatch.setenv(ENV_FLAG, "1")
+
+
+@pytest.fixture
+def production_mode(monkeypatch):
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+
+
+class TestEnableFlag:
+    def test_flag_parsing(self, monkeypatch):
+        for value, expected in [
+            ("1", True),
+            ("true", True),
+            ("yes", True),
+            ("", False),
+            ("0", False),
+            ("false", False),
+            ("off", False),
+        ]:
+            monkeypatch.setenv(ENV_FLAG, value)
+            assert contracts_enabled() is expected, value
+        monkeypatch.delenv(ENV_FLAG)
+        assert contracts_enabled() is False
+
+    def test_disabled_contracts_never_fire(self, production_mode):
+        @checked_metric()
+        def negative(x, y):
+            return -5.0
+
+        assert negative("a", "b") == -5.0  # no check, no exception
+
+
+class TestNearTriangleConstant:
+    def test_proposition_13_regimes(self):
+        assert near_triangle_constant(1.0) == 1.0
+        assert near_triangle_constant(0.5) == 1.0
+        assert near_triangle_constant(0.25) == 2.0
+        assert near_triangle_constant(0.1) == pytest.approx(5.0)
+        assert math.isinf(near_triangle_constant(0.0))
+
+
+class TestAxiomChecks:
+    def test_nonnegativity(self, debug_mode):
+        @checked_metric()
+        def negative(x, y):
+            return -1.0
+
+        with pytest.raises(MetricContractError, match="non-negativity"):
+            negative("a", "b")
+
+    def test_regularity(self, debug_mode):
+        @checked_metric()
+        def irregular(x, y):
+            return 1.0
+
+        with pytest.raises(MetricContractError, match="regularity"):
+            irregular("a", "a")
+
+    def test_symmetry(self, debug_mode):
+        @checked_metric()
+        def asymmetric(x, y):
+            return 1.0 if x < y else 2.0
+
+        with pytest.raises(MetricContractError, match="symmetry"):
+            asymmetric("a", "b")
+
+    def test_triangle_violation_caught_via_history(self, debug_mode):
+        table = {
+            frozenset(("a", "b")): 1.0,
+            frozenset(("b", "c")): 1.0,
+            frozenset(("a", "c")): 5.0,
+        }
+
+        @checked_metric()
+        def skewed(x, y):
+            return 0.0 if x == y else table[frozenset((x, y))]
+
+        skewed("a", "b")
+        with pytest.raises(MetricContractError, match="near-triangle"):
+            skewed("b", "c")
+
+    def test_near_metric_constant_relaxes_the_triangle(self, debug_mode):
+        table = {
+            frozenset(("a", "b")): 1.0,
+            frozenset(("b", "c")): 1.0,
+            frozenset(("a", "c")): 3.5,
+        }
+
+        @checked_metric(constant=2.0)
+        def near(x, y):
+            return 0.0 if x == y else table[frozenset((x, y))]
+
+        near("a", "b")
+        near("b", "c")  # 3.5 <= 2 * (1 + 1): fine at c=2, would fail at c=1
+
+    def test_contract_error_is_a_repro_error(self, debug_mode):
+        @checked_metric()
+        def negative(x, y):
+            return -1.0
+
+        with pytest.raises(ReproError):
+            negative("a", "b")
+
+
+class TestShippedMetricsUnderContract:
+    def _trio(self):
+        return (
+            PartialRanking([["a", "b"], ["c"]]),
+            PartialRanking([["c"], ["a", "b"]]),
+            PartialRanking([["b"], ["a"], ["c"]]),
+        )
+
+    def test_four_metrics_run_clean(self, debug_mode):
+        from repro.metrics import (
+            footrule,
+            footrule_hausdorff,
+            kendall,
+            kendall_hausdorff,
+        )
+
+        for metric in (kendall, footrule, kendall_hausdorff, footrule_hausdorff):
+            a, b, c = self._trio()
+            metric(a, b)
+            metric(b, c)
+            metric(a, c)  # triangle chains through the call history
+
+    def test_kendall_near_metric_regime_uses_scaled_constant(self, debug_mode):
+        a, b, c = self._trio()
+        from repro.metrics import kendall
+
+        # p = 0.1 is a near metric: plain triangle may fail, the contract
+        # must use c = 1/(2p) = 5 and stay silent.
+        kendall(a, b, 0.1)
+        kendall(b, c, 0.1)
+        kendall(a, c, 0.1)
+
+    def test_kendall_p0_skips_triangle_checks(self, debug_mode):
+        a, b, c = self._trio()
+        from repro.metrics import kendall
+
+        kendall(a, b, 0.0)
+        kendall(b, c, 0.0)
+        kendall(a, c, 0.0)
+
+    def test_validation_errors_still_propagate(self, debug_mode):
+        from repro.errors import DomainMismatchError
+        from repro.metrics import kendall
+
+        with pytest.raises(DomainMismatchError):
+            kendall(
+                PartialRanking([["a"], ["b"]]),
+                PartialRanking([["x"], ["y"]]),
+            )
+
+    def test_contract_metadata_attached(self):
+        from repro.metrics import footrule
+
+        assert footrule.__repro_contract__["name"] == "footrule"
+        assert footrule.__repro_contract__["symmetric"] is True
+
+    def test_extra_arguments_partition_the_history(self, debug_mode):
+        # d(.,.; p=1) values must never chain against d(.,.; p=0.5) values.
+        calls = []
+
+        @checked_metric()
+        def parametric(x, y, scale=1.0):
+            calls.append((x, y, scale))
+            return 0.0 if x == y else scale
+
+        parametric("a", "b", 1.0)
+        parametric("b", "c", 100.0)  # would violate c=1 if chained across keys
