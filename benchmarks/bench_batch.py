@@ -1,0 +1,217 @@
+"""Benchmarks for the batch distance layer (PR 2's acceptance numbers).
+
+Two modes:
+
+* ``pytest benchmarks/bench_batch.py --benchmark-only`` — pytest-benchmark
+  timings of the inversion counters and the all-pairs matrix versus the
+  per-pair loop. Setting ``REPRO_BENCH_SMOKE=1`` shrinks the sizes for the
+  CI smoke job.
+* ``PYTHONPATH=src python benchmarks/bench_batch.py`` — regenerate
+  ``BENCH_PR2.json`` at the repo root: the Fenwick-versus-vectorized
+  crossover sweep, the n = 100,000 pair-counting comparison, and the
+  80 items × 25 rankings matrix speedups recorded against the acceptance
+  criteria.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro._util import count_inversions as fenwick_inversions
+from repro.generators.workloads import mallows_profile_workload, random_profile_workload
+from repro.metrics import (
+    footrule,
+    footrule_hausdorff,
+    kendall,
+    kendall_hausdorff_counts,
+    pair_counts,
+    pair_counts_large,
+    pairwise_distance_matrix,
+)
+from repro.metrics.fast import count_inversions_array
+
+_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: Benchmark sizes (full -> CI smoke).
+_INVERSION_N = 20_000 if _SMOKE else 100_000
+_MATRIX_ITEMS = 40 if _SMOKE else 80
+_MATRIX_RANKINGS = 8 if _SMOKE else 25
+
+_PER_PAIR = {
+    "kendall": kendall,
+    "footrule": footrule,
+    "kendall_hausdorff": lambda s, t: float(kendall_hausdorff_counts(s, t)),
+    "footrule_hausdorff": footrule_hausdorff,
+}
+
+
+def _per_pair_matrix(profile, metric_name):
+    fn = _PER_PAIR[metric_name]
+    m = len(profile)
+    matrix = np.zeros((m, m))
+    for i in range(m):  # repro: noqa[RP009]  (this loop is the baseline being measured)
+        for j in range(i + 1, m):
+            matrix[i, j] = matrix[j, i] = fn(profile[i], profile[j])
+    return matrix
+
+
+def _matrix_profile():
+    return mallows_profile_workload(
+        _MATRIX_ITEMS, _MATRIX_RANKINGS, phi=0.3, seed=0, max_bucket=6
+    ).rankings
+
+
+class TestInversionCounters:
+    def test_vectorized_counter(self, benchmark):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, _INVERSION_N, size=_INVERSION_N)
+        expected = count_inversions_array(values)
+        assert benchmark(count_inversions_array, values) == expected
+
+    def test_fenwick_counter(self, benchmark):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, _INVERSION_N, size=_INVERSION_N).tolist()
+        expected = count_inversions_array(values)
+        assert benchmark(fenwick_inversions, values) == expected
+
+
+class TestPairClassifiers:
+    def test_pair_counts_large(self, benchmark):
+        n = 5_000 if _SMOKE else 50_000
+        profile = random_profile_workload(n, 2, seed=1).rankings
+        counts = benchmark(pair_counts_large, profile[0], profile[1])
+        assert counts.total == n * (n - 1) // 2
+
+    def test_pair_counts_fenwick(self, benchmark):
+        n = 1_000 if _SMOKE else 5_000
+        profile = random_profile_workload(n, 2, seed=1).rankings
+        counts = benchmark(pair_counts, profile[0], profile[1])
+        assert counts.total == n * (n - 1) // 2
+
+
+class TestPairwiseMatrix:
+    def test_batch_matrix_kendall(self, benchmark):
+        profile = _matrix_profile()
+        matrix = benchmark(pairwise_distance_matrix, profile, "kendall")
+        assert (matrix == matrix.T).all()
+
+    def test_per_pair_matrix_kendall(self, benchmark):
+        profile = _matrix_profile()
+        matrix = benchmark(_per_pair_matrix, profile, "kendall")
+        assert (matrix == pairwise_distance_matrix(profile, "kendall")).all()
+
+    def test_batch_matrix_footrule_hausdorff(self, benchmark):
+        profile = _matrix_profile()
+        matrix = benchmark(pairwise_distance_matrix, profile, "footrule_hausdorff")
+        assert (matrix == matrix.T).all()
+
+    def test_per_pair_matrix_footrule_hausdorff(self, benchmark):
+        profile = _matrix_profile()
+        matrix = benchmark(_per_pair_matrix, profile, "footrule_hausdorff")
+        assert (matrix == pairwise_distance_matrix(profile, "footrule_hausdorff")).all()
+
+
+# ----------------------------------------------------------------------
+# BENCH_PR2.json regeneration
+# ----------------------------------------------------------------------
+
+
+def _best_of(fn, *args, repeats=3):
+    import time
+
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _crossover_sweep(rng):
+    """Fenwick vs vectorized inversion counting across a size grid."""
+    rows = []
+    crossover = None
+    for n in (100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000):
+        values = rng.integers(0, n, size=n)
+        as_list = values.tolist()
+        t_vec, count_vec = _best_of(count_inversions_array, values)
+        t_fen, count_fen = _best_of(fenwick_inversions, as_list)
+        assert count_vec == count_fen
+        rows.append(
+            {
+                "n": n,
+                "vectorized_s": round(t_vec, 6),
+                "fenwick_s": round(t_fen, 6),
+                "speedup": round(t_fen / t_vec, 2),
+            }
+        )
+        if crossover is None and t_vec < t_fen:
+            crossover = n
+    return {"crossover_n": crossover, "rows": rows}
+
+
+def _pair_counts_comparison():
+    """pair_counts vs pair_counts_large at n = 100,000."""
+    n = 100_000
+    profile = random_profile_workload(n, 2, seed=1).rankings
+    sigma, tau = profile
+    t_large, counts_large = _best_of(pair_counts_large, sigma, tau, repeats=3)
+    t_fenwick, counts_fenwick = _best_of(pair_counts, sigma, tau, repeats=1)
+    assert counts_large == counts_fenwick
+    return {
+        "n": n,
+        "pair_counts_large_s": round(t_large, 4),
+        "pair_counts_fenwick_s": round(t_fenwick, 4),
+        "speedup": round(t_fenwick / t_large, 2),
+    }
+
+
+def _matrix_comparison():
+    """Batch vs per-pair all-pairs matrix on 80 items x 25 rankings."""
+    profile = mallows_profile_workload(80, 25, phi=0.3, seed=0, max_bucket=6).rankings
+    out = {"n_items": 80, "m_rankings": 25, "metrics": {}}
+    for metric in sorted(_PER_PAIR):
+        t_batch, batch = _best_of(pairwise_distance_matrix, profile, metric)
+        t_loop, loop = _best_of(_per_pair_matrix, profile, metric)
+        assert (batch == loop).all(), metric
+        out["metrics"][metric] = {
+            "batch_s": round(t_batch, 5),
+            "per_pair_s": round(t_loop, 5),
+            "speedup": round(t_loop / t_batch, 2),
+        }
+    return out
+
+
+def main() -> None:
+    import json
+    import platform
+    from pathlib import Path
+
+    rng = np.random.default_rng(0)
+    payload = {
+        "pr": 2,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "inversion_crossover": _crossover_sweep(rng),
+        "pair_counts_n100k": _pair_counts_comparison(),
+        "pairwise_matrix_80x25": _matrix_comparison(),
+    }
+    target = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    matrix = payload["pairwise_matrix_80x25"]["metrics"]
+    print(f"wrote {target}")
+    print(f"inversion crossover_n: {payload['inversion_crossover']['crossover_n']}")
+    print(f"pair_counts n=100k speedup: {payload['pair_counts_n100k']['speedup']}x")
+    for metric, numbers in matrix.items():
+        print(f"matrix {metric}: {numbers['speedup']}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,10 +12,12 @@ RP005  :mod:`~repro.analysis.rules.hygiene`        no mutable default arguments
 RP006  :mod:`~repro.analysis.rules.theory`         paper citations exist in THEORY.md
 RP007  :mod:`~repro.analysis.rules.hygiene`        no bare/overbroad ``except``
 RP008  :mod:`~repro.analysis.rules.api_surface`    exported metrics have axiom coverage
+RP009  :mod:`~repro.analysis.rules.batching`       all-pairs loops use the batch layer
 =====  ====================================  =========================================
 """
 
 from repro.analysis.rules.api_surface import DunderAllRule, MetricTestMatrixRule
+from repro.analysis.rules.batching import PairwiseLoopRule
 from repro.analysis.rules.contracts_xref import DomainValidationRule
 from repro.analysis.rules.hygiene import MutableDefaultRule, OverbroadExceptRule
 from repro.analysis.rules.numerics import FloatDistanceComparisonRule
@@ -31,4 +33,5 @@ __all__ = [
     "TheoremCitationRule",
     "OverbroadExceptRule",
     "MetricTestMatrixRule",
+    "PairwiseLoopRule",
 ]

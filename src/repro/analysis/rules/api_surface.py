@@ -122,7 +122,7 @@ _METRIC_NAME_RE = re.compile(r"^(kendall|footrule|normalized_)")
 _NON_METRIC_EXPORTS = frozenset({"kendall_naive", "kendall_tau_a", "kendall_tau_b"})
 
 #: The test files constituting the axiom/equivalence matrix.
-MATRIX_FILES = ("test_axioms.py", "test_equivalence.py")
+MATRIX_FILES = ("test_axioms.py", "test_equivalence.py", "test_batch.py")
 
 
 @register
@@ -142,7 +142,7 @@ class MetricTestMatrixRule(Rule):
     description = (
         "Metric registered in repro.metrics.__init__ does not appear in the "
         "axiom/equivalence test matrix (tests/test_axioms.py, "
-        "tests/test_equivalence.py)."
+        "tests/test_equivalence.py, tests/test_batch.py)."
     )
 
     @staticmethod

@@ -1,0 +1,123 @@
+"""RP009 — per-pair metric calls inside nested loops over a profile.
+
+Calling a two-ranking metric (``kendall``, ``footrule``, ``pair_counts``,
+…) from doubly nested loops is the classic way to build an all-pairs
+distance matrix — and it re-derives per-ranking state m−1 times per
+ranking and pays Python overhead per pair.
+:func:`repro.metrics.batch.pairwise_distance_matrix` computes the same
+matrix bit for bit from shared precomputation (see ``docs/PERFORMANCE.md``).
+
+The rule is a *warning*, not an error: quadratic loops over tiny fixtures
+are fine, and tests/benchmarks (where they are usually oracle
+cross-checks) are exempt entirely. Genuine exceptions in serving code can
+carry ``# repro: noqa[RP009]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, Project, Rule, Severity, SourceFile, register
+
+__all__ = ["PairwiseLoopRule", "PER_PAIR_METRIC_NAMES"]
+
+#: Two-ranking distance entry points with a batch equivalent.
+PER_PAIR_METRIC_NAMES = frozenset(
+    {
+        "kendall",
+        "footrule",
+        "kendall_hausdorff",
+        "kendall_hausdorff_counts",
+        "footrule_hausdorff",
+        "kendall_large",
+        "kendall_hausdorff_large",
+        "pair_counts",
+        "pair_counts_large",
+    }
+)
+
+#: Path fragments where per-pair loops are oracle checks, not serving code.
+_ALLOWED_FRAGMENTS = ("tests/", "benchmarks/", "conftest")
+
+
+def _is_allowed_location(source: SourceFile) -> bool:
+    posix = source.posix
+    return any(fragment in posix for fragment in _ALLOWED_FRAGMENTS)
+
+
+def _called_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+class _NestedLoopCallVisitor(ast.NodeVisitor):
+    """Collect metric calls whose enclosing loop depth is >= 2.
+
+    ``for``/``while`` statements and every comprehension generator count
+    one level each, so ``[f(s, t) for s in P for t in P]`` is depth 2 just
+    like the statement form.
+    """
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.hits: list[tuple[ast.Call, str]] = []
+
+    def _visit_loop(self, node: ast.For | ast.AsyncFor | ast.While) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
+
+    def _visit_comprehension(
+        self, node: ast.ListComp | ast.SetComp | ast.DictComp | ast.GeneratorExp
+    ) -> None:
+        self.depth += len(node.generators)
+        self.generic_visit(node)
+        self.depth -= len(node.generators)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.depth >= 2:
+            name = _called_name(node)
+            if name is not None and name in PER_PAIR_METRIC_NAMES:
+                self.hits.append((node, name))
+        self.generic_visit(node)
+
+
+@register
+class PairwiseLoopRule(Rule):
+    """RP009 — all-pairs metric loop that should use the batch layer."""
+
+    code = "RP009"
+    name = "per-pair-metric-in-nested-loop"
+    severity = Severity.WARNING
+    description = (
+        "Two-ranking metric called inside nested loops (an all-pairs "
+        "pattern); repro.metrics.batch.pairwise_distance_matrix computes "
+        "the same matrix from shared precomputation."
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        if _is_allowed_location(source):
+            return
+        visitor = _NestedLoopCallVisitor()
+        visitor.visit(source.tree)
+        for node, name in visitor.hits:
+            yield self.finding(
+                source,
+                node,
+                f"per-pair metric {name!r} called at loop depth >= 2; "
+                "consider repro.metrics.batch.pairwise_distance_matrix "
+                "(bit-for-bit equal, shared precomputation)",
+            )

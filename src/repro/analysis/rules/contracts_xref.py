@@ -35,7 +35,9 @@ from repro.analysis.rules.api_surface import module_all
 __all__ = ["DomainValidationRule"]
 
 _VALIDATOR_SUBSTRINGS = ("validate",)
-_VALIDATOR_PREFIXES = ("_require", "require_", "_check", "check_domain")
+# DomainCodec.for_profile raises DomainMismatchError on empty/mismatched
+# profiles — the array kernels' canonical domain check.
+_VALIDATOR_PREFIXES = ("_require", "require_", "_check", "check_domain", "for_profile")
 _CONTRACT_DECORATOR = "checked_metric"
 _DOMAIN_ERROR = "DomainMismatchError"
 

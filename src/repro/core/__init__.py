@@ -1,5 +1,6 @@
 """Core data model: partial rankings (bucket orders) and refinement algebra."""
 
+from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.core.refine import (
     common_full_ranking,
@@ -17,6 +18,7 @@ from repro.core.topk import (
 __all__ = [
     "Item",
     "PartialRanking",
+    "DomainCodec",
     "star",
     "star_chain",
     "is_refinement",

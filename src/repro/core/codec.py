@@ -1,0 +1,152 @@
+"""Interned domain codecs: one shared item ⇄ index encoding per domain.
+
+Every array kernel in :mod:`repro.metrics.fast` and
+:mod:`repro.metrics.batch` needs the items of the common domain ``D``
+arranged in a fixed order so that two rankings' dense vectors line up
+element-wise. A :class:`DomainCodec` is that arrangement: the items sorted
+by the library's canonical key (type name, then ``repr``), plus the inverse
+``item -> slot`` mapping.
+
+Codecs are *interned*: :meth:`DomainCodec.for_domain` returns the same
+codec object for the same domain, so every ranking of a profile encodes
+against one shared codec and :meth:`PartialRanking.dense_arrays
+<repro.core.partial_ranking.PartialRanking.dense_arrays>` caches by codec
+identity. The intern table holds codecs weakly — once no ranking caches
+against a codec it can be collected.
+
+The canonical order deliberately coincides with
+:func:`repro.core.refine.common_full_ranking` (both sort by the canonical
+bucket key), so a codec's slot order doubles as the deterministic tie-break
+ranking ``rho`` of Theorem 5: array kernels break residual ties by slot
+index and match the object-based Hausdorff computations bit for bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from weakref import WeakValueDictionary
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.partial_ranking import Item, PartialRanking, _canonical_bucket_key
+from repro.errors import DomainMismatchError, InvalidRankingError
+
+__all__ = ["DomainCodec"]
+
+
+class DomainCodec:
+    """A canonical, interned ``item ⇄ index`` encoding of one domain.
+
+    Do not call the constructor directly in application code — use
+    :meth:`for_domain` / :meth:`for_profile` so equal domains share one
+    codec and per-ranking array caches hit.
+    """
+
+    __slots__ = ("_domain", "_items", "_index", "__weakref__")
+
+    _interned: "WeakValueDictionary[frozenset[Item], DomainCodec]" = WeakValueDictionary()
+
+    def __init__(self, domain: Iterable[Item]) -> None:
+        frozen = domain if isinstance(domain, frozenset) else frozenset(domain)
+        if not frozen:
+            raise InvalidRankingError("cannot build a codec for an empty domain")
+        self._domain = frozen
+        self._items: tuple[Item, ...] = tuple(sorted(frozen, key=_canonical_bucket_key))
+        self._index: dict[Item, int] = {item: i for i, item in enumerate(self._items)}
+
+    # ------------------------------------------------------------------
+    # Interning constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_domain(cls, domain: frozenset[Item]) -> "DomainCodec":
+        """The shared codec for ``domain`` (created on first request)."""
+        codec = cls._interned.get(domain)
+        if codec is None:
+            codec = cls(domain)
+            cls._interned[codec._domain] = codec
+        return codec
+
+    @classmethod
+    def for_profile(cls, rankings: Sequence[PartialRanking]) -> "DomainCodec":
+        """The shared codec for a profile, validating the common domain.
+
+        Raises :class:`~repro.errors.DomainMismatchError` if the profile is
+        empty or its rankings disagree on the domain.
+        """
+        if not rankings:
+            raise DomainMismatchError("cannot build a codec for an empty profile")
+        domain = rankings[0].domain
+        for index, ranking in enumerate(rankings[1:], start=1):
+            if ranking.domain is not domain and ranking.domain != domain:
+                raise DomainMismatchError(
+                    f"profile ranking {index} has a different domain than ranking 0 "
+                    f"(sizes {len(ranking)} and {len(domain)})"
+                )
+        return cls.for_domain(domain)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def domain(self) -> frozenset[Item]:
+        """The encoded item set."""
+        return self._domain
+
+    @property
+    def items(self) -> tuple[Item, ...]:
+        """All items in canonical (slot) order."""
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._index
+
+    def slot(self, item: Item) -> int:
+        """The 0-based slot of ``item`` in the canonical order."""
+        try:
+            return self._index[item]
+        except KeyError:
+            raise KeyError(f"item {item!r} not in codec domain") from None
+
+    def __repr__(self) -> str:
+        return f"DomainCodec(<{len(self._items)} items>)"
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode(
+        self, ranking: PartialRanking
+    ) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.float64]]:
+        """Encode one ranking as dense ``(bucket_index, positions)`` arrays.
+
+        Both arrays are aligned to :attr:`items` and returned read-only, so
+        they can be cached and shared safely. Prefer
+        :meth:`PartialRanking.dense_arrays
+        <repro.core.partial_ranking.PartialRanking.dense_arrays>`, which
+        memoizes this per ranking.
+        """
+        if ranking.domain is not self._domain and ranking.domain != self._domain:
+            raise DomainMismatchError(
+                f"ranking domain (size {len(ranking)}) does not match codec domain "
+                f"(size {len(self._items)})"
+            )
+        n = len(self._items)
+        # same-package access to the ranking's internal dicts: one dict
+        # lookup per item instead of a method call per item
+        bucket_of = ranking._bucket_index
+        position_of = ranking._positions
+        bucket_index = np.fromiter(
+            (bucket_of[item] for item in self._items), dtype=np.int64, count=n
+        )
+        positions = np.fromiter(
+            (position_of[item] for item in self._items), dtype=np.float64, count=n
+        )
+        bucket_index.setflags(write=False)
+        positions.setflags(write=False)
+        return bucket_index, positions

@@ -17,9 +17,16 @@ floats and every L1 computation in this library is exact.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
-from typing import Any, TypeVar
+from itertools import islice
+from typing import TYPE_CHECKING, Any, TypeVar
 
 from repro.errors import InvalidRankingError
+
+if TYPE_CHECKING:
+    import numpy as np
+    import numpy.typing as npt
+
+    from repro.core.codec import DomainCodec
 
 Item = Hashable
 T = TypeVar("T", bound=Item)
@@ -61,7 +68,15 @@ class PartialRanking:
     (1, 2, 1)
     """
 
-    __slots__ = ("_buckets", "_positions", "_bucket_index", "_hash")
+    __slots__ = (
+        "_buckets",
+        "_positions",
+        "_bucket_index",
+        "_hash",
+        "_domain",
+        "_order",
+        "_dense",
+    )
 
     def __init__(self, buckets: Iterable[Iterable[Item]]) -> None:
         frozen: list[frozenset[Item]] = []
@@ -90,6 +105,12 @@ class PartialRanking:
         self._positions = positions
         self._bucket_index = bucket_index
         self._hash: int | None = None
+        # lazily-computed caches; see the matching properties/methods
+        self._domain: frozenset[Item] | None = None
+        self._order: tuple[Item, ...] | None = None
+        self._dense: (
+            tuple[DomainCodec, npt.NDArray[np.int64], npt.NDArray[np.float64]] | None
+        ) = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -183,8 +204,15 @@ class PartialRanking:
 
     @property
     def domain(self) -> frozenset[Item]:
-        """The set of all ranked items."""
-        return frozenset(self._positions)
+        """The set of all ranked items.
+
+        Computed once and cached: every metric call checks
+        ``sigma.domain != tau.domain``, so the property must not allocate
+        a fresh frozenset per access.
+        """
+        if self._domain is None:
+            self._domain = frozenset(self._positions)
+        return self._domain
 
     @property
     def positions(self) -> dict[Item, float]:
@@ -242,14 +270,44 @@ class PartialRanking:
         return self._buckets[self.bucket_index(item)]
 
     def items_in_order(self) -> list[Item]:
-        """All items, bucket by bucket, canonical order within buckets."""
-        ordered: list[Item] = []
-        for bucket in self._buckets:
-            ordered.extend(sorted(bucket, key=_canonical_bucket_key))
-        return ordered
+        """All items, bucket by bucket, canonical order within buckets.
+
+        The canonical order is computed once and cached (``__iter__`` and
+        ``repr`` hit it repeatedly in experiments); the returned list is a
+        fresh copy the caller may mutate.
+        """
+        return list(self._canonical_order())
+
+    def _canonical_order(self) -> tuple[Item, ...]:
+        if self._order is None:
+            ordered: list[Item] = []
+            for bucket in self._buckets:
+                ordered.extend(sorted(bucket, key=_canonical_bucket_key))
+            self._order = tuple(ordered)
+        return self._order
 
     def __iter__(self) -> Iterator[Item]:
-        return iter(self.items_in_order())
+        return iter(self._canonical_order())
+
+    def dense_arrays(
+        self, codec: "DomainCodec"
+    ) -> "tuple[npt.NDArray[np.int64], npt.NDArray[np.float64]]":
+        """Dense per-item arrays aligned to ``codec``'s item order.
+
+        Returns ``(bucket_index, positions)``: an int64 vector of 0-based
+        bucket indices and a float64 vector of the paper's positions, both
+        indexed by ``codec`` slots. Computed once per ranking and cached —
+        this is what makes m² pairwise evaluations over a shared profile
+        pay the per-ranking encoding cost only m times (see
+        :mod:`repro.metrics.batch`). The arrays are read-only views of the
+        cache; copy before mutating.
+        """
+        cached = self._dense
+        if cached is not None and cached[0] is codec:
+            return cached[1], cached[2]
+        bucket_index, positions = codec.encode(self)
+        self._dense = (codec, bucket_index, positions)
+        return bucket_index, positions
 
     # ------------------------------------------------------------------
     # Pairwise relations
@@ -281,6 +339,9 @@ class PartialRanking:
             item: len(buckets) - 1 - idx for item, idx in self._bucket_index.items()
         }
         reversed_ranking._hash = None
+        reversed_ranking._domain = self._domain  # same item set; share the cache
+        reversed_ranking._order = None
+        reversed_ranking._dense = None
         return reversed_ranking
 
     def refined_by(self, tau: "PartialRanking") -> "PartialRanking":
@@ -357,9 +418,17 @@ class PartialRanking:
             self._hash = hash(self._buckets)
         return self._hash
 
+    def __reduce__(
+        self,
+    ) -> tuple[type["PartialRanking"], tuple[tuple[frozenset[Item], ...]]]:
+        # pickle only the ordered partition: the derived dicts and lazy
+        # caches are rebuilt on load, keeping process-pool payloads small
+        return (PartialRanking, (self._buckets,))
+
     def __repr__(self) -> str:
+        ordered = iter(self._canonical_order())
         rendered = " | ".join(
-            ", ".join(repr(item) for item in sorted(bucket, key=_canonical_bucket_key))
+            ", ".join(repr(item) for item in islice(ordered, len(bucket)))
             for bucket in self._buckets
         )
         return f"PartialRanking[{rendered}]"

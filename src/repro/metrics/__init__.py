@@ -17,8 +17,22 @@ Public names:
 * :mod:`repro.metrics.normalized` — [0, 1]-scaled variants.
 * :mod:`repro.metrics.topk_fks` — the varying-active-domain top-k scenario
   of Fagin–Kumar–Sivakumar (Appendix A.3).
+* :mod:`repro.metrics.fast` / :mod:`repro.metrics.batch` — the array fast
+  path (``kendall_large`` etc.) and the all-pairs batch layer
+  (:func:`pairwise_distance_matrix`); see ``docs/PERFORMANCE.md``.
 """
 
+from repro.metrics.batch import (
+    PairCountsMatrix,
+    pair_counts_matrix,
+    pairwise_distance_matrix,
+)
+from repro.metrics.fast import (
+    count_inversions_array,
+    kendall_hausdorff_large,
+    kendall_large,
+    pair_counts_large,
+)
 from repro.metrics.footrule import footrule, footrule_full
 from repro.metrics.hausdorff import (
     footrule_hausdorff,
@@ -49,6 +63,13 @@ __all__ = [
     "kendall",
     "kendall_full",
     "pair_counts",
+    "kendall_large",
+    "kendall_hausdorff_large",
+    "pair_counts_large",
+    "count_inversions_array",
+    "PairCountsMatrix",
+    "pair_counts_matrix",
+    "pairwise_distance_matrix",
     "footrule",
     "footrule_full",
     "kendall_hausdorff",

@@ -1,0 +1,397 @@
+"""All-pairs distance kernels over a profile (the batch layer).
+
+Computing an m×m distance matrix by calling a two-ranking metric m²/2
+times re-derives the same per-ranking state m−1 times per ranking and pays
+Python call overhead per pair. This module shares the precomputation once
+per profile:
+
+* one interned :class:`~repro.core.codec.DomainCodec` for the common
+  domain (so the per-ranking dense arrays cached by
+  :meth:`PartialRanking.dense_arrays
+  <repro.core.partial_ranking.PartialRanking.dense_arrays>` are encoded
+  exactly once);
+* stacked ``(m, n)`` bucket-index / position matrices;
+* for the Kendall family, an all-pairs pair classifier with two
+  interchangeable strategies — a *dense* one that turns the five pair
+  categories into four matrix products over ±1 sign tensors (O(m²n²)
+  multiply-adds, but inside BLAS), and a *pairs* one that runs the
+  O(n log n) lexsort/merge kernel of :mod:`repro.metrics.fast` per pair
+  and scales to domains where the dense tensor would not fit.
+
+Every entry is **bit-for-bit equal** to the corresponding two-ranking
+metric (``kendall``, ``footrule``, ``kendall_hausdorff``,
+``footrule_hausdorff``): counts are integers, positions are multiples of
+½, and every float operation here is exact (sums of half-integers, integer
+gemms below 2⁵³), so there is no tolerance anywhere — the test suite
+asserts equality with ``==``.
+
+The ``jobs`` keyword (default: serial; see :mod:`repro.parallel`) spreads
+the per-pair strategies over a process pool; results are reassembled in
+input order, so parallel runs are bit-for-bit identical to serial ones.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.typing as npt
+
+from repro._util import pairs
+from repro.core.codec import DomainCodec
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import InvalidRankingError
+from repro.metrics.fast import count_inversions_array
+from repro.metrics.kendall import PairCounts
+from repro.parallel import parallel_map, resolve_jobs
+
+__all__ = [
+    "PairCountsMatrix",
+    "profile_codec",
+    "bucket_index_matrix",
+    "position_matrix",
+    "pair_counts_matrix",
+    "pairwise_distance_matrix",
+    "METRIC_ALIASES",
+]
+
+#: Accepted ``metric=`` spellings, normalized to the canonical name.
+METRIC_ALIASES = {
+    "kendall": "kendall",
+    "k_prof": "kendall",
+    "footrule": "footrule",
+    "f_prof": "footrule",
+    "kendall_hausdorff": "kendall_hausdorff",
+    "k_haus": "kendall_hausdorff",
+    "footrule_hausdorff": "footrule_hausdorff",
+    "f_haus": "footrule_hausdorff",
+}
+
+#: Dense pair-classification is used when m·n² stays below this many
+#: tensor elements (three float64 tensors of that size are materialized).
+_DENSE_BUDGET = 1 << 23
+
+
+@dataclass(frozen=True, slots=True)
+class PairCountsMatrix:
+    """All-pairs pair-category counts for a profile of m rankings.
+
+    Entry ``[i, j]`` classifies the unordered item pairs between rankings
+    ``i`` ("first") and ``j`` ("second"), exactly like
+    :class:`~repro.metrics.kendall.PairCounts` — ``tied_first_only[i, j]``
+    is |S| with ranking ``i`` in the sigma role. The matrix of |T| values
+    is the transpose, so it is exposed as a property rather than stored.
+    """
+
+    discordant: npt.NDArray[np.int64]
+    tied_first_only: npt.NDArray[np.int64]
+    tied_both: npt.NDArray[np.int64]
+    concordant: npt.NDArray[np.int64]
+
+    @property
+    def tied_second_only(self) -> npt.NDArray[np.int64]:
+        """|T| with row index in the sigma role: the transpose of |S|."""
+        return self.tied_first_only.T
+
+    def pair_counts(self, i: int, j: int) -> PairCounts:
+        """The scalar :class:`PairCounts` between rankings ``i`` and ``j``."""
+        return PairCounts(
+            discordant=int(self.discordant[i, j]),
+            tied_first_only=int(self.tied_first_only[i, j]),
+            tied_second_only=int(self.tied_first_only[j, i]),
+            tied_both=int(self.tied_both[i, j]),
+            concordant=int(self.concordant[i, j]),
+        )
+
+    def kendall(self, p: float = 0.5) -> npt.NDArray[np.float64]:
+        """The ``K^(p)`` distance matrix (m×m, float64, exact)."""
+        if not 0.0 <= p <= 1.0:
+            raise InvalidRankingError(f"penalty parameter p={p} outside [0, 1]")
+        tied_once = self.tied_first_only + self.tied_first_only.T
+        return self.discordant + p * tied_once
+
+    def kendall_hausdorff(self) -> npt.NDArray[np.int64]:
+        """The ``K_Haus`` matrix via Proposition 6: |U| + max(|S|, |T|)."""
+        return self.discordant + np.maximum(self.tied_first_only, self.tied_first_only.T)
+
+
+def profile_codec(rankings: Sequence[PartialRanking]) -> DomainCodec:
+    """The shared :class:`DomainCodec` of a profile (validates the domain)."""
+    return DomainCodec.for_profile(rankings)
+
+
+def bucket_index_matrix(
+    rankings: Sequence[PartialRanking], codec: DomainCodec | None = None
+) -> npt.NDArray[np.int64]:
+    """Stacked bucket-index vectors, shape ``(m, n)``, codec slot order."""
+    if codec is None:
+        codec = DomainCodec.for_profile(rankings)
+    return np.stack([ranking.dense_arrays(codec)[0] for ranking in rankings])
+
+
+def position_matrix(
+    rankings: Sequence[PartialRanking], codec: DomainCodec | None = None
+) -> npt.NDArray[np.float64]:
+    """Stacked position vectors, shape ``(m, n)``, codec slot order."""
+    if codec is None:
+        codec = DomainCodec.for_profile(rankings)
+    return np.stack([ranking.dense_arrays(codec)[1] for ranking in rankings])
+
+
+# ----------------------------------------------------------------------
+# Pair classification
+# ----------------------------------------------------------------------
+
+
+def _tied_per_ranking(bucket_rows: npt.NDArray[np.int64]) -> npt.NDArray[np.int64]:
+    """Per ranking: the number of item pairs tied in that ranking."""
+    m = bucket_rows.shape[0]
+    tied = np.empty(m, dtype=np.int64)
+    for r in range(m):
+        sizes = np.bincount(bucket_rows[r])
+        tied[r] = int((sizes * (sizes - 1) // 2).sum())
+    return tied
+
+
+def _classify_rows(x: npt.NDArray[np.int64], y: npt.NDArray[np.int64]) -> tuple[int, int]:
+    """(discordant, tied_both) between two bucket-index rows.
+
+    Same lexsort/run-length/merge derivation as
+    :func:`repro.metrics.fast.pair_counts_large`.
+    """
+    order = np.lexsort((y, x))
+    xs, ys = x[order], y[order]
+    n = len(xs)
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    change[1:] = (xs[1:] != xs[:-1]) | (ys[1:] != ys[:-1])
+    run_lengths = np.diff(np.append(np.flatnonzero(change), n))
+    tied_both = int((run_lengths * (run_lengths - 1) // 2).sum())
+    return count_inversions_array(ys), tied_both
+
+
+def _classify_chunk(
+    task: tuple[npt.NDArray[np.int64], list[tuple[int, int]]],
+) -> list[tuple[int, int]]:
+    """Pool worker: classify a chunk of (i, j) index pairs."""
+    bucket_rows, index_pairs = task
+    return [_classify_rows(bucket_rows[i], bucket_rows[j]) for i, j in index_pairs]
+
+
+def _upper_triangle(m: int) -> list[tuple[int, int]]:
+    return [(i, j) for i in range(m) for j in range(i + 1, m)]
+
+
+def _chunk(items: list[tuple[int, int]], n_chunks: int) -> list[list[tuple[int, int]]]:
+    """Split into up to ``n_chunks`` contiguous, order-preserving chunks."""
+    n_chunks = max(1, min(n_chunks, len(items)))
+    step = -(-len(items) // n_chunks)
+    return [items[k : k + step] for k in range(0, len(items), step)]
+
+
+def _pair_counts_dense(bucket_rows: npt.NDArray[np.int64]) -> PairCountsMatrix:
+    """Classify all pairs at once via four sign-tensor matrix products.
+
+    Per ranking ``r`` build the flattened n×n sign tensor
+    ``S[r, i·n+j] = sign(bucket_r(i) − bucket_r(j))``, its magnitude
+    ``A = |S|`` and tie indicator ``Z = 1 − A``. Then, writing C/D/S/T/B
+    for the five pair categories over *unordered* pairs,
+
+        S·Sᵀ = 2(C − D),   A·Aᵀ = 2(C + D),   Z·Aᵀ = 2|S|,   Z·Zᵀ = 2B + n.
+
+    Every entry is an integer far below 2⁵³, so the float64 products are
+    exact and the final rounding is a formality.
+    """
+    m, n = bucket_rows.shape
+    sign = np.sign(bucket_rows[:, :, None] - bucket_rows[:, None, :]).reshape(m, n * n)
+    sign = sign.astype(np.float64)
+    strict = np.abs(sign)
+    tied = 1.0 - strict
+    g_ss = sign @ sign.T
+    g_aa = strict @ strict.T
+    g_za = tied @ strict.T
+    g_zz = tied @ tied.T
+    discordant = np.rint((g_aa - g_ss) / 4.0).astype(np.int64)
+    concordant = np.rint((g_aa + g_ss) / 4.0).astype(np.int64)
+    tied_first_only = np.rint(g_za / 2.0).astype(np.int64)
+    tied_both = np.rint((g_zz - n) / 2.0).astype(np.int64)
+    return PairCountsMatrix(
+        discordant=discordant,
+        tied_first_only=tied_first_only,
+        tied_both=tied_both,
+        concordant=concordant,
+    )
+
+
+def _pair_counts_pairs(
+    bucket_rows: npt.NDArray[np.int64], jobs: int | None
+) -> PairCountsMatrix:
+    """Classify all pairs with the per-pair O(n log n) kernel."""
+    m, n = bucket_rows.shape
+    total = pairs(n)
+    tied = _tied_per_ranking(bucket_rows)
+    index_pairs = _upper_triangle(m)
+    chunks = _chunk(index_pairs, resolve_jobs(jobs))
+    results = parallel_map(
+        _classify_chunk, [(bucket_rows, chunk) for chunk in chunks], jobs=jobs
+    )
+
+    discordant = np.zeros((m, m), dtype=np.int64)
+    tied_first_only = np.zeros((m, m), dtype=np.int64)
+    tied_both = np.zeros((m, m), dtype=np.int64)
+    concordant = np.full((m, m), total, dtype=np.int64)
+    for chunk, counts in zip(chunks, results):
+        for (i, j), (disc, both) in zip(chunk, counts):
+            discordant[i, j] = discordant[j, i] = disc
+            tied_both[i, j] = tied_both[j, i] = both
+            tied_first_only[i, j] = tied[i] - both
+            tied_first_only[j, i] = tied[j] - both
+            concordant[i, j] = concordant[j, i] = (
+                total - disc - tied_first_only[i, j] - tied_first_only[j, i] - both
+            )
+    for r in range(m):
+        tied_both[r, r] = tied[r]
+        concordant[r, r] = total - tied[r]
+    return PairCountsMatrix(
+        discordant=discordant,
+        tied_first_only=tied_first_only,
+        tied_both=tied_both,
+        concordant=concordant,
+    )
+
+
+def pair_counts_matrix(
+    rankings: Sequence[PartialRanking],
+    *,
+    strategy: str = "auto",
+    jobs: int | None = None,
+) -> PairCountsMatrix:
+    """All-pairs pair-category counts for a profile.
+
+    ``strategy='dense'`` forces the sign-tensor gemm path (O(m·n²) memory),
+    ``'pairs'`` the per-pair lexsort/merge path, ``'auto'`` picks dense
+    while the tensor stays below the budget. Both strategies produce
+    identical matrices; the test suite asserts it.
+    """
+    bucket_rows = bucket_index_matrix(rankings)
+    m, n = bucket_rows.shape
+    if strategy == "auto":
+        strategy = "dense" if m * n * n <= _DENSE_BUDGET else "pairs"
+    if strategy == "dense":
+        return _pair_counts_dense(bucket_rows)
+    if strategy == "pairs":
+        return _pair_counts_pairs(bucket_rows, jobs)
+    raise ValueError(f"unknown strategy {strategy!r}; expected 'auto', 'dense' or 'pairs'")
+
+
+# ----------------------------------------------------------------------
+# Footrule family
+# ----------------------------------------------------------------------
+
+
+def _footrule_chunk(
+    task: tuple[npt.NDArray[np.float64], list[tuple[int, int]]],
+) -> list[float]:
+    """Pool worker: F_prof for a chunk of (i, j) index pairs."""
+    position_rows, index_pairs = task
+    return [
+        float(np.abs(position_rows[i] - position_rows[j]).sum()) for i, j in index_pairs
+    ]
+
+
+def _fhaus_rows(x: npt.NDArray[np.int64], y: npt.NDArray[np.int64]) -> float:
+    """``F_Haus`` between two bucket-index rows via array Theorem 5 witnesses.
+
+    ``np.lexsort`` is stable, so residual ties break by slot index — i.e.
+    by the codec's canonical order, which is exactly the default ``rho`` of
+    :func:`repro.metrics.hausdorff.hausdorff_witnesses` (both sort by the
+    canonical bucket key). The value is rho-independent anyway (Theorem 5),
+    and all sums are integers, so this matches the object path bit for bit.
+    """
+    n = x.size
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    pos = np.empty((4, n), dtype=np.float64)
+    pos[0, np.lexsort((-y, x))] = ranks  # sigma_1 = rho * tau^R * sigma
+    pos[1, np.lexsort((x, y))] = ranks  # tau_1   = rho * sigma * tau
+    pos[2, np.lexsort((y, x))] = ranks  # sigma_2 = rho * tau * sigma
+    pos[3, np.lexsort((-x, y))] = ranks  # tau_2   = rho * sigma^R * tau
+    f_1 = float(np.abs(pos[0] - pos[1]).sum())
+    f_2 = float(np.abs(pos[2] - pos[3]).sum())
+    return max(f_1, f_2)
+
+
+def _fhaus_chunk(
+    task: tuple[npt.NDArray[np.int64], list[tuple[int, int]]],
+) -> list[float]:
+    """Pool worker: F_Haus for a chunk of (i, j) index pairs."""
+    bucket_rows, index_pairs = task
+    return [_fhaus_rows(bucket_rows[i], bucket_rows[j]) for i, j in index_pairs]
+
+
+def _symmetric_from_chunks(
+    m: int,
+    chunks: list[list[tuple[int, int]]],
+    results: list[list[float]],
+) -> npt.NDArray[np.float64]:
+    matrix = np.zeros((m, m), dtype=np.float64)
+    for chunk, values in zip(chunks, results):
+        for (i, j), value in zip(chunk, values):
+            matrix[i, j] = matrix[j, i] = value
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# The batch entry point
+# ----------------------------------------------------------------------
+
+
+def pairwise_distance_matrix(
+    rankings: Sequence[PartialRanking],
+    metric: str = "kendall",
+    *,
+    p: float = 0.5,
+    strategy: str = "auto",
+    jobs: int | None = None,
+) -> npt.NDArray[np.float64]:
+    """The m×m distance matrix of a profile under one of the four metrics.
+
+    ``metric`` accepts the canonical names ``kendall`` / ``footrule`` /
+    ``kendall_hausdorff`` / ``footrule_hausdorff`` and the paper aliases
+    ``k_prof`` / ``f_prof`` / ``k_haus`` / ``f_haus``. ``p`` applies to the
+    Kendall metric only; ``strategy`` to the Kendall-family pair
+    classification (see :func:`pair_counts_matrix`); ``jobs`` spreads the
+    per-pair code paths over a process pool (:mod:`repro.parallel`).
+
+    Entries are bit-for-bit equal to the two-ranking metrics; the matrix
+    is symmetric with a zero diagonal.
+    """
+    try:
+        canonical = METRIC_ALIASES[metric]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of {sorted(METRIC_ALIASES)}"
+        ) from None
+
+    if canonical == "kendall":
+        counts = pair_counts_matrix(rankings, strategy=strategy, jobs=jobs)
+        return counts.kendall(p)
+    if canonical == "kendall_hausdorff":
+        counts = pair_counts_matrix(rankings, strategy=strategy, jobs=jobs)
+        return counts.kendall_hausdorff().astype(np.float64)
+
+    codec = DomainCodec.for_profile(rankings)
+    m = len(rankings)
+    index_pairs = _upper_triangle(m)
+    chunks = _chunk(index_pairs, resolve_jobs(jobs))
+    if canonical == "footrule":
+        position_rows = position_matrix(rankings, codec)
+        results = parallel_map(
+            _footrule_chunk, [(position_rows, chunk) for chunk in chunks], jobs=jobs
+        )
+    else:  # footrule_hausdorff
+        bucket_rows = bucket_index_matrix(rankings, codec)
+        results = parallel_map(
+            _fhaus_chunk, [(bucket_rows, chunk) for chunk in chunks], jobs=jobs
+        )
+    return _symmetric_from_chunks(m, chunks, results)

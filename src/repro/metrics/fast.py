@@ -1,31 +1,44 @@
-"""Array-based (numpy) pair counting — an independent large-n implementation.
+"""Array-based (numpy) pair counting — the large-n fast path.
 
 A second, structurally different implementation of the pair classifier
 behind ``K^(p)`` / ``K_prof`` / ``K_Haus``:
 
-* tie counts from ``np.unique`` on bucket-index arrays,
-* strict discordances as strict inversions of the ``tau`` bucket sequence
-  after a lexicographic ``(sigma, tau)`` sort, counted with a bottom-up
-  merge sort whose per-merge work is ``np.searchsorted`` calls.
+* per-ranking state comes from the dense arrays cached on
+  :class:`~repro.core.partial_ranking.PartialRanking` (keyed by the interned
+  :class:`~repro.core.codec.DomainCodec` of the domain), so repeated calls
+  over a shared profile encode each ranking exactly once;
+* tie counts fall out of run lengths of the lexicographically sorted
+  ``(sigma, tau)`` bucket-index pairs;
+* strict discordances are strict inversions of the ``tau`` bucket sequence
+  after that sort, counted by a bottom-up merge whose *entire* per-level
+  work is a handful of flat numpy calls — one ``searchsorted`` over the
+  concatenated offset-keyed left runs classifies every cross-run pair of
+  the level at once, with no Python-level loop over runs.
 
-**Measured honestly** (see ``bench_ablations.py``): the pure-Python
-Fenwick path in :mod:`repro.metrics.kendall` remains faster even at
-n = 100,000 — its tree is sized by the *bucket count*, while the merge
-here still pays one Python-level loop iteration per run pair. This module
-therefore earns its place as an independent correctness cross-check at
-scales where the O(n²) naive oracle is unusable (the tests assert
-bit-for-bit equality of the counts), rather than as a speedup.
+**Measured honestly** (see ``benchmarks/bench_batch.py`` and the committed
+``BENCH_PR2.json``): since the per-run Python loop was eliminated, this
+path beats the pure-Python Fenwick path in :mod:`repro.metrics.kendall`
+from a few hundred items up — the measured crossover is n ≈ 250, the
+inversion counter is ~3–4× faster at n = 100,000, and
+:func:`pair_counts_large` beats :func:`~repro.metrics.kendall.pair_counts`
+by ~4.4× there (``docs/PERFORMANCE.md`` has the full tables). Below the
+crossover the Fenwick tree, sized by the *bucket count*, still wins; both
+paths assert bit-for-bit equal counts in the test suite.
 :func:`kendall_large` / :func:`kendall_hausdorff_large` are the drop-in
-entry points.
+entry points; :func:`repro.metrics.batch.pairwise_distance_matrix` builds
+the all-pairs layer on the same kernels.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
+from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import PartialRanking
-from repro.errors import DomainMismatchError, InvalidRankingError
+from repro.errors import InvalidRankingError
 from repro.metrics.kendall import PairCounts
+from repro._util import pairs
 
 __all__ = [
     "count_inversions_array",
@@ -35,74 +48,95 @@ __all__ = [
 ]
 
 
-def count_inversions_array(values: np.ndarray) -> int:
-    """Strict inversions of a 1-D integer/float array, vectorized.
+def count_inversions_array(values: npt.ArrayLike) -> int:
+    """Strict inversions of a 1-D integer/float array, fully vectorized.
 
-    Bottom-up merge sort: at each level, for every pair of adjacent runs,
-    the cross-run inversions are ``sum over right elements of (#left
-    elements strictly greater)``, computed in one ``searchsorted`` call
-    per run pair. Equal values never count.
+    Bottom-up merge sort with no Python-level loop over runs: values are
+    first dense-rank compressed to ``0..n-1``, padded with a sentinel to a
+    power-of-two length, and then, at each merge level, every pair of
+    adjacent runs is processed *simultaneously* — adding ``run_id * stride``
+    to each element makes the concatenation of all left runs globally
+    sorted, so a single flat ``searchsorted`` classifies every (left,
+    right) cross-run pair of the level, and one axis-wise ``sort`` merges
+    all runs for the next level. Equal values never count. O(n log² n)
+    total work, all of it inside numpy.
     """
-    working = np.asarray(values)
-    n = len(working)
+    a = np.asarray(values)
+    n = int(a.size)
     if n < 2:
         return 0
+    # dense-rank compression: int64 ranks in [0, n), ties share a rank
+    order = np.argsort(a, kind="stable")
+    ordered = a[order]
+    boundary = np.empty(n, dtype=np.int64)
+    boundary[0] = 0
+    boundary[1:] = ordered[1:] != ordered[:-1]
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = np.cumsum(boundary)
+    # pad to a power of two with a sentinel larger than every rank; the
+    # sentinels form a suffix, so left runs only ever hold sentinels when
+    # the matching right run is pure sentinel — they add no inversions
+    size = 1 << (n - 1).bit_length()
+    work = np.full(size, n, dtype=np.int64)
+    work[:n] = ranks
+    stride = n + 1  # > every rank and the sentinel: keys of distinct runs never collide
     total = 0
     width = 1
-    working = working.copy()
-    while width < n:
-        for start in range(0, n - width, 2 * width):
-            mid = start + width
-            stop = min(start + 2 * width, n)
-            left = working[start:mid]
-            right = working[mid:stop]
-            # for each right element: left elements <= it
-            not_greater = np.searchsorted(left, right, side="right")
-            total += int(len(left) * len(right) - not_greater.sum())
-            working[start:stop] = np.concatenate((left, right))[
-                np.argsort(np.concatenate((left, right)), kind="stable")
-            ]
+    while width < size:
+        nblocks = size // (2 * width)
+        blocks = work.reshape(nblocks, 2 * width)
+        offsets = np.arange(nblocks, dtype=np.int64) * stride
+        left = (blocks[:, :width] + offsets[:, None]).ravel()
+        right = (blocks[:, width:] + offsets[:, None]).ravel()
+        # for each right element: left elements of the SAME run <= it,
+        # via one flat searchsorted over all runs of the level
+        not_greater = np.searchsorted(left, right, side="right")
+        not_greater -= np.repeat(np.arange(nblocks, dtype=np.int64) * width, width)
+        total += int(nblocks * width * width - int(not_greater.sum()))
+        # merge every run pair at once: each 2*width block sorts in place
+        work = np.sort(blocks, axis=1).reshape(-1)
         width *= 2
     return total
 
 
 def _bucket_index_arrays(
     sigma: PartialRanking, tau: PartialRanking
-) -> tuple[np.ndarray, np.ndarray]:
-    if sigma.domain != tau.domain:
-        raise DomainMismatchError(
-            f"rankings must share a domain (sizes {len(sigma)} and {len(tau)})"
-        )
-    items = list(sigma.domain)
-    x = np.fromiter((sigma.bucket_index(item) for item in items), dtype=np.int64)
-    y = np.fromiter((tau.bucket_index(item) for item in items), dtype=np.int64)
+) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
+    codec = DomainCodec.for_profile((sigma, tau))  # validates the common domain
+    x, _ = sigma.dense_arrays(codec)
+    y, _ = tau.dense_arrays(codec)
     return x, y
 
 
-def _tied_pairs(counts: np.ndarray) -> int:
-    return int((counts.astype(np.int64) * (counts - 1) // 2).sum())
+def _tied_pairs_in_runs(
+    xs: npt.NDArray[np.int64], ys: npt.NDArray[np.int64]
+) -> int:
+    """Pairs inside maximal runs of equal ``(x, y)`` values (arrays sorted)."""
+    n = len(xs)
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    change[1:] = (xs[1:] != xs[:-1]) | (ys[1:] != ys[:-1])
+    run_lengths = np.diff(np.append(np.flatnonzero(change), n))
+    return int((run_lengths * (run_lengths - 1) // 2).sum())
 
 
 def pair_counts_large(sigma: PartialRanking, tau: PartialRanking) -> PairCounts:
     """Vectorized equivalent of :func:`repro.metrics.kendall.pair_counts`."""
     x, y = _bucket_index_arrays(sigma, tau)
     n = len(x)
-    total = n * (n - 1) // 2
+    total = pairs(n)
 
-    _, x_counts = np.unique(x, return_counts=True)
-    _, y_counts = np.unique(y, return_counts=True)
-    joint = x * (int(y.max()) + 1 if n else 1) + y
-    _, joint_counts = np.unique(joint, return_counts=True)
-
-    tied_sigma = _tied_pairs(x_counts)
-    tied_tau = _tied_pairs(y_counts)
-    tied_both = _tied_pairs(joint_counts)
+    tied_sigma = sum(pairs(size) for size in sigma.type)
+    tied_tau = sum(pairs(size) for size in tau.type)
 
     # lexicographic sort by (x asc, y asc): within equal x, y is ascending,
     # so strict inversions of the y sequence are exactly the pairs strict
-    # in x and strictly reversed in y
+    # in x and strictly reversed in y, and runs of equal (x, y) are the
+    # pairs tied in both rankings
     order = np.lexsort((y, x))
-    discordant = count_inversions_array(y[order])
+    xs, ys = x[order], y[order]
+    tied_both = _tied_pairs_in_runs(xs, ys)
+    discordant = count_inversions_array(ys)
 
     tied_first_only = tied_sigma - tied_both
     tied_second_only = tied_tau - tied_both

@@ -73,7 +73,9 @@ class PairCounts:
 
 
 def _require_common_domain(sigma: PartialRanking, tau: PartialRanking) -> None:
-    if sigma.domain != tau.domain:
+    # identity first: cached domains are shared between a ranking and its
+    # derived rankings, making the common case a pointer comparison
+    if sigma.domain is not tau.domain and sigma.domain != tau.domain:
         raise DomainMismatchError(
             f"rankings must share a domain (sizes {len(sigma)} and {len(tau)})"
         )

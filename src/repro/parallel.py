@@ -1,0 +1,73 @@
+"""Process-pool plumbing shared by batch kernels and the experiment runner.
+
+One knob, three spellings: the ``jobs`` keyword accepted by
+:func:`repro.metrics.batch.pairwise_distance_matrix`, the aggregation entry
+points, and :func:`repro.experiments.runner.run_experiments`; the
+``--jobs`` CLI flag of ``python -m repro.experiments``; and the
+``REPRO_JOBS`` environment variable consulted when neither is given.
+``jobs <= 1`` (the default everywhere) means "run serially in-process" —
+the pool is strictly opt-in, and every parallel code path is required by
+the test suite to produce bit-for-bit the same results as the serial one.
+
+Worker functions must be module-level (picklable); rankings cross the
+process boundary via :meth:`PartialRanking.__reduce__
+<repro.core.partial_ranking.PartialRanking.__reduce__>`, which ships only
+the bucket tuples and lets each worker rebuild its caches locally.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+__all__ = ["ENV_JOBS", "resolve_jobs", "parallel_map"]
+
+ENV_JOBS = "REPRO_JOBS"
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Normalize a ``jobs`` request to a concrete worker count (>= 1).
+
+    ``None`` falls back to the ``REPRO_JOBS`` environment variable, and to
+    1 (serial) when that is unset or malformed. A negative value means
+    "all available CPUs". Zero is rejected: it is always a bug, not a
+    plausible request.
+    """
+    if jobs is None:
+        raw = os.environ.get(ENV_JOBS, "").strip()
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            jobs = 1
+    if jobs == 0:
+        raise ValueError("jobs=0 is invalid; use jobs=1 for serial or a negative value for all CPUs")
+    if jobs < 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    *,
+    jobs: int | None = None,
+    chunksize: int = 1,
+) -> list[_R]:
+    """``[fn(x) for x in items]``, optionally across a process pool.
+
+    Results come back in input order regardless of worker scheduling, so a
+    caller that sums or concatenates them gets the same floating-point
+    result as the serial loop. With ``jobs <= 1`` (after
+    :func:`resolve_jobs`) no pool is created at all.
+    """
+    work: Sequence[_T] = items if isinstance(items, Sequence) else list(items)
+    n_jobs = min(resolve_jobs(jobs), len(work)) if work else 1
+    if n_jobs <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        return list(pool.map(fn, work, chunksize=max(1, chunksize)))

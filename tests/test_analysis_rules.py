@@ -26,7 +26,17 @@ from repro.analysis.reporters import render_json, render_text
 
 REPO_ROOT = find_project_root(Path(__file__).resolve().parent)
 
-ALL_CODES = ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007", "RP008")
+ALL_CODES = (
+    "RP001",
+    "RP002",
+    "RP003",
+    "RP004",
+    "RP005",
+    "RP006",
+    "RP007",
+    "RP008",
+    "RP009",
+)
 
 
 def codes(result) -> list[str]:
@@ -34,7 +44,7 @@ def codes(result) -> list[str]:
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_rules_registered(self):
         assert tuple(sorted(registered_rules())) == ALL_CODES
 
     def test_rules_have_descriptions_and_severities(self):
@@ -391,6 +401,68 @@ class TestRP008MetricMatrix:
             select=["RP008"],
         )
         assert codes(result) == []
+
+
+class TestRP009PairwiseLoops:
+    _NESTED = (
+        "from repro.metrics import kendall\n"
+        "def matrix(profile):\n"
+        "    out = []\n"
+        "    for sigma in profile:\n"
+        "        for tau in profile:\n"
+        "            out.append(kendall(sigma, tau))\n"
+        "    return out\n"
+    )
+
+    def test_positive_nested_statement_loops(self):
+        result = analyze_source(self._NESTED, select=["RP009"])
+        assert codes(result) == ["RP009"]
+        assert "pairwise_distance_matrix" in result.active[0].message
+        assert result.active[0].severity is Severity.WARNING
+
+    def test_positive_double_comprehension(self):
+        result = analyze_source(
+            "from repro.metrics import footrule\n"
+            "def matrix(profile):\n"
+            "    return [footrule(s, t) for s in profile for t in profile]\n",
+            select=["RP009"],
+        )
+        assert codes(result) == ["RP009"]
+
+    def test_negative_single_loop(self):
+        result = analyze_source(
+            "from repro.metrics import kendall\n"
+            "def against_candidate(candidate, profile):\n"
+            "    return [kendall(candidate, sigma) for sigma in profile]\n",
+            select=["RP009"],
+        )
+        assert codes(result) == []
+
+    def test_negative_non_metric_call_in_nested_loop(self):
+        result = analyze_source(
+            "def grid(n):\n"
+            "    return [[max(i, j) for j in range(n)] for i in range(n)]\n",
+            select=["RP009"],
+        )
+        assert codes(result) == []
+
+    def test_negative_tests_and_benchmarks_exempt(self):
+        for filename in ("tests/test_x.py", "benchmarks/bench_x.py"):
+            result = analyze_source(self._NESTED, filename=filename, select=["RP009"])
+            assert codes(result) == [], filename
+
+    def test_noqa_escape(self):
+        result = analyze_source(
+            "from repro.metrics import kendall\n"
+            "def matrix(profile):\n"
+            "    return [\n"
+            "        kendall(s, t)  # repro: noqa[RP009]\n"
+            "        for s in profile for t in profile\n"
+            "    ]\n",
+            select=["RP009"],
+        )
+        assert codes(result) == []
+        assert sum(finding.suppressed for finding in result.findings) == 1
 
 
 class TestSuppressions:

@@ -1,0 +1,73 @@
+"""The process-pool plumbing: jobs resolution and order-preserving maps."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import ENV_JOBS, parallel_map, resolve_jobs
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        assert resolve_jobs() == 1
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_value_wins(self):
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "4")
+        assert resolve_jobs() == 4
+
+    def test_malformed_env_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "many")
+        assert resolve_jobs() == 1
+
+    def test_negative_means_all_cpus(self):
+        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match="jobs=0"):
+            resolve_jobs(0)
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, []) == []
+
+    def test_pool_preserves_input_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=2) == [x * x for x in items]
+
+    def test_pool_matches_serial(self):
+        items = list(range(8))
+        assert parallel_map(_square, items, jobs=2) == parallel_map(_square, items)
+
+    def test_generator_input(self):
+        assert parallel_map(_square, (x for x in (2, 3))) == [4, 9]
+
+
+class TestRunExperiments:
+    def test_pool_matches_serial(self):
+        from repro.experiments.runner import format_tables, run_experiments
+
+        serial = run_experiments(["e04"], seed=0)
+        pooled = run_experiments(["e04"], seed=0, jobs=2)
+        assert list(serial) == ["e04"] == list(pooled)
+        assert format_tables(serial["e04"]) == format_tables(pooled["e04"])
+
+    def test_unknown_id_rejected_before_running(self):
+        from repro.experiments.runner import run_experiments
+
+        with pytest.raises(KeyError, match="e99"):
+            run_experiments(["e99"])
