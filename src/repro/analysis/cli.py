@@ -22,7 +22,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "Domain-aware static analysis for the repro ranking library: "
-            "AST lints RP001–RP009 plus contract cross-checks."
+            "AST lints RP001–RP010 plus contract cross-checks."
         ),
     )
     parser.add_argument(

@@ -13,6 +13,7 @@ RP006  :mod:`~repro.analysis.rules.theory`         paper citations exist in THEO
 RP007  :mod:`~repro.analysis.rules.hygiene`        no bare/overbroad ``except``
 RP008  :mod:`~repro.analysis.rules.api_surface`    exported metrics have axiom coverage
 RP009  :mod:`~repro.analysis.rules.batching`       all-pairs loops use the batch layer
+RP010  :mod:`~repro.analysis.rules.verify_xref`    exported metrics have a fuzz oracle
 =====  ====================================  =========================================
 """
 
@@ -23,6 +24,7 @@ from repro.analysis.rules.hygiene import MutableDefaultRule, OverbroadExceptRule
 from repro.analysis.rules.numerics import FloatDistanceComparisonRule
 from repro.analysis.rules.oracles import OracleImportRule
 from repro.analysis.rules.theory import TheoremCitationRule
+from repro.analysis.rules.verify_xref import OracleCoverageRule
 
 __all__ = [
     "FloatDistanceComparisonRule",
@@ -34,4 +36,5 @@ __all__ = [
     "OverbroadExceptRule",
     "MetricTestMatrixRule",
     "PairwiseLoopRule",
+    "OracleCoverageRule",
 ]

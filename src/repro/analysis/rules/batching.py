@@ -38,7 +38,9 @@ PER_PAIR_METRIC_NAMES = frozenset(
 )
 
 #: Path fragments where per-pair loops are oracle checks, not serving code.
-_ALLOWED_FRAGMENTS = ("tests/", "benchmarks/", "conftest")
+#: ``repro/verify/`` builds reference matrices by definition — per-pair
+#: loops there are the oracle side of the differential test.
+_ALLOWED_FRAGMENTS = ("tests/", "benchmarks/", "repro/verify/", "conftest")
 
 
 def _is_allowed_location(source: SourceFile) -> bool:

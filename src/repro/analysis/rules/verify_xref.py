@@ -1,0 +1,111 @@
+"""RP010 — public metric exported without an oracle-registry entry.
+
+The verification harness (:mod:`repro.verify`) differential-tests every
+metric code path against an independent reference implementation — but
+only for entry points some :class:`~repro.verify.oracles.OracleEntry`
+declares in its ``covers`` tuple. A metric added to
+``repro.metrics.__all__`` without a ``covers`` declaration silently
+escapes fuzzing: its fast/batch variants could drift from the object
+implementation and nothing automated would notice.
+
+This project rule parses the ``covers=(...)`` keyword tuples out of
+``src/repro/verify/oracles.py`` and cross-references them against the
+metric-shaped names in ``repro.metrics.__all__`` (the same shape filter
+RP008 uses, widened to the pair-count/batch kernels). Related-work
+correlation coefficients are excluded: they are not distance entry points
+and have no reference/variant split. Like RP008, the rule stays silent
+when either side of the cross-reference is missing from the analyzed
+project (e.g. when analyzing a lone file).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, Project, Rule, Severity, SourceFile, register
+from repro.analysis.rules.api_surface import module_all
+
+__all__ = ["OracleCoverageRule", "oracle_covers"]
+
+#: Exported names that must carry oracle coverage: the metric families of
+#: RP008 plus the pair-classification and batch kernels.
+_COVERED_NAME_RE = re.compile(
+    r"^(kendall|footrule|normalized_|pair_counts|pairwise_|count_inversions)"
+)
+
+#: Pattern-matching exports that are not differential-testable distance
+#: entry points (correlation coefficients from the related-work module).
+_EXEMPT_EXPORTS = frozenset({"kendall_tau_a", "kendall_tau_b"})
+
+_ORACLES_SUFFIX = "repro/verify/oracles.py"
+_METRICS_INIT_SUFFIX = "repro/metrics/__init__.py"
+
+
+def oracle_covers(tree: ast.Module) -> set[str]:
+    """All string constants inside ``covers=(...)`` keyword arguments."""
+    covered: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg != "covers":
+                continue
+            if isinstance(keyword.value, (ast.Tuple, ast.List)):
+                covered.update(
+                    element.value
+                    for element in keyword.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                )
+    return covered
+
+
+@register
+class OracleCoverageRule(Rule):
+    """RP010 — metric in ``repro.metrics.__all__`` with no oracle entry."""
+
+    code = "RP010"
+    name = "oracle-registry-coverage"
+    severity = Severity.ERROR
+    description = (
+        "Metric exported by repro.metrics.__init__ is not covered by any "
+        "OracleEntry in repro.verify.oracles; the fuzz harness cannot "
+        "differential-test it."
+    )
+
+    def __init__(self) -> None:
+        self._metrics_init: SourceFile | None = None
+        self._covered: set[str] | None = None
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        posix = source.posix
+        if posix.endswith(_METRICS_INIT_SUFFIX):
+            self._metrics_init = source
+        elif posix.endswith(_ORACLES_SUFFIX):
+            self._covered = oracle_covers(source.tree)
+        return iter(())
+
+    def finish(self, project: Project) -> Iterator[Finding]:
+        source = self._metrics_init
+        covered = self._covered
+        self._metrics_init = None
+        self._covered = None
+        if source is None or covered is None:
+            # one side of the cross-reference is outside the analyzed set
+            return
+        all_node, entries = module_all(source.tree)
+        if all_node is None:
+            return
+        for entry in entries:
+            if not _COVERED_NAME_RE.match(entry) or entry in _EXEMPT_EXPORTS:
+                continue
+            if entry not in covered:
+                yield self.finding(
+                    source,
+                    all_node,
+                    f"metric {entry!r} is exported but no OracleEntry in "
+                    "repro.verify.oracles declares it in covers=(...); add a "
+                    "differential oracle for it",
+                )

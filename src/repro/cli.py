@@ -7,6 +7,7 @@
     python -m repro aggregate profile.json --algorithm median --output full
     python -m repro aggregate profile.csv --output topk --k 5
     python -m repro experiments e03
+    python -m repro verify --rounds 50 --seed 0
 
 Ranking files are JSON (single ranking or profile) or long-format CSV —
 see :mod:`repro.io` for the formats.
@@ -126,6 +127,30 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return experiments_main(argv)
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.cli import main as verify_main
+
+    forwarded = list(args.verify_args)
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return verify_main(forwarded)
+
+
+def _delegate_verify(argv: list[str] | None) -> list[str] | None:
+    """Rewrite ``verify --flag ...`` so REMAINDER captures the flags.
+
+    argparse's REMAINDER refuses to start on an option-like token, so
+    ``python -m repro verify --rounds 5`` would die with "unrecognized
+    arguments"; inserting ``--`` after the subcommand makes the remainder
+    unambiguous.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "verify" and "--" not in argv:
+        return [argv[0], "--", *argv[1:]]
+    return argv
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (compare / aggregate / experiments)."""
     parser = argparse.ArgumentParser(
@@ -163,13 +188,24 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--seed", type=int, default=0)
     experiments.set_defaults(handler=_cmd_experiments)
 
+    verify = subparsers.add_parser(
+        "verify",
+        help="differential/metamorphic fuzz verification (see python -m repro.verify)",
+    )
+    verify.add_argument(
+        "verify_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.verify",
+    )
+    verify.set_defaults(handler=_cmd_verify)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(_delegate_verify(argv))
     try:
         return args.handler(args)
     except (ReproError, OSError) as exc:

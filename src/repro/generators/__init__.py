@@ -9,6 +9,7 @@ from repro.generators.random import (
 )
 from repro.generators.workloads import (
     Workload,
+    adversarial_profile_workload,
     db_profile_workload,
     mallows_profile_workload,
     random_profile_workload,
@@ -25,4 +26,5 @@ __all__ = [
     "random_profile_workload",
     "mallows_profile_workload",
     "db_profile_workload",
+    "adversarial_profile_workload",
 ]

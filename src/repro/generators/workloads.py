@@ -20,13 +20,19 @@ from repro.db.query import AttributePreference
 from repro.db.sources import bibliography_catalog, flight_catalog, restaurant_catalog
 from repro.errors import InvalidRankingError
 from repro.generators.mallows import bucketized_mallows
-from repro.generators.random import random_bucket_order, resolve_rng
+from repro.generators.random import (
+    random_bucket_order,
+    random_full_ranking,
+    random_top_k,
+    resolve_rng,
+)
 
 __all__ = [
     "Workload",
     "random_profile_workload",
     "mallows_profile_workload",
     "db_profile_workload",
+    "adversarial_profile_workload",
 ]
 
 
@@ -129,3 +135,42 @@ def db_profile_workload(
         raise InvalidRankingError(f"unknown catalog {catalog!r}")
     rankings = tuple(preference.rank(relation) for preference in preferences)
     return Workload(name=f"db({catalog},n={n})", rankings=rankings)
+
+
+def adversarial_profile_workload(
+    n: int,
+    seed: int = 0,
+    k: int | None = None,
+) -> Workload:
+    """Extreme tie structures over one domain (the fuzzer's edge cases).
+
+    The profile mixes the degenerate shapes where tie-handling bugs hide:
+
+    * the single bucket of all ``n`` items (every pair tied);
+    * a uniformly random full ranking (no ties at all);
+    * ``k`` leading singletons followed by one giant bucket of ``n - k``;
+    * a random top-``k`` list with the huge tail bucket at the bottom.
+    """
+    if n <= 0:
+        raise InvalidRankingError(f"domain size n={n} must be positive")
+    if k is None:
+        k = max(1, n // 4)
+    if not 0 < k <= n:
+        raise InvalidRankingError(f"k={k} out of range for domain of size {n}")
+    rng = resolve_rng(seed)
+    domain = list(range(n))
+    shuffled = domain.copy()
+    rng.shuffle(shuffled)
+    if k < n:
+        singletons_then_bucket = PartialRanking(
+            [*[[item] for item in shuffled[:k]], shuffled[k:]]
+        )
+    else:
+        singletons_then_bucket = PartialRanking.from_sequence(shuffled)
+    rankings = (
+        PartialRanking.single_bucket(domain),
+        random_full_ranking(domain, rng),
+        singletons_then_bucket,
+        random_top_k(domain, k, rng),
+    )
+    return Workload(name=f"adversarial(n={n},k={k})", rankings=rankings)

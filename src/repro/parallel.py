@@ -18,6 +18,7 @@ the bucket tuples and lets each worker rebuild its caches locally.
 from __future__ import annotations
 
 import os
+import warnings
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import TypeVar
@@ -34,15 +35,24 @@ def resolve_jobs(jobs: int | None = None) -> int:
     """Normalize a ``jobs`` request to a concrete worker count (>= 1).
 
     ``None`` falls back to the ``REPRO_JOBS`` environment variable, and to
-    1 (serial) when that is unset or malformed. A negative value means
-    "all available CPUs". Zero is rejected: it is always a bug, not a
-    plausible request.
+    1 (serial) when that is unset. A malformed value also falls back to
+    serial but emits a :class:`RuntimeWarning` naming the bad value — a
+    typo in ``REPRO_JOBS`` silently disabling parallelism is exactly the
+    kind of config error that otherwise goes unnoticed for months. A
+    negative value means "all available CPUs". Zero is rejected: it is
+    always a bug, not a plausible request.
     """
     if jobs is None:
         raw = os.environ.get(ENV_JOBS, "").strip()
         try:
             jobs = int(raw) if raw else 1
         except ValueError:
+            warnings.warn(
+                f"ignoring malformed {ENV_JOBS}={raw!r} (not an integer); "
+                "running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             jobs = 1
     if jobs == 0:
         raise ValueError("jobs=0 is invalid; use jobs=1 for serial or a negative value for all CPUs")

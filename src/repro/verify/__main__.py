@@ -1,0 +1,6 @@
+"""``python -m repro.verify`` — run the verification harness."""
+
+from repro.verify.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

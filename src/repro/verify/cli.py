@@ -1,0 +1,203 @@
+"""Command-line front end: ``python -m repro.verify``.
+
+Modes:
+
+* default — fuzz: ``--rounds N --seed S [--jobs J] [--checks PATTERN]``;
+  on failure, shrinks the first discrepancies and writes replay files.
+* ``--replay FILE`` — re-run one captured failure; exits 1 while it still
+  reproduces, 0 once the tree is fixed.
+* ``--self-test`` — inject the deliberate mutant and require the harness
+  to catch, shrink, and replay it; exits 0 only if all stages pass.
+* ``--list-checks`` — print every check id with its paper citation.
+
+Exit codes: 0 clean, 1 discrepancies (or self-test failure, or a replay
+that still reproduces), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.verify.fuzz import Discrepancy, run_fuzz
+from repro.verify.registry import all_checks, select_checks
+from repro.verify.replay import ReplayError, replay_file, write_replay
+from repro.verify.selftest import run_selftest
+from repro.verify.shrink import shrink_case
+
+__all__ = ["main", "build_parser"]
+
+#: Discrepancies shrunk and captured as replay files per run.
+_MAX_REPLAYS = 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description=(
+            "Differential + metamorphic verification: fuzz every metric "
+            "implementation against its reference oracle and the paper's "
+            "theorems."
+        ),
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=50, help="fuzz rounds to run (default: 50)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed for the run (default: 0)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="process-pool size for rounds (default: REPRO_JOBS or serial)",
+    )
+    parser.add_argument(
+        "--checks",
+        action="append",
+        metavar="PATTERN",
+        help="only run checks whose id contains PATTERN (repeatable)",
+    )
+    parser.add_argument(
+        "--expensive-every",
+        type=int,
+        default=10,
+        metavar="K",
+        help="run pool-spawning variants every K-th round (default: 10)",
+    )
+    parser.add_argument(
+        "--replay-dir",
+        default="fuzz-replays",
+        metavar="DIR",
+        help="directory for replay files written on failure (default: fuzz-replays)",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="re-run one captured replay file instead of fuzzing",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the harness catches a deliberately injected mutation",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true", help="list check ids and exit"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    return parser
+
+
+def _cmd_list_checks(fmt: str) -> int:
+    checks = all_checks()
+    if fmt == "json":
+        payload = [
+            {"id": info.check_id, "kind": info.kind, "citation": info.citation}
+            for info in checks
+        ]
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        width = max(len(info.check_id) for info in checks)
+        for info in checks:
+            print(f"{info.check_id:<{width}}  {info.citation}")
+    return 0
+
+
+def _cmd_self_test() -> int:
+    result = run_selftest()
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def _cmd_replay(path: str) -> int:
+    failures = replay_file(path)
+    if failures:
+        print(f"replay {path} still reproduces:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"replay {path} no longer fails (fixed)")
+    return 0
+
+
+def _capture(discrepancy: Discrepancy, directory: Path, index: int) -> Path:
+    """Shrink one discrepancy and write it as a replay file."""
+    shrunk = shrink_case(
+        discrepancy.check_id, discrepancy.rankings, include_expensive=True
+    )
+    slug = discrepancy.check_id.replace(":", "-").replace("/", "-")
+    return write_replay(
+        directory / f"replay-{index:02d}-{slug}.json",
+        discrepancy.check_id,
+        shrunk,
+        seed=discrepancy.round_seed,
+        round_index=discrepancy.round_index,
+        detail=discrepancy.detail,
+    )
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    try:
+        checks = select_checks(args.checks)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.rounds <= 0:
+        print(f"error: --rounds {args.rounds} must be positive", file=sys.stderr)
+        return 2
+    report = run_fuzz(
+        args.rounds,
+        args.seed,
+        checks=checks,
+        jobs=args.jobs,
+        expensive_every=args.expensive_every,
+    )
+    replay_paths: list[Path] = []
+    if not report.ok:
+        directory = Path(args.replay_dir)
+        for index, discrepancy in enumerate(report.discrepancies[:_MAX_REPLAYS]):
+            replay_paths.append(_capture(discrepancy, directory, index))
+
+    if args.format == "json":
+        payload = {
+            "schema": "repro.verify/report/1",
+            "rounds": report.rounds,
+            "seed": report.seed,
+            "checks": list(report.check_ids),
+            "discrepancies": [d.describe() for d in report.discrepancies],
+            "replays": [str(path) for path in replay_paths],
+            "ok": report.ok,
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(report.summary())
+        for discrepancy in report.discrepancies:
+            print(f"  {discrepancy.describe()}")
+        for path in replay_paths:
+            print(f"  replay written: {path}")
+    return 0 if report.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.list_checks:
+            return _cmd_list_checks(args.format)
+        if args.self_test:
+            return _cmd_self_test()
+        if args.replay is not None:
+            return _cmd_replay(args.replay)
+        return _cmd_fuzz(args)
+    except (ReproError, ReplayError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

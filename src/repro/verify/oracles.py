@@ -1,0 +1,531 @@
+"""The oracle registry: every public metric/aggregation entry point paired
+with a *reference* implementation and its fast/batch/parallel variants.
+
+An :class:`OracleEntry` is a differential-testing unit: one independent,
+deliberately naive computation of a quantity (O(n²) loops over positions,
+or the exponential Hausdorff enumeration) plus the list of production code
+paths that promise to agree with it bit for bit — the Fenwick/array
+kernels, the dense/pairs matrix strategies, and the process-pool variants.
+The fuzz driver (:mod:`repro.verify.fuzz`) evaluates every variant of
+every entry on generated workloads and reports any disagreement.
+
+Entries declare which ``repro.metrics.__all__`` names they ``cover``; the
+RP010 analysis rule cross-references that declaration against the actual
+export surface so a new public metric cannot ship without an oracle.
+
+Entries marked ``selftest_only`` are deliberate mutants (e.g. a flipped
+tie penalty) used by :mod:`repro.verify.selftest` to prove the harness
+can actually catch a bug; they never run in normal fuzzing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aggregate.kemeny import kemeny_optimal
+from repro.aggregate.matching import optimal_footrule_aggregation
+from repro.core.codec import DomainCodec
+from repro.core.partial_ranking import PartialRanking
+from repro.core.refine import common_full_ranking, star
+from repro.metrics.batch import pair_counts_matrix, pairwise_distance_matrix
+from repro.metrics.fast import (
+    count_inversions_array,
+    kendall_hausdorff_large,
+    kendall_large,
+    pair_counts_large,
+)
+from repro.metrics.footrule import footrule, footrule_full
+from repro.metrics.hausdorff import (
+    footrule_hausdorff,
+    footrule_hausdorff_bruteforce,
+    kendall_hausdorff,
+    kendall_hausdorff_bruteforce,
+    kendall_hausdorff_counts,
+)
+from repro.metrics.kendall import (
+    PairCounts,
+    kendall,
+    kendall_full,
+    kendall_naive,
+    pair_counts,
+)
+from repro.metrics.normalized import (
+    max_footrule,
+    max_kendall,
+    normalized_footrule,
+    normalized_footrule_hausdorff,
+    normalized_kendall,
+    normalized_kendall_hausdorff,
+)
+
+__all__ = [
+    "Rankings",
+    "OracleEntry",
+    "values_equal",
+    "oracle_entries",
+]
+
+#: The rankings handed to a check: a (sigma, tau) pair for ``kind="pair"``
+#: entries, a whole profile for ``kind="profile"`` entries.
+Rankings = tuple[PartialRanking, ...]
+
+_OracleFn = Callable[[Rankings], object]
+
+
+@dataclass(frozen=True, slots=True)
+class OracleEntry:
+    """One differential-testing unit: a reference plus agreeing variants."""
+
+    name: str
+    kind: str  # "pair" (takes sigma, tau) or "profile" (takes the profile)
+    citation: str
+    covers: tuple[str, ...]
+    reference: _OracleFn
+    variants: tuple[tuple[str, _OracleFn], ...]
+    #: Skip (or domain-restrict) workloads larger than this — set on the
+    #: exponential brute-force oracles and the Held–Karp aggregation.
+    max_items: int | None = None
+    #: Variant names that spawn process pools; run only on a subsample of
+    #: rounds (``--expensive-every``).
+    expensive: frozenset[str] = field(default=frozenset())
+    #: Deliberate mutant used by the self-test; excluded from normal runs.
+    selftest_only: bool = False
+    #: Optional workload normalization applied before evaluation (e.g.
+    #: star-refining to full rankings); must be idempotent so a replayed
+    #: prepared workload is prepared to itself.
+    prepare: Callable[[Rankings], Rankings] | None = None
+
+    def variant_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.variants)
+
+
+def values_equal(expected: object, actual: object) -> bool:
+    """Bit-for-bit equality across the value shapes oracles return.
+
+    Handles numpy arrays (shape + element-exact), tuples/lists
+    (element-wise recursion), and plain values (``==``; exact float
+    equality is *intentional* here — agreement across implementations is
+    promised bit for bit, not approximately).
+    """
+    if isinstance(expected, np.ndarray) or isinstance(actual, np.ndarray):
+        a = np.asarray(expected)
+        b = np.asarray(actual)
+        return a.shape == b.shape and bool(np.array_equal(a, b))
+    if isinstance(expected, (tuple, list)) and isinstance(actual, (tuple, list)):
+        return len(expected) == len(actual) and all(
+            values_equal(u, v) for u, v in zip(expected, actual)
+        )
+    return bool(expected == actual)
+
+
+# ----------------------------------------------------------------------
+# Naive reference implementations (position loops; no shared kernels)
+# ----------------------------------------------------------------------
+
+
+def _sorted_items(sigma: PartialRanking) -> list[object]:
+    return sorted(sigma.domain, key=repr)
+
+
+def _pair_counts_naive(sigma: PartialRanking, tau: PartialRanking) -> PairCounts:
+    """O(n²) pair classification straight from the definitions."""
+    items = _sorted_items(sigma)
+    discordant = tied_first = tied_second = tied_both = concordant = 0
+    for i, x in enumerate(items):
+        for y in items[i + 1 :]:
+            ds = sigma.position(x) - sigma.position(y)
+            dt = tau.position(x) - tau.position(y)
+            if ds == 0 and dt == 0:
+                tied_both += 1
+            elif ds == 0:
+                tied_first += 1
+            elif dt == 0:
+                tied_second += 1
+            elif (ds > 0) != (dt > 0):
+                discordant += 1
+            else:
+                concordant += 1
+    return PairCounts(
+        discordant=discordant,
+        tied_first_only=tied_first,
+        tied_second_only=tied_second,
+        tied_both=tied_both,
+        concordant=concordant,
+    )
+
+
+def _footrule_naive(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """F_prof as a bare sum of |position differences| (half-integers, so
+    every summation order gives the identical float)."""
+    return float(
+        sum(abs(sigma.position(x) - tau.position(x)) for x in _sorted_items(sigma))
+    )
+
+
+def _kendall_full_naive(sigma: PartialRanking, tau: PartialRanking) -> int:
+    """Classical Kendall tau on full rankings: O(n²) discordance count."""
+    items = _sorted_items(sigma)
+    count = 0
+    for i, x in enumerate(items):
+        for y in items[i + 1 :]:
+            ds = sigma.position(x) - sigma.position(y)
+            dt = tau.position(x) - tau.position(y)
+            if (ds > 0) != (dt > 0):
+                count += 1
+    return count
+
+
+def _normalize(value: float, maximum: float) -> float:
+    return 0.0 if maximum == 0 else value / maximum
+
+
+def _normalized_naive(sigma: PartialRanking, tau: PartialRanking) -> tuple[float, ...]:
+    """All four [0, 1]-scaled metrics from naive pieces."""
+    n = len(sigma)
+    counts = _pair_counts_naive(sigma, tau)
+    return (
+        _normalize(counts.kendall(0.5), max_kendall(n)),
+        _normalize(_footrule_naive(sigma, tau), max_footrule(n)),
+        _normalize(float(counts.kendall_hausdorff()), max_kendall(n)),
+        _normalize(footrule_hausdorff(sigma, tau), max_footrule(n)),
+    )
+
+
+def _kendall_flipped_tie(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """Deliberate mutant of ``K^(1/2)``: also penalizes pairs tied in
+    *both* rankings (which the real metric never does). Used by the
+    self-test to prove the harness catches an injected bug."""
+    counts = pair_counts(sigma, tau)
+    return counts.discordant + 0.5 * (
+        counts.tied_first_only + counts.tied_second_only + counts.tied_both
+    )
+
+
+# ----------------------------------------------------------------------
+# Adapters: two-ranking / profile callables over the Rankings tuple
+# ----------------------------------------------------------------------
+
+
+def _pair(fn: Callable[[PartialRanking, PartialRanking], object]) -> _OracleFn:
+    def call(rankings: Rankings) -> object:
+        return fn(rankings[0], rankings[1])
+
+    return call
+
+
+def _pair_kendall(fn: Callable[..., float], p: float) -> _OracleFn:
+    def call(rankings: Rankings) -> object:
+        return fn(rankings[0], rankings[1], p)
+
+    return call
+
+
+def _matrix_entry_pair_counts(strategy: str) -> _OracleFn:
+    def call(rankings: Rankings) -> object:
+        return pair_counts_matrix(rankings[:2], strategy=strategy).pair_counts(0, 1)
+
+    return call
+
+
+def _matrix_entry_distance(metric: str) -> _OracleFn:
+    def call(rankings: Rankings) -> object:
+        return float(pairwise_distance_matrix(rankings[:2], metric)[0, 1])
+
+    return call
+
+
+def _kendall_full_inversions(rankings: Rankings) -> object:
+    """Cover :func:`count_inversions_array`: on full rankings, discordances
+    are inversions of tau's bucket sequence read in sigma's order."""
+    sigma, tau = rankings[0], rankings[1]
+    codec = DomainCodec.for_profile((sigma, tau))
+    x, _ = sigma.dense_arrays(codec)
+    y, _ = tau.dense_arrays(codec)
+    return count_inversions_array(y[np.argsort(x, kind="stable")])
+
+
+def _normalized_fast(rankings: Rankings) -> object:
+    sigma, tau = rankings[0], rankings[1]
+    return (
+        normalized_kendall(sigma, tau),
+        normalized_footrule(sigma, tau),
+        normalized_kendall_hausdorff(sigma, tau),
+        normalized_footrule_hausdorff(sigma, tau),
+    )
+
+
+def _refine_to_full(rankings: Rankings) -> Rankings:
+    """Star-refine every ranking to a full one against the canonical rho.
+
+    Idempotent (a full ranking refines to itself), so replaying an
+    already-prepared workload is safe.
+    """
+    rho = common_full_ranking(rankings[0])
+    return tuple(star(rho, sigma) for sigma in rankings)
+
+
+def _profile_matrix_reference(
+    fn: Callable[[PartialRanking, PartialRanking], float],
+) -> _OracleFn:
+    """Plain-Python all-pairs matrix from the object-level metric."""
+
+    def call(rankings: Rankings) -> object:
+        return np.array(
+            [[float(fn(s, t)) for t in rankings] for s in rankings],
+            dtype=np.float64,
+        )
+
+    return call
+
+
+def _profile_matrix_variant(metric: str, strategy: str, jobs: int | None) -> _OracleFn:
+    def call(rankings: Rankings) -> object:
+        return pairwise_distance_matrix(rankings, metric, strategy=strategy, jobs=jobs)
+
+    return call
+
+
+def _matching_variant(jobs: int | None) -> _OracleFn:
+    def call(rankings: Rankings) -> object:
+        return optimal_footrule_aggregation(rankings, jobs=jobs)
+
+    return call
+
+
+def _kemeny_variant(jobs: int | None) -> _OracleFn:
+    def call(rankings: Rankings) -> object:
+        return kemeny_optimal(rankings, jobs=jobs)
+
+    return call
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+
+
+def _build_entries() -> tuple[OracleEntry, ...]:
+    return (
+        OracleEntry(
+            name="pair-counts",
+            kind="pair",
+            citation="Proposition 6 pair categories (U, S, T)",
+            covers=("pair_counts", "pair_counts_large", "pair_counts_matrix"),
+            reference=_pair(_pair_counts_naive),
+            variants=(
+                ("fenwick", _pair(pair_counts)),
+                ("array", _pair(pair_counts_large)),
+                ("matrix-dense", _matrix_entry_pair_counts("dense")),
+                ("matrix-pairs", _matrix_entry_pair_counts("pairs")),
+            ),
+        ),
+        OracleEntry(
+            name="kendall-p-half",
+            kind="pair",
+            citation="K^(p) at p = 1/2 (K_prof)",
+            covers=("kendall", "kendall_large"),
+            reference=_pair_kendall(kendall_naive, 0.5),
+            variants=(
+                ("object", _pair_kendall(kendall, 0.5)),
+                ("array", _pair_kendall(kendall_large, 0.5)),
+                ("matrix", _matrix_entry_distance("kendall")),
+            ),
+        ),
+        OracleEntry(
+            name="kendall-p-quarter",
+            kind="pair",
+            citation="K^(p) in the near-metric regime p = 1/4 (Proposition 13)",
+            covers=("kendall", "kendall_large"),
+            reference=_pair_kendall(kendall_naive, 0.25),
+            variants=(
+                ("object", _pair_kendall(kendall, 0.25)),
+                ("array", _pair_kendall(kendall_large, 0.25)),
+            ),
+        ),
+        OracleEntry(
+            name="kendall-p-one",
+            kind="pair",
+            citation="K^(p) at p = 1 (ties fully penalized)",
+            covers=("kendall", "kendall_large"),
+            reference=_pair_kendall(kendall_naive, 1.0),
+            variants=(
+                ("object", _pair_kendall(kendall, 1.0)),
+                ("array", _pair_kendall(kendall_large, 1.0)),
+            ),
+        ),
+        OracleEntry(
+            name="kendall-full",
+            kind="pair",
+            citation="classical Kendall tau on full rankings",
+            covers=("kendall_full", "count_inversions_array"),
+            reference=_pair(_kendall_full_naive),
+            variants=(
+                ("object", _pair(kendall_full)),
+                ("inversions-array", _kendall_full_inversions),
+            ),
+            prepare=_refine_to_full,
+        ),
+        OracleEntry(
+            name="footrule",
+            kind="pair",
+            citation="F_prof: L1 distance on positions",
+            covers=("footrule",),
+            reference=_pair(_footrule_naive),
+            variants=(
+                ("object", _pair(footrule)),
+                ("matrix", _matrix_entry_distance("footrule")),
+            ),
+        ),
+        OracleEntry(
+            name="footrule-full",
+            kind="pair",
+            citation="classical Spearman footrule on full rankings",
+            covers=("footrule_full",),
+            reference=_pair(_footrule_naive),
+            variants=(("object", _pair(footrule_full)),),
+            prepare=_refine_to_full,
+        ),
+        OracleEntry(
+            name="kendall-hausdorff",
+            kind="pair",
+            citation="K_Haus: Theorem 5 witnesses vs Proposition 6 closed form",
+            covers=(
+                "kendall_hausdorff",
+                "kendall_hausdorff_counts",
+                "kendall_hausdorff_large",
+            ),
+            reference=_pair(kendall_hausdorff),
+            variants=(
+                ("counts", _pair(kendall_hausdorff_counts)),
+                ("array", _pair(kendall_hausdorff_large)),
+                ("matrix", _matrix_entry_distance("kendall_hausdorff")),
+            ),
+        ),
+        OracleEntry(
+            name="kendall-hausdorff-bruteforce",
+            kind="pair",
+            citation="K_Haus: exhaustive max-min over full refinements",
+            covers=("kendall_hausdorff_counts",),
+            reference=_pair(kendall_hausdorff_bruteforce),
+            variants=(("counts", _pair(kendall_hausdorff_counts)),),
+            max_items=5,
+        ),
+        OracleEntry(
+            name="footrule-hausdorff",
+            kind="pair",
+            citation="F_Haus: Theorem 5 witness construction",
+            covers=("footrule_hausdorff",),
+            reference=_pair(footrule_hausdorff),
+            variants=(("matrix", _matrix_entry_distance("footrule_hausdorff")),),
+        ),
+        OracleEntry(
+            name="footrule-hausdorff-bruteforce",
+            kind="pair",
+            citation="F_Haus: exhaustive max-min over full refinements",
+            covers=("footrule_hausdorff",),
+            reference=_pair(footrule_hausdorff_bruteforce),
+            variants=(("witnesses", _pair(footrule_hausdorff)),),
+            max_items=5,
+        ),
+        OracleEntry(
+            name="normalized",
+            kind="pair",
+            citation="[0, 1]-scaled variants of all four metrics",
+            covers=(
+                "normalized_kendall",
+                "normalized_footrule",
+                "normalized_kendall_hausdorff",
+                "normalized_footrule_hausdorff",
+            ),
+            reference=_pair(_normalized_naive),
+            variants=(("fast", _normalized_fast),),
+        ),
+        OracleEntry(
+            name="batch-kendall",
+            kind="profile",
+            citation="all-pairs K_prof matrix vs the per-pair object metric",
+            covers=("pairwise_distance_matrix", "pair_counts_matrix"),
+            reference=_profile_matrix_reference(kendall),
+            variants=(
+                ("auto", _profile_matrix_variant("kendall", "auto", None)),
+                ("dense", _profile_matrix_variant("kendall", "dense", None)),
+                ("pairs", _profile_matrix_variant("kendall", "pairs", None)),
+                ("pairs-jobs2", _profile_matrix_variant("kendall", "pairs", 2)),
+            ),
+            expensive=frozenset({"pairs-jobs2"}),
+        ),
+        OracleEntry(
+            name="batch-footrule",
+            kind="profile",
+            citation="all-pairs F_prof matrix vs the per-pair object metric",
+            covers=("pairwise_distance_matrix",),
+            reference=_profile_matrix_reference(footrule),
+            variants=(
+                ("serial", _profile_matrix_variant("footrule", "auto", None)),
+                ("jobs2", _profile_matrix_variant("footrule", "auto", 2)),
+            ),
+            expensive=frozenset({"jobs2"}),
+        ),
+        OracleEntry(
+            name="batch-kendall-hausdorff",
+            kind="profile",
+            citation="all-pairs K_Haus matrix vs the per-pair closed form",
+            covers=("pairwise_distance_matrix",),
+            reference=_profile_matrix_reference(kendall_hausdorff_counts),
+            variants=(
+                ("dense", _profile_matrix_variant("kendall_hausdorff", "dense", None)),
+                ("pairs", _profile_matrix_variant("kendall_hausdorff", "pairs", None)),
+            ),
+        ),
+        OracleEntry(
+            name="batch-footrule-hausdorff",
+            kind="profile",
+            citation="all-pairs F_Haus matrix vs the per-pair witness metric",
+            covers=("pairwise_distance_matrix",),
+            reference=_profile_matrix_reference(footrule_hausdorff),
+            variants=(
+                ("serial", _profile_matrix_variant("footrule_hausdorff", "auto", None)),
+                ("jobs2", _profile_matrix_variant("footrule_hausdorff", "auto", 2)),
+            ),
+            expensive=frozenset({"jobs2"}),
+        ),
+        OracleEntry(
+            name="aggregate-footrule-matching",
+            kind="profile",
+            citation="optimal footrule aggregation: serial vs pooled cost matrix",
+            covers=(),
+            reference=_matching_variant(None),
+            variants=(("jobs2", _matching_variant(2)),),
+            expensive=frozenset({"jobs2"}),
+        ),
+        OracleEntry(
+            name="aggregate-kemeny",
+            kind="profile",
+            citation="exact K^(p) aggregation: serial vs pooled pair costs",
+            covers=(),
+            reference=_kemeny_variant(None),
+            variants=(("jobs2", _kemeny_variant(2)),),
+            max_items=7,
+            expensive=frozenset({"jobs2"}),
+        ),
+        OracleEntry(
+            name="selftest-kendall-flipped-tie",
+            kind="pair",
+            citation="deliberate mutant: tie penalty applied to tied-both pairs",
+            covers=(),
+            reference=_pair_kendall(kendall_naive, 0.5),
+            variants=(("mutant", _pair(_kendall_flipped_tie)),),
+            selftest_only=True,
+        ),
+    )
+
+
+_ENTRIES: tuple[OracleEntry, ...] = _build_entries()
+
+
+def oracle_entries() -> tuple[OracleEntry, ...]:
+    """Every registered oracle entry (including self-test mutants)."""
+    return _ENTRIES

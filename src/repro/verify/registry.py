@@ -1,0 +1,168 @@
+"""Check registry: a flat, addressable namespace over oracles and relations.
+
+Every check has a stable string id — ``oracle:<entry-name>`` for a
+differential oracle entry, ``relation:<relation-name>`` for a metamorphic
+relation — used by the CLI (``--checks``), replay files, and the analysis
+rule RP010. :func:`run_check` evaluates one check on a workload and
+returns the (possibly empty) list of violation descriptions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.verify.oracles import OracleEntry, Rankings, oracle_entries, values_equal
+from repro.verify.relations import Relation, relations
+
+__all__ = [
+    "CheckInfo",
+    "all_checks",
+    "find_check",
+    "select_checks",
+    "run_check",
+    "covered_names",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CheckInfo:
+    """Addressable metadata for one registered check."""
+
+    check_id: str
+    kind: str  # "oracle" or "relation"
+    citation: str
+    #: Rankings consumed per evaluation; 0 means "the whole profile".
+    arity: int
+    max_items: int | None
+    selftest_only: bool
+
+
+def _oracle_info(entry: OracleEntry) -> CheckInfo:
+    return CheckInfo(
+        check_id=f"oracle:{entry.name}",
+        kind="oracle",
+        citation=entry.citation,
+        arity=2 if entry.kind == "pair" else 0,
+        max_items=entry.max_items,
+        selftest_only=entry.selftest_only,
+    )
+
+
+def _relation_info(relation: Relation) -> CheckInfo:
+    return CheckInfo(
+        check_id=f"relation:{relation.name}",
+        kind="relation",
+        citation=relation.citation,
+        arity=relation.arity,
+        max_items=None,
+        selftest_only=False,
+    )
+
+
+def _oracle_by_name() -> dict[str, OracleEntry]:
+    return {entry.name: entry for entry in oracle_entries()}
+
+
+def _relation_by_name() -> dict[str, Relation]:
+    return {relation.name: relation for relation in relations()}
+
+
+def all_checks(include_selftest: bool = False) -> tuple[CheckInfo, ...]:
+    """Every registered check, oracles first, in registration order."""
+    infos = [_oracle_info(entry) for entry in oracle_entries()]
+    infos.extend(_relation_info(relation) for relation in relations())
+    if not include_selftest:
+        infos = [info for info in infos if not info.selftest_only]
+    return tuple(infos)
+
+
+def find_check(check_id: str) -> CheckInfo:
+    """Resolve a check id (self-test checks included); raises ``KeyError``."""
+    for info in all_checks(include_selftest=True):
+        if info.check_id == check_id:
+            return info
+    raise KeyError(f"unknown check id {check_id!r}; see --list-checks")
+
+
+def select_checks(
+    patterns: Sequence[str] | None,
+    include_selftest: bool = False,
+) -> tuple[CheckInfo, ...]:
+    """Checks whose id contains any of the given substrings (all if None).
+
+    Raises ``ValueError`` when a pattern matches nothing — a misspelled
+    ``--checks`` filter silently running zero checks would defeat the
+    point of the harness.
+    """
+    checks = all_checks(include_selftest=include_selftest)
+    if not patterns:
+        return checks
+    selected: list[CheckInfo] = []
+    for pattern in patterns:
+        matches = [info for info in checks if pattern in info.check_id]
+        if not matches:
+            raise ValueError(f"--checks pattern {pattern!r} matches no check id")
+        selected.extend(info for info in matches if info not in selected)
+    return tuple(selected)
+
+
+def run_check(
+    check_id: str,
+    rankings: Rankings,
+    *,
+    include_expensive: bool = True,
+) -> list[str]:
+    """Evaluate one check on a workload; returns violation descriptions.
+
+    For an oracle check the reference runs once and every (non-skipped)
+    variant is compared bit for bit; for a relation check the predicate
+    runs directly. An empty list means the workload passed.
+    """
+    kind, _, name = check_id.partition(":")
+    if kind == "oracle":
+        try:
+            entry = _oracle_by_name()[name]
+        except KeyError:
+            raise KeyError(f"unknown check id {check_id!r}") from None
+        return _run_oracle(entry, rankings, include_expensive)
+    if kind == "relation":
+        try:
+            relation = _relation_by_name()[name]
+        except KeyError:
+            raise KeyError(f"unknown check id {check_id!r}") from None
+        violation = relation.check(rankings)
+        return [] if violation is None else [f"{relation.name}: {violation}"]
+    raise KeyError(f"malformed check id {check_id!r}; expected 'oracle:…' or 'relation:…'")
+
+
+def _run_oracle(
+    entry: OracleEntry, rankings: Rankings, include_expensive: bool
+) -> list[str]:
+    if entry.prepare is not None:
+        rankings = entry.prepare(rankings)
+    expected = entry.reference(rankings)
+    failures: list[str] = []
+    for variant_name, variant in entry.variants:
+        if not include_expensive and variant_name in entry.expensive:
+            continue
+        actual = variant(rankings)
+        if not values_equal(expected, actual):
+            failures.append(
+                f"{entry.name}/{variant_name}: reference returned {expected!r} "
+                f"but variant returned {actual!r}"
+            )
+    return failures
+
+
+def covered_names() -> frozenset[str]:
+    """Union of the ``covers`` declarations of the non-self-test entries.
+
+    Runtime counterpart of the RP010 static cross-reference against
+    ``repro.metrics.__all__``.
+    """
+    names: set[str] = set()
+    for entry in oracle_entries():
+        if not entry.selftest_only:
+            names.update(entry.covers)
+    return frozenset(names)

@@ -1,0 +1,102 @@
+"""Deterministic replay files for fuzz discrepancies.
+
+A replay file is a small JSON document pinning everything needed to
+re-evaluate one failing check: the check id, the exact (usually shrunk)
+rankings as nested bucket lists, and provenance (seed, round, original
+detail). Replaying runs :func:`repro.verify.registry.run_check` on the
+stored workload — no random draws involved — so a failure reproduces
+bit for bit on any machine, and a fixed tree reports the file as stale.
+
+Items must be JSON-faithful scalars (``int`` / ``str``), which covers
+every generator in :mod:`repro.generators`; richer item types would not
+round-trip through JSON unambiguously and are rejected at write time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.partial_ranking import Item, PartialRanking
+from repro.verify.oracles import Rankings
+from repro.verify.registry import run_check
+
+__all__ = [
+    "REPLAY_SCHEMA",
+    "ReplayError",
+    "write_replay",
+    "load_replay",
+    "replay_file",
+]
+
+REPLAY_SCHEMA = "repro.verify/1"
+
+
+class ReplayError(ValueError):
+    """A replay file could not be written or parsed."""
+
+
+def _encode_ranking(sigma: PartialRanking) -> list[list[Item]]:
+    encoded: list[list[Item]] = []
+    for bucket in sigma.buckets:
+        members = sorted(bucket, key=repr)
+        for item in members:
+            if not isinstance(item, (int, str)) or isinstance(item, bool):
+                raise ReplayError(
+                    f"replay files support int/str items only, got {item!r}"
+                )
+        encoded.append(members)
+    return encoded
+
+
+def write_replay(
+    path: str | Path,
+    check_id: str,
+    rankings: Rankings,
+    *,
+    seed: int | None = None,
+    round_index: int | None = None,
+    detail: str = "",
+) -> Path:
+    """Serialize one failing workload; returns the written path."""
+    document = {
+        "schema": REPLAY_SCHEMA,
+        "check": check_id,
+        "seed": seed,
+        "round": round_index,
+        "detail": detail,
+        "rankings": [_encode_ranking(sigma) for sigma in rankings],
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def load_replay(path: str | Path) -> tuple[str, Rankings, dict[str, object]]:
+    """Parse a replay file into (check_id, rankings, provenance)."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReplayError(f"cannot read replay file {path}: {exc}") from exc
+    if not isinstance(document, dict) or document.get("schema") != REPLAY_SCHEMA:
+        raise ReplayError(f"{path} is not a {REPLAY_SCHEMA} replay file")
+    check_id = document.get("check")
+    raw_rankings = document.get("rankings")
+    if not isinstance(check_id, str) or not isinstance(raw_rankings, list):
+        raise ReplayError(f"{path} is missing 'check' or 'rankings'")
+    rankings = tuple(PartialRanking(buckets) for buckets in raw_rankings)
+    provenance = {
+        key: document.get(key) for key in ("seed", "round", "detail")
+    }
+    return check_id, rankings, provenance
+
+
+def replay_file(path: str | Path, *, include_expensive: bool = True) -> list[str]:
+    """Re-run the stored check; returns current violation descriptions.
+
+    An empty list means the recorded failure no longer reproduces (the
+    bug was fixed); a non-empty list reproduces it deterministically.
+    """
+    check_id, rankings, _ = load_replay(path)
+    return run_check(check_id, rankings, include_expensive=include_expensive)

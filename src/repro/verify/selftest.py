@@ -1,0 +1,125 @@
+"""Self-test: verify the verifier by injecting a deliberate mutation.
+
+The oracle registry ships a ``selftest_only`` entry whose "variant" is a
+mutant ``K^(1/2)`` that also penalizes pairs tied in *both* rankings —
+exactly the kind of subtle tie-handling bug the harness exists to catch.
+The self-test asserts the whole pipeline works end to end against it:
+
+1. a direct :func:`run_check` on a known tied pair reports the mismatch;
+2. the fuzz driver surfaces it from generated workloads;
+3. the shrinker reduces a failing workload to a minimal one that still
+   fails (two items suffice: a single tied pair);
+4. a written replay file reproduces the failure deterministically.
+
+A harness change that silently stops detecting mutations fails this test
+— the verifier is itself verified.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.partial_ranking import PartialRanking
+from repro.verify.fuzz import FuzzReport, run_fuzz
+from repro.verify.registry import find_check, run_check
+from repro.verify.replay import replay_file, write_replay
+from repro.verify.shrink import shrink_case
+
+__all__ = ["SELFTEST_CHECK_ID", "SelfTestResult", "run_selftest"]
+
+SELFTEST_CHECK_ID = "oracle:selftest-kendall-flipped-tie"
+
+
+@dataclass(frozen=True, slots=True)
+class SelfTestResult:
+    """Outcome of the four self-test stages."""
+
+    caught_direct: bool
+    caught_fuzz: bool
+    shrunk_domain_size: int | None
+    shrunk_still_fails: bool
+    replay_reproduces: bool
+    fuzz_report: FuzzReport
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.caught_direct
+            and self.caught_fuzz
+            and self.shrunk_still_fails
+            and self.replay_reproduces
+        )
+
+    def summary(self) -> str:
+        stages = (
+            ("direct check catches mutant", self.caught_direct),
+            ("fuzz driver catches mutant", self.caught_fuzz),
+            (
+                f"shrinker minimizes (domain size {self.shrunk_domain_size})",
+                self.shrunk_still_fails,
+            ),
+            ("replay file reproduces", self.replay_reproduces),
+        )
+        lines = [f"  [{'ok' if passed else 'FAIL'}] {label}" for label, passed in stages]
+        verdict = "self-test PASSED" if self.ok else "self-test FAILED"
+        return "\n".join([*lines, verdict])
+
+
+def run_selftest(
+    replay_dir: str | Path | None = None,
+    rounds: int = 8,
+    seed: int = 0,
+) -> SelfTestResult:
+    """Run all self-test stages; the harness must catch the mutant."""
+    # stage 1: a deterministic tied pair (one pair tied in both rankings)
+    sigma = PartialRanking([[0, 1], [2]])
+    tau = PartialRanking([[0, 1, 2]])
+    direct_failures = run_check(SELFTEST_CHECK_ID, (sigma, tau))
+    caught_direct = bool(direct_failures)
+
+    # stage 2: the fuzz driver must surface it from generated workloads
+    report = run_fuzz(rounds, seed, checks=[find_check(SELFTEST_CHECK_ID)])
+    caught_fuzz = not report.ok
+
+    # stages 3 and 4 work on the first fuzz discrepancy (fall back to the
+    # deterministic pair so a broken fuzz stage is still diagnosable)
+    if report.discrepancies:
+        failing = report.discrepancies[0].rankings
+        detail = report.discrepancies[0].detail
+    else:
+        failing = (sigma, tau)
+        detail = direct_failures[0] if direct_failures else ""
+
+    shrunk = shrink_case(SELFTEST_CHECK_ID, failing)
+    shrunk_failures = run_check(SELFTEST_CHECK_ID, shrunk)
+    shrunk_still_fails = bool(shrunk_failures)
+    shrunk_domain_size = len(shrunk[0]) if shrunk else None
+
+    if replay_dir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-verify-selftest-") as tmp:
+            replay_reproduces = _replay_round_trip(Path(tmp), shrunk, detail)
+    else:
+        replay_reproduces = _replay_round_trip(Path(replay_dir), shrunk, detail)
+
+    return SelfTestResult(
+        caught_direct=caught_direct,
+        caught_fuzz=caught_fuzz,
+        shrunk_domain_size=shrunk_domain_size,
+        shrunk_still_fails=shrunk_still_fails,
+        replay_reproduces=replay_reproduces,
+        fuzz_report=report,
+    )
+
+
+def _replay_round_trip(
+    directory: Path, rankings: tuple[PartialRanking, ...], detail: str
+) -> bool:
+    path = write_replay(
+        directory / "selftest-replay.json",
+        SELFTEST_CHECK_ID,
+        rankings,
+        detail=detail,
+    )
+    return bool(replay_file(path))

@@ -36,6 +36,7 @@ ALL_CODES = (
     "RP007",
     "RP008",
     "RP009",
+    "RP010",
 )
 
 
@@ -463,6 +464,69 @@ class TestRP009PairwiseLoops:
         )
         assert codes(result) == []
         assert sum(finding.suppressed for finding in result.findings) == 1
+
+
+class TestRP010OracleCoverage:
+    """Cross-file rule: metrics.__all__ vs covers=(...) in verify/oracles.py."""
+
+    _ORACLES = (
+        "ENTRIES = (\n"
+        "    OracleEntry(name='kendall-p-half', covers=('kendall', 'kendall_large')),\n"
+        "    OracleEntry(name='footrule', covers=('footrule',)),\n"
+        ")\n"
+    )
+
+    def _project(self, tmp_path: Path, exports: str) -> Path:
+        metrics = tmp_path / "src" / "repro" / "metrics"
+        verify = tmp_path / "src" / "repro" / "verify"
+        metrics.mkdir(parents=True)
+        verify.mkdir(parents=True)
+        (metrics / "__init__.py").write_text(
+            f"__all__ = {exports}\n", encoding="utf-8"
+        )
+        (verify / "oracles.py").write_text(self._ORACLES, encoding="utf-8")
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        return tmp_path
+
+    def test_positive_uncovered_metric(self, tmp_path):
+        root = self._project(
+            tmp_path, "['kendall', 'footrule', 'kendall_brandnew']"
+        )
+        result = analyze_paths([root / "src"], root=root, select=["RP010"])
+        assert codes(result) == ["RP010"]
+        assert "kendall_brandnew" in result.active[0].message
+        assert result.active[0].severity is Severity.ERROR
+
+    def test_negative_all_covered(self, tmp_path):
+        root = self._project(tmp_path, "['kendall', 'kendall_large', 'footrule']")
+        result = analyze_paths([root / "src"], root=root, select=["RP010"])
+        assert codes(result) == []
+
+    def test_negative_non_metric_exports_ignored(self, tmp_path):
+        root = self._project(tmp_path, "['kendall', 'PairCounts', 'METRICS']")
+        result = analyze_paths([root / "src"], root=root, select=["RP010"])
+        assert codes(result) == []
+
+    def test_negative_correlation_exports_exempt(self, tmp_path):
+        root = self._project(
+            tmp_path, "['kendall', 'kendall_tau_a', 'kendall_tau_b']"
+        )
+        result = analyze_paths([root / "src"], root=root, select=["RP010"])
+        assert codes(result) == []
+
+    def test_silent_when_oracles_file_absent(self, tmp_path):
+        root = self._project(tmp_path, "['kendall', 'kendall_brandnew']")
+        (root / "src" / "repro" / "verify" / "oracles.py").unlink()
+        result = analyze_paths([root / "src"], root=root, select=["RP010"])
+        assert codes(result) == []
+
+    def test_silent_on_lone_snippet(self):
+        result = analyze_source(
+            "__all__ = ['kendall_brandnew']\n",
+            filename="src/repro/metrics/__init__.py",
+            select=["RP010"],
+        )
+        assert codes(result) == []
 
 
 class TestSuppressions:

@@ -3,14 +3,20 @@
 from __future__ import annotations
 
 import os
+import warnings
 
 import pytest
 
+import repro.parallel
 from repro.parallel import ENV_JOBS, parallel_map, resolve_jobs
 
 
 def _square(x: int) -> int:
     return x * x
+
+
+def _boom(x: int) -> int:
+    raise ValueError(f"worker exploded on {x}")
 
 
 class TestResolveJobs:
@@ -26,9 +32,22 @@ class TestResolveJobs:
         monkeypatch.setenv(ENV_JOBS, "4")
         assert resolve_jobs() == 4
 
-    def test_malformed_env_falls_back_to_serial(self, monkeypatch):
+    def test_malformed_env_warns_and_falls_back_to_serial(self, monkeypatch):
         monkeypatch.setenv(ENV_JOBS, "many")
-        assert resolve_jobs() == 1
+        with pytest.warns(RuntimeWarning, match=r"REPRO_JOBS='many'"):
+            assert resolve_jobs() == 1
+
+    def test_well_formed_env_does_not_warn(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "2")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs() == 2
+
+    def test_unset_env_does_not_warn(self, monkeypatch):
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs() == 1
 
     def test_negative_means_all_cpus(self):
         assert resolve_jobs(-1) == (os.cpu_count() or 1)
@@ -55,6 +74,47 @@ class TestParallelMap:
 
     def test_generator_input(self):
         assert parallel_map(_square, (x for x in (2, 3))) == [4, 9]
+
+    def test_generator_materialized_once(self):
+        yielded: list[int] = []
+
+        def produce():
+            for x in range(6):
+                yielded.append(x)
+                yield x
+
+        assert parallel_map(_square, produce(), jobs=2) == [x * x for x in range(6)]
+        assert yielded == list(range(6))  # consumed exactly once, fully
+
+    def test_empty_input_creates_no_pool(self, monkeypatch):
+        def forbidden_pool(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor created for empty input")
+
+        monkeypatch.setattr(
+            repro.parallel, "ProcessPoolExecutor", forbidden_pool
+        )
+        assert parallel_map(_square, [], jobs=8) == []
+
+    def test_serial_path_creates_no_pool(self, monkeypatch):
+        def forbidden_pool(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor created on the serial path")
+
+        monkeypatch.setattr(
+            repro.parallel, "ProcessPoolExecutor", forbidden_pool
+        )
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_worker_exception_propagates_with_context(self):
+        with pytest.raises(ValueError, match="worker exploded on") as excinfo:
+            parallel_map(_boom, [1, 2, 3, 4], jobs=2)
+        # the pool re-raises with the remote traceback attached as the
+        # exception's cause, so the original worker frame stays visible
+        assert excinfo.value.__cause__ is not None
+        assert "_boom" in str(excinfo.value.__cause__)
+
+    def test_worker_exception_serial_has_direct_traceback(self):
+        with pytest.raises(ValueError, match="worker exploded on 1"):
+            parallel_map(_boom, [1, 2, 3])
 
 
 class TestRunExperiments:

@@ -1,0 +1,112 @@
+"""Pickle round-trips for ``PartialRanking`` / ``DomainCodec``.
+
+``PartialRanking.__reduce__`` ships only the bucket tuples — every cache
+(domain, canonical order, dense arrays) is rebuilt lazily on the other
+side. These tests pin the properties the parallel layer relies on:
+equality and canonical order survive the round-trip, dense arrays against
+the (re-)interned codec are bit-for-bit equal, and all of it holds across
+a *real* process boundary, not just an in-process dumps/loads pair.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.codec import DomainCodec
+from repro.core.partial_ranking import PartialRanking
+
+from tests.conftest import bucket_orders
+
+
+def _observe(sigma: PartialRanking) -> tuple[PartialRanking, list, list, list, bool]:
+    """Pool worker: rebuild caches in a fresh process and report them."""
+    codec = DomainCodec.for_domain(sigma.domain)
+    buckets_idx, positions = sigma.dense_arrays(codec)
+    interned_again = DomainCodec.for_domain(sigma.domain) is codec
+    return (
+        sigma,
+        list(codec.items),
+        buckets_idx.tolist(),
+        positions.tolist(),
+        interned_again,
+    )
+
+
+class TestInProcessRoundTrip:
+    @given(sigma=bucket_orders(max_size=7))
+    def test_equality_and_buckets_survive(self, sigma):
+        clone = pickle.loads(pickle.dumps(sigma))
+        assert clone == sigma
+        assert clone.buckets == sigma.buckets
+        assert clone.domain == sigma.domain
+
+    @given(sigma=bucket_orders(max_size=7))
+    def test_canonical_order_and_positions_survive(self, sigma):
+        clone = pickle.loads(pickle.dumps(sigma))
+        assert clone.items_in_order() == sigma.items_in_order()
+        assert clone.positions == sigma.positions
+
+    @given(sigma=bucket_orders(max_size=7))
+    def test_dense_arrays_reencode_identically(self, sigma):
+        clone = pickle.loads(pickle.dumps(sigma))
+        codec = DomainCodec.for_domain(sigma.domain)
+        # the clone's domain is equal, so interning hands back the SAME codec
+        assert DomainCodec.for_domain(clone.domain) is codec
+        original = sigma.dense_arrays(codec)
+        recoded = clone.dense_arrays(codec)
+        assert np.array_equal(original[0], recoded[0])
+        assert np.array_equal(original[1], recoded[1])
+
+    def test_reduce_ships_only_buckets(self):
+        sigma = PartialRanking([[2, 0], [1]])
+        codec = DomainCodec.for_domain(sigma.domain)
+        sigma.dense_arrays(codec)  # populate the caches
+        cls, payload = sigma.__reduce__()
+        assert cls is PartialRanking
+        assert payload == (sigma.buckets,)
+
+
+class TestProcessBoundaryRoundTrip:
+    def _rankings(self) -> list[PartialRanking]:
+        return [
+            PartialRanking([[0, 1, 2, 3]]),
+            PartialRanking.from_sequence([3, 1, 0, 2]),
+            PartialRanking([[2], [0, 3], [1]]),
+            PartialRanking.top_k(["b", "a"], ["a", "b", "c", "d"]),
+        ]
+
+    def test_worker_rebuilds_identical_state(self):
+        rankings = self._rankings()
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            observed = list(pool.map(_observe, rankings))
+        for sigma, (clone, items, buckets_idx, positions, interned) in zip(
+            rankings, observed
+        ):
+            codec = DomainCodec.for_domain(sigma.domain)
+            x, pos = sigma.dense_arrays(codec)
+            assert clone == sigma  # round-tripped back through the result pickle
+            assert items == list(codec.items)  # same canonical order remotely
+            assert buckets_idx == x.tolist()  # dense arrays bit-for-bit equal
+            assert positions == pos.tolist()
+            assert interned  # for_domain in the worker interned to one codec
+
+
+@settings(max_examples=15)
+@given(sigma=bucket_orders(min_size=2, max_size=6))
+def test_process_boundary_property(sigma):
+    """Hypothesis + a real pool: remote re-encoding matches local exactly."""
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        clone, items, buckets_idx, positions, interned = pool.submit(
+            _observe, sigma
+        ).result()
+    codec = DomainCodec.for_domain(sigma.domain)
+    x, pos = sigma.dense_arrays(codec)
+    assert clone == sigma
+    assert items == list(codec.items)
+    assert buckets_idx == x.tolist()
+    assert positions == pos.tolist()
+    assert interned

@@ -1,0 +1,27 @@
+"""Live fuzz smoke, behind the ``fuzz`` marker.
+
+Deselected by the default ``-m 'not fuzz'`` addopts so the tier-1 suite
+stays fast; CI runs it explicitly (``pytest -m fuzz``) and the nightly
+workflow drives the same harness much harder via
+``python -m repro.verify --rounds 200``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import all_checks, run_fuzz
+
+pytestmark = pytest.mark.fuzz
+
+
+def test_fuzz_smoke_five_rounds():
+    report = run_fuzz(5, seed=0, checks=all_checks())
+    assert report.ok, report.summary() + "".join(
+        f"\n  {d.describe()}" for d in report.discrepancies
+    )
+
+
+def test_fuzz_smoke_with_pool():
+    report = run_fuzz(5, seed=0, checks=all_checks(), jobs=2)
+    assert report.ok, report.summary()
