@@ -7,6 +7,9 @@ metrics:
 * :func:`median_scores` / :class:`MedianAggregator` — the median score
   function and its top-k / full-ranking / fixed-type / partial-ranking
   outputs (Theorems 9, 10, 11 and their generalizations).
+* :mod:`repro.aggregate.batch` — the position-matrix kernel layer behind
+  ``engine="array"``: every median output computed from one ``(m, n)``
+  encode, bit-for-bit equal to the dict reference path.
 * :func:`optimal_bucketing` — the Figure 1 dynamic program producing the
   partial ranking closest in L1 to an arbitrary score function.
 * :func:`medrank` / :func:`nra_median` — sequential-access algorithms with
@@ -17,11 +20,20 @@ metrics:
 * :mod:`repro.aggregate.exact` — brute-force optima for small domains.
 """
 
+from repro.aggregate.batch import (
+    median_fixed_type_batch,
+    median_full_ranking_batch,
+    median_partial_ranking_batch,
+    median_scores_array,
+    median_scores_batch,
+    median_top_k_batch,
+)
 from repro.aggregate.dp import bucketing_cost, optimal_bucketing, optimal_partial_ranking
 from repro.aggregate.kemeny import kemeny_lower_bound, kemeny_optimal
 from repro.aggregate.matching import optimal_footrule_aggregation
 from repro.aggregate.median import (
     MedianAggregator,
+    median_fixed_type,
     median_full_ranking,
     median_partial_ranking,
     median_scores,
@@ -42,6 +54,13 @@ __all__ = [
     "median_top_k",
     "median_full_ranking",
     "median_partial_ranking",
+    "median_fixed_type",
+    "median_scores_array",
+    "median_scores_batch",
+    "median_top_k_batch",
+    "median_full_ranking_batch",
+    "median_partial_ranking_batch",
+    "median_fixed_type_batch",
     "MedianAggregator",
     "OnlineMedianAggregator",
     "optimal_bucketing",

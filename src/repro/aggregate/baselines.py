@@ -26,9 +26,11 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from repro.aggregate.objective import total_distance, validate_profile
+from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.core.refine import common_full_ranking, star
 from repro.errors import AggregationError
+from repro.metrics.batch import position_matrix
 
 __all__ = [
     "borda",
@@ -51,10 +53,13 @@ def borda(rankings: Sequence[PartialRanking]) -> PartialRanking:
     guarantee and no instance-optimal sequential implementation.
     """
     domain = validate_profile(rankings)
-    means = {
-        item: sum(sigma[item] for sigma in rankings) / len(rankings) for item in domain
-    }
-    return PartialRanking.from_sequence(_canonical_order(means))
+    codec = DomainCodec.for_domain(domain)
+    # positions are half-integers, so the columnwise sum is exact in any
+    # summation order and matches the former per-item Python sum bitwise
+    means = position_matrix(rankings, codec).sum(axis=0) / len(rankings)
+    items = codec.items
+    order = np.argsort(means, kind="stable")
+    return PartialRanking.from_sequence([items[slot] for slot in order])
 
 
 def best_input(

@@ -31,31 +31,41 @@ from repro.aggregate.objective import validate_profile
 from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
+from repro.metrics.batch import bucket_index_matrix, sign_tensor
 from repro.parallel import parallel_map, resolve_jobs
 
 __all__ = ["pair_cost_matrix", "kemeny_lower_bound", "kemeny_optimal"]
 
 _MAX_EXACT = 16
 
+#: Cap on sign-tensor elements materialized per worker chunk (the same
+#: budget the dense classifier in :mod:`repro.metrics.batch` uses).
+_CHUNK_BUDGET = 1 << 23
 
-def _pair_cost_chunk(
-    task: tuple[npt.NDArray[np.float64], float],
-) -> npt.NDArray[np.float64]:
-    """Pool worker: pair-cost contribution of a chunk of rankings.
 
-    ``cost[i][j] += 1`` when the ranking places ``items[j]`` strictly ahead
-    of ``items[i]`` (position difference > 0), ``+= p`` when it ties them —
-    one O(n²) broadcast per ranking, replacing the former O(n²·m) pure
-    Python triple loop. The diagonal accumulates ``p`` per ranking here and
-    is zeroed by the caller.
+def _pair_order_chunk(
+    bucket_rows: npt.NDArray[np.int64],
+) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
+    """Pool worker: exact pair-order counts for a chunk of rankings.
+
+    Shares the :func:`repro.metrics.batch.sign_tensor` encoding with the
+    dense all-pairs classifier: from the chunk's ``(c, n·n)`` sign tensor
+    ``S`` and its magnitude ``|S|``, the column sums give
+
+        ``ahead = (sum S + sum |S|) / 2``   (count of rankings with the
+        column's second item strictly ahead — sign +1),
+        ``tied  = c − sum |S|``.
+
+    Both are exact small integers in float64 and are returned as int64
+    ``(n, n)`` matrices, so the combination step is integer arithmetic.
     """
-    position_rows, p = task
-    n = position_rows.shape[1]
-    cost = np.zeros((n, n))
-    for row in position_rows:
-        diff = row[:, None] - row[None, :]
-        cost += (diff > 0).astype(np.float64) + p * (diff == 0)
-    return cost
+    count, n = bucket_rows.shape
+    tensor = sign_tensor(bucket_rows)
+    sign_sum = tensor.sum(axis=0)
+    strict_sum = np.abs(tensor).sum(axis=0)
+    ahead = np.rint((sign_sum + strict_sum) / 2.0).astype(np.int64).reshape(n, n)
+    tied = count - np.rint(strict_sum).astype(np.int64).reshape(n, n)
+    return ahead, tied
 
 
 def pair_cost_matrix(
@@ -72,11 +82,13 @@ def pair_cost_matrix(
     that ties the pair. ``cost[i][j] + cost[j][i]`` is constant per pair
     (the pair's unavoidable-versus-chosen split).
 
-    ``jobs`` spreads the construction over a process pool. With the
-    default ``p = 1/2`` (or any dyadic ``p``) every entry is exact in
-    float64, so any job count produces an identical matrix; serial runs
-    match the historical per-ranking accumulation order bit for bit for
-    every ``p``.
+    The workers accumulate *integer* strictly-ahead / tied counts via the
+    shared :func:`repro.metrics.batch.sign_tensor` path, and each entry is
+    computed once as ``ahead + p·tied`` — so the matrix is bit-for-bit
+    identical for every job count and every ``p`` (dyadic or not), and
+    exactly equals the historical per-ranking accumulation for dyadic
+    ``p`` (including the default ``p = 1/2``). ``jobs`` spreads the
+    construction over a process pool (see :mod:`repro.parallel`).
     """
     if not 0.0 <= p <= 1.0:
         raise AggregationError(f"penalty parameter p={p} outside [0, 1]")
@@ -84,12 +96,18 @@ def pair_cost_matrix(
     codec = DomainCodec.for_profile(rankings)
     items = list(codec.items)  # canonical key order, as before
     n = len(items)
+    m = len(rankings)
 
-    position_rows = np.stack([sigma.dense_arrays(codec)[1] for sigma in rankings])
-    n_jobs = min(resolve_jobs(jobs), len(rankings))
-    bounds = np.linspace(0, len(rankings), max(1, n_jobs) + 1).astype(int)
-    chunks = [(position_rows[a:b], p) for a, b in zip(bounds, bounds[1:]) if a < b]
-    cost = sum(parallel_map(_pair_cost_chunk, chunks, jobs=jobs), np.zeros((n, n)))
+    bucket_rows = bucket_index_matrix(rankings, codec)
+    n_jobs = min(resolve_jobs(jobs), m)
+    per_chunk = max(1, min(_CHUNK_BUDGET // max(1, n * n), -(-m // max(1, n_jobs))))
+    chunks = [bucket_rows[a : a + per_chunk] for a in range(0, m, per_chunk)]
+    ahead = np.zeros((n, n), dtype=np.int64)
+    tied = np.zeros((n, n), dtype=np.int64)
+    for chunk_ahead, chunk_tied in parallel_map(_pair_order_chunk, chunks, jobs=jobs):
+        ahead += chunk_ahead
+        tied += chunk_tied
+    cost = ahead + p * tied
     np.fill_diagonal(cost, 0.0)
     return items, cost.tolist()
 
@@ -103,13 +121,14 @@ def kemeny_lower_bound(
     """``sum_{pairs} min(cost(x<y), cost(y<x))`` — a lower bound on the
     optimal full-ranking ``K^(p)`` aggregation objective.
 
-    Tight whenever the pairwise-majority tournament is acyclic.
+    Tight whenever the pairwise-majority tournament is acyclic. Summation
+    is exact: costs are half-integer multiples of ``p``'s resolution, and
+    for dyadic ``p`` every partial sum is exactly representable.
     """
     items, cost = pair_cost_matrix(rankings, p, jobs=jobs)
-    n = len(items)
-    return sum(
-        min(cost[i][j], cost[j][i]) for i in range(n) for j in range(i + 1, n)
-    )
+    matrix = np.asarray(cost, dtype=np.float64)
+    i_upper, j_upper = np.triu_indices(len(items), k=1)
+    return float(np.minimum(matrix, matrix.T)[i_upper, j_upper].sum())
 
 
 def kemeny_optimal(

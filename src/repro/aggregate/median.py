@@ -18,6 +18,14 @@ paper then derives constant-factor-approximate aggregations from ``f``:
 When ``m`` is even the paper's ``median(a_1..a_m)`` is a *set*
 ``{a_{m/2}, a_{m/2+1}, (a_{m/2}+a_{m/2+1})/2}``; every member satisfies
 Lemma 8, and the ``tie`` parameter selects which one to use.
+
+Two interchangeable engines compute every output. The ``dict`` engine
+below is the readable reference — per-item gathers and scalar
+:func:`median_of` calls. The ``array`` engine
+(:mod:`repro.aggregate.batch`) encodes the profile once into an ``(m, n)``
+position matrix and is bit-for-bit equal; ``engine="auto"`` (the default)
+delegates to it once the profile is large enough to amortize the numpy
+call overhead.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
 
 MedianTie = Literal["mid", "low", "high"]
+MedianEngine = Literal["auto", "dict", "array"]
 
 __all__ = [
     "median_of",
@@ -42,6 +51,43 @@ __all__ = [
     "median_fixed_type",
     "MedianAggregator",
 ]
+
+#: ``engine="auto"`` switches to the array kernels once the position
+#: matrix has at least this many cells (m·n); below it the dict path's
+#: lack of numpy call overhead wins (see docs/PERFORMANCE.md).
+_ARRAY_MIN_CELLS = 1024
+
+
+def _check_tie(tie: str) -> None:
+    if tie not in ("low", "mid", "high"):
+        raise AggregationError(f"unknown median tie rule {tie!r}")
+
+
+def _validated_weights(
+    weights: Sequence[float] | None, count: int, noun: str = "values"
+) -> list[float] | None:
+    """Validate a weight vector once, up front (not once per item).
+
+    Returns the weights as a plain list (so an exhausted iterator or a
+    numpy array behave identically downstream), or ``None`` for the
+    unweighted path.
+    """
+    if weights is None:
+        return None
+    checked = list(weights)
+    if len(checked) != count:
+        raise AggregationError(f"{len(checked)} weights for {count} {noun}")
+    if any(w <= 0 for w in checked):
+        raise AggregationError("weights must be strictly positive")
+    return checked
+
+
+def _resolve_engine(engine: str, cells: int) -> str:
+    if engine == "auto":
+        return "array" if cells >= _ARRAY_MIN_CELLS else "dict"
+    if engine in ("dict", "array"):
+        return engine
+    raise AggregationError(f"unknown median engine {engine!r}")
 
 
 def median_of(
@@ -64,8 +110,14 @@ def median_of(
     """
     if not values:
         raise AggregationError("median of an empty list is undefined")
-    if tie not in ("low", "mid", "high"):
-        raise AggregationError(f"unknown median tie rule {tie!r}")
+    _check_tie(tie)
+    return _median_of_checked(values, tie, _validated_weights(weights, len(values)))
+
+
+def _median_of_checked(
+    values: Sequence[float], tie: MedianTie, weights: Sequence[float] | None
+) -> float:
+    """:func:`median_of` with validation already performed by the caller."""
     if weights is None:
         ordered = sorted(values)
         m = len(ordered)
@@ -73,12 +125,6 @@ def median_of(
             return ordered[m // 2]
         low, high = ordered[m // 2 - 1], ordered[m // 2]
     else:
-        if len(weights) != len(values):
-            raise AggregationError(
-                f"{len(weights)} weights for {len(values)} values"
-            )
-        if any(w <= 0 for w in weights):
-            raise AggregationError("weights must be strictly positive")
         pairs = sorted(zip(values, weights))
         total = sum(weight for _, weight in pairs)
         half = total / 2
@@ -108,22 +154,30 @@ def median_scores(
     rankings: Sequence[PartialRanking],
     tie: MedianTie = "mid",
     weights: Sequence[float] | None = None,
+    *,
+    engine: MedianEngine = "auto",
 ) -> dict[Item, float]:
     """The median score function ``f(d) = median_i sigma_i(d)``.
 
     By Lemma 8 this minimizes ``sum_i L1(f, sigma_i)`` over all functions.
     Optional ``weights`` (one positive weight per input ranking) give the
     weighted-voter generalization: the weighted median minimizes
-    ``sum_i w_i L1(f, sigma_i)``.
+    ``sum_i w_i L1(f, sigma_i)`` (see docs/THEORY.md, Lemma 8W).
+
+    ``engine`` selects the dict reference path or the position-matrix
+    kernels of :mod:`repro.aggregate.batch`; the two are bit-for-bit
+    interchangeable.
     """
     domain = validate_profile(rankings)
-    if weights is not None and len(weights) != len(rankings):
-        raise AggregationError(
-            f"{len(weights)} weights for {len(rankings)} rankings"
-        )
+    _check_tie(tie)
+    checked = _validated_weights(weights, len(rankings), noun="rankings")
+    if _resolve_engine(engine, len(rankings) * len(domain)) == "array":
+        from repro.aggregate.batch import median_scores_batch
+
+        return median_scores_batch(rankings, tie=tie, weights=checked)
     return {
-        item: median_of(
-            [sigma[item] for sigma in rankings], tie=tie, weights=weights
+        item: _median_of_checked(
+            [sigma[item] for sigma in rankings], tie, checked  # repro: noqa[RP009] — the dict engine is the retained reference path
         )
         for item in domain
     }
@@ -139,6 +193,8 @@ def median_top_k(
     k: int,
     tie: MedianTie = "mid",
     weights: Sequence[float] | None = None,
+    *,
+    engine: MedianEngine = "auto",
 ) -> PartialRanking:
     """Theorem 9: the median top-k list.
 
@@ -146,7 +202,12 @@ def median_top_k(
     everything else is the bottom bucket. Guaranteed within factor 3 of the
     optimal top-k list w.r.t. ``sum_i F_prof``.
     """
-    scores = median_scores(rankings, tie=tie, weights=weights)
+    domain = validate_profile(rankings)
+    if _resolve_engine(engine, len(rankings) * len(domain)) == "array":
+        from repro.aggregate.batch import median_top_k_batch
+
+        return median_top_k_batch(rankings, k, tie=tie, weights=weights)
+    scores = median_scores(rankings, tie=tie, weights=weights, engine="dict")
     if not 0 < k <= len(scores):
         raise AggregationError(f"k={k} out of range for domain of size {len(scores)}")
     ordered = _order_by_scores(scores)
@@ -157,13 +218,20 @@ def median_full_ranking(
     rankings: Sequence[PartialRanking],
     tie: MedianTie = "mid",
     weights: Sequence[float] | None = None,
+    *,
+    engine: MedianEngine = "auto",
 ) -> PartialRanking:
     """Theorem 11: a full ranking refining the median-induced ranking.
 
     Ties in the median scores are broken canonically. For full-ranking
     inputs this is a factor-2 approximation w.r.t. ``sum_i F``.
     """
-    scores = median_scores(rankings, tie=tie, weights=weights)
+    domain = validate_profile(rankings)
+    if _resolve_engine(engine, len(rankings) * len(domain)) == "array":
+        from repro.aggregate.batch import median_full_ranking_batch
+
+        return median_full_ranking_batch(rankings, tie=tie, weights=weights)
+    scores = median_scores(rankings, tie=tie, weights=weights, engine="dict")
     return PartialRanking.from_sequence(_order_by_scores(scores))
 
 
@@ -171,13 +239,20 @@ def median_partial_ranking(
     rankings: Sequence[PartialRanking],
     tie: MedianTie = "mid",
     weights: Sequence[float] | None = None,
+    *,
+    engine: MedianEngine = "auto",
 ) -> PartialRanking:
     """Theorem 10: the partial ranking ``f†`` closest in L1 to the median.
 
     Uses the O(n²) dynamic program of Figure 1; a factor-2 approximation
     against all partial rankings (for partial-ranking inputs).
     """
-    scores = median_scores(rankings, tie=tie, weights=weights)
+    domain = validate_profile(rankings)
+    if _resolve_engine(engine, len(rankings) * len(domain)) == "array":
+        from repro.aggregate.batch import median_partial_ranking_batch
+
+        return median_partial_ranking_batch(rankings, tie=tie, weights=weights)
+    scores = median_scores(rankings, tie=tie, weights=weights, engine="dict")
     return optimal_partial_ranking(scores)
 
 
@@ -185,6 +260,8 @@ def median_fixed_type(
     rankings: Sequence[PartialRanking],
     bucket_type: Sequence[int],
     tie: MedianTie = "mid",
+    *,
+    engine: MedianEngine = "auto",
 ) -> PartialRanking:
     """Corollary 30: the median aggregation constrained to a given type.
 
@@ -193,7 +270,12 @@ def median_fixed_type(
     consistent with the median scores, within factor 3 of the optimum over
     that type.
     """
-    scores = median_scores(rankings, tie=tie)
+    domain = validate_profile(rankings)
+    if _resolve_engine(engine, len(rankings) * len(domain)) == "array":
+        from repro.aggregate.batch import median_fixed_type_batch
+
+        return median_fixed_type_batch(rankings, bucket_type, tie=tie)
+    scores = median_scores(rankings, tie=tie, engine="dict")
     if sum(bucket_type) != len(scores):
         raise AggregationError(
             f"type {tuple(bucket_type)} does not partition a domain of size {len(scores)}"

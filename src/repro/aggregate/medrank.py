@@ -26,10 +26,15 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.aggregate.median import MedianTie, median_of
+import numpy as np
+
+from repro.aggregate.batch import _order_slots, median_scores_array
+from repro.aggregate.median import MedianTie
 from repro.aggregate.objective import validate_profile
+from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
+from repro.metrics.batch import bucket_index_matrix, position_matrix
 
 __all__ = ["AccessLog", "MedrankResult", "medrank", "nra_median"]
 
@@ -145,45 +150,52 @@ def nra_median(
     item's median score. The run stops at the first depth where the k
     items with the smallest upper bounds provably dominate everything
     else, guaranteeing the output is a true median top-k set.
+
+    The bound maintenance is vectorized over the codec's position matrix:
+    each list's sorted-access order is the stable bucket-index argsort of
+    its row, the seen mask advances one column of that order per depth,
+    and the lower/upper bound *matrices* feed the shared
+    :func:`repro.aggregate.batch.median_scores_array` kernel — the same
+    floats, depths and winners as the former per-item ``median_of`` loop.
     """
     domain = validate_profile(rankings)
     if not 0 < k <= len(domain):
         raise AggregationError(f"k={k} out of range for domain of size {len(domain)}")
 
-    sequences = _sorted_access_sequences(rankings)
-    m = len(rankings)
-    n = len(domain)
-    last_positions = [ranking[sequence[-1]] for ranking, sequence in zip(rankings, sequences)]
-    seen: dict[Item, dict[int, float]] = {item: {} for item in domain}
+    codec = DomainCodec.for_domain(domain)
+    positions = position_matrix(rankings, codec)
+    # sorted-access order per list: by bucket, canonically (= by slot)
+    # within one bucket — exactly items_in_order(), as stable argsort
+    access_slots = np.argsort(bucket_index_matrix(rankings, codec), axis=1, kind="stable")
+    m, n = positions.shape
+    lists = np.arange(m)
+    last_positions = positions[lists, access_slots[:, -1]]
+    seen = np.zeros((m, n), dtype=bool)
+    items = codec.items
 
     depth = 0
     while True:
         depth += 1
-        for list_index, (ranking, sequence) in enumerate(zip(rankings, sequences)):
-            item = sequence[depth - 1]
-            seen[item][list_index] = ranking[item]
+        seen[lists, access_slots[:, depth - 1]] = True
 
         # frontier position per list: the bucket holding the next unread item
-        frontiers = [
-            ranking[sequence[depth]] if depth < n else last_positions[list_index]
-            for list_index, (ranking, sequence) in enumerate(zip(rankings, sequences))
-        ]
+        if depth < n:
+            frontiers = positions[lists, access_slots[:, depth]]
+        else:
+            frontiers = last_positions
 
-        lower: dict[Item, float] = {}
-        upper: dict[Item, float] = {}
-        for item in domain:
-            known = seen[item]
-            lower_vec = [known.get(i, frontiers[i]) for i in range(m)]
-            upper_vec = [known.get(i, last_positions[i]) for i in range(m)]
-            lower[item] = median_of(lower_vec, tie=tie)
-            upper[item] = median_of(upper_vec, tie=tie)
+        lower = median_scores_array(np.where(seen, positions, frontiers[:, None]), tie=tie)
+        upper = median_scores_array(
+            np.where(seen, positions, last_positions[:, None]), tie=tie
+        )
 
-        by_upper = sorted(domain, key=lambda item: (upper[item], type(item).__name__, repr(item)))
-        candidates = by_upper[:k]
-        rest = by_upper[k:]
-        worst_candidate = max(upper[item] for item in candidates)
-        best_rest = min((lower[item] for item in rest), default=float("inf"))
+        by_upper = _order_slots(upper)
+        candidate_slots = by_upper[:k]
+        rest_slots = by_upper[k:]
+        worst_candidate = upper[candidate_slots].max()
+        best_rest = lower[rest_slots].min() if rest_slots.size else float("inf")
         if worst_candidate <= best_rest or depth == n:
+            candidates = [items[slot] for slot in candidate_slots]
             ranking_out = PartialRanking.top_k(candidates, domain)
             log = AccessLog(depth=depth, num_lists=m, domain_size=n)
             return MedrankResult(

@@ -78,5 +78,7 @@ def total_l1_to_function(
     if set(f) != set(domain):
         raise AggregationError("function domain differs from the input profile's domain")
     return sum(
-        sum(abs(f[item] - sigma[item]) for item in domain) for sigma in rankings
+        # the Lemma 8 objective *definition*, kept as the readable reference
+        sum(abs(f[item] - sigma[item]) for item in domain)  # repro: noqa[RP009]
+        for sigma in rankings
     )

@@ -1,29 +1,77 @@
-"""Incremental (online) median aggregation.
+"""Incremental (online) median aggregation on numpy column buffers.
 
 In the paper's database scenario the input rankings arrive one per user
 criterion; an interactive search page adds and removes criteria without
-recomputing everything. :class:`OnlineMedianAggregator` maintains, per
-item, the multiset of positions seen so far (kept sorted with
-``bisect.insort``), so after each ``add``/``discard`` the median score
-function — and hence every §6 output — is available in O(n) time without
-touching the previous rankings again.
+recomputing everything. :class:`OnlineMedianAggregator` maintains a
+growable ``(capacity, n)`` float64 buffer of position rows (one per added
+ranking, in codec slot order), so ``add``/``discard`` cost O(n) amortized
+— one :meth:`~repro.core.partial_ranking.PartialRanking.dense_arrays`
+encode plus one row write — instead of the former n ``bisect.insort``
+calls into per-item Python lists.
 
-The offline and online paths are interchangeable by construction; the
-tests assert the online snapshots equal the batch results after every
-update.
+Repeated ``scores()`` / ``top_k()`` / ``full_ranking()`` calls reuse
+partially-sorted state: the column-sorted copy of the active rows is
+cached and *merged* with each update (one vectorized insertion/removal
+per column via ``take_along_axis``) rather than re-sorted from scratch,
+so a burst of queries between updates pays the columnwise sort once.
+
+The offline and online paths are interchangeable by construction: scores
+come from the same :func:`repro.aggregate.batch.median_scores_array`
+kernel the batch path uses, and the tests assert the online snapshots
+equal the batch results (bit for bit) after every update. Instances
+pickle to a compact ``(items, tie, active rows)`` tuple and rebuild on
+the receiving side of a process boundary.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
 from collections.abc import Iterable
 
-from repro.aggregate.dp import optimal_partial_ranking
-from repro.aggregate.median import MedianTie, median_of
+import numpy as np
+import numpy.typing as npt
+
+from repro.aggregate.batch import (
+    _order_slots,
+    _partial_ranking_from_scores,
+    _top_k_slots,
+    median_scores_array,
+)
+from repro.aggregate.median import MedianTie, _check_tie
+from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
 
 __all__ = ["OnlineMedianAggregator"]
+
+_INITIAL_CAPACITY = 4
+
+
+def _merge_sorted_row(
+    sorted_rows: npt.NDArray[np.float64], row: npt.NDArray[np.float64]
+) -> npt.NDArray[np.float64]:
+    """Insert ``row`` columnwise into a column-sorted matrix. O(m·n)."""
+    m, n = sorted_rows.shape
+    if m == 0:
+        return row[None, :].astype(np.float64, copy=True)
+    insert_at = (sorted_rows <= row).sum(axis=0)
+    rows = np.arange(m + 1)[:, None]
+    source = np.minimum(rows - (rows > insert_at), m - 1)
+    merged = np.take_along_axis(sorted_rows, source, axis=0)
+    return np.where(rows == insert_at, row[None, :], merged)
+
+
+def _remove_sorted_row(
+    sorted_rows: npt.NDArray[np.float64], row: npt.NDArray[np.float64]
+) -> npt.NDArray[np.float64]:
+    """Remove one occurrence of ``row``'s values columnwise. O(m·n).
+
+    The caller guarantees every column contains the value being removed.
+    """
+    m, _ = sorted_rows.shape
+    remove_at = np.argmax(sorted_rows == row, axis=0)
+    rows = np.arange(m - 1)[:, None]
+    source = rows + (rows >= remove_at)
+    return np.take_along_axis(sorted_rows, source, axis=0)
 
 
 class OnlineMedianAggregator:
@@ -42,28 +90,43 @@ class OnlineMedianAggregator:
         items = frozenset(domain)
         if not items:
             raise AggregationError("the aggregation domain must be non-empty")
-        self._domain = items
+        _check_tie(tie)
         self._tie: MedianTie = tie
-        self._positions: dict[Item, list[float]] = {item: [] for item in items}
+        self._codec = DomainCodec.for_domain(items)
+        self._rows: npt.NDArray[np.float64] = np.empty(
+            (_INITIAL_CAPACITY, len(items)), dtype=np.float64
+        )
         self._count = 0
+        self._sorted: npt.NDArray[np.float64] | None = None
 
     # ------------------------------------------------------------------
 
     @property
     def domain(self) -> frozenset[Item]:
-        return self._domain
+        return self._codec.domain
 
     def __len__(self) -> int:
         """Number of rankings currently aggregated."""
         return self._count
 
-    def add(self, ranking: PartialRanking) -> None:
-        """Ingest one input ranking. O(n log m)."""
-        if ranking.domain != self._domain:
+    def _encode(self, ranking: PartialRanking) -> npt.NDArray[np.float64]:
+        if ranking.domain != self._codec.domain:
             raise AggregationError("ranking domain differs from the aggregator's domain")
-        for item in self._domain:
-            insort(self._positions[item], ranking[item])
+        return ranking.dense_arrays(self._codec)[1]
+
+    def add(self, ranking: PartialRanking) -> None:
+        """Ingest one input ranking. O(n) amortized."""
+        positions = self._encode(ranking)
+        if self._count == self._rows.shape[0]:
+            grown = np.empty(
+                (2 * self._rows.shape[0], self._rows.shape[1]), dtype=np.float64
+            )
+            grown[: self._count] = self._rows[: self._count]
+            self._rows = grown
+        self._rows[self._count] = positions
         self._count += 1
+        if self._sorted is not None:
+            self._sorted = _merge_sorted_row(self._sorted, positions)
 
     def discard(self, ranking: PartialRanking) -> None:
         """Remove one previously added ranking (a criterion toggled off).
@@ -71,25 +134,26 @@ class OnlineMedianAggregator:
         Raises if the ranking's positions were never added — removal is by
         value, so adding a ranking twice requires discarding it twice.
         """
-        if ranking.domain != self._domain:
-            raise AggregationError("ranking domain differs from the aggregator's domain")
+        positions = self._encode(ranking)
         if self._count == 0:
             raise AggregationError("no rankings to discard")
         # validate fully before mutating, so a failed discard is a no-op
-        indices: dict[Item, int] = {}
-        for item in self._domain:
-            positions = self._positions[item]
-            target = ranking[item]
-            index = bisect_left(positions, target)
-            if index >= len(positions) or positions[index] != target:
-                raise AggregationError(
-                    "ranking was not previously added (position mismatch at "
-                    f"item {item!r})"
-                )
-            indices[item] = index
-        for item, index in indices.items():
-            del self._positions[item][index]
+        active = self._rows[: self._count]
+        matches = active == positions[None, :]
+        present = matches.any(axis=0)
+        if not bool(present.all()):
+            slot = int(np.flatnonzero(~present)[0])
+            item = self._codec.items[slot]
+            raise AggregationError(
+                "ranking was not previously added (position mismatch at "
+                f"item {item!r})"
+            )
+        row_of_match = matches.argmax(axis=0)
+        columns = np.arange(active.shape[1])
+        active[row_of_match, columns] = active[self._count - 1].copy()
         self._count -= 1
+        if self._sorted is not None:
+            self._sorted = _remove_sorted_row(self._sorted, positions)
 
     # ------------------------------------------------------------------
 
@@ -97,32 +161,60 @@ class OnlineMedianAggregator:
         if self._count == 0:
             raise AggregationError("no rankings have been added yet")
 
-    def scores(self) -> dict[Item, float]:
-        """The current median score function. O(n)."""
-        self._require_inputs()
-        return {
-            item: median_of(positions, tie=self._tie)
-            for item, positions in self._positions.items()
-        }
+    def _sorted_rows(self) -> npt.NDArray[np.float64]:
+        """Column-sorted active rows, cached and merged incrementally."""
+        if self._sorted is None or self._sorted.shape[0] != self._count:
+            self._sorted = np.sort(self._rows[: self._count], axis=0)
+        return self._sorted
 
-    def _ordered(self) -> list[Item]:
-        scores = self.scores()
-        return sorted(
-            scores, key=lambda item: (scores[item], type(item).__name__, repr(item))
+    def _score_vector(self) -> npt.NDArray[np.float64]:
+        self._require_inputs()
+        return median_scores_array(
+            self._sorted_rows(), tie=self._tie, assume_sorted=True
         )
+
+    def scores(self) -> dict[Item, float]:
+        """The current median score function. O(n) given sorted state."""
+        return dict(zip(self._codec.items, self._score_vector().tolist()))
 
     def full_ranking(self) -> PartialRanking:
         """Theorem 11 output for the current inputs."""
-        return PartialRanking.from_sequence(self._ordered())
+        items = self._codec.items
+        order = _order_slots(self._score_vector())
+        return PartialRanking.from_sequence([items[slot] for slot in order])
 
     def top_k(self, k: int) -> PartialRanking:
         """Theorem 9 output for the current inputs."""
-        if not 0 < k <= len(self._domain):
+        if not 0 < k <= len(self._codec):
             raise AggregationError(
-                f"k={k} out of range for domain of size {len(self._domain)}"
+                f"k={k} out of range for domain of size {len(self._codec)}"
             )
-        return PartialRanking.top_k(self._ordered()[:k], self._domain)
+        items = self._codec.items
+        slots = _top_k_slots(self._score_vector(), k)
+        return PartialRanking.top_k([items[slot] for slot in slots], self.domain)
 
     def partial_ranking(self) -> PartialRanking:
         """Theorem 10 output (Figure 1 DP) for the current inputs."""
-        return optimal_partial_ranking(self.scores())
+        return _partial_ranking_from_scores(self._codec, self._score_vector())
+
+    # ------------------------------------------------------------------
+
+    def __reduce__(
+        self,
+    ) -> tuple[object, tuple[tuple[Item, ...], MedianTie, npt.NDArray[np.float64]]]:
+        """Pickle as (items, tie, active rows); the codec re-interns on load."""
+        return (
+            _rebuild_online,
+            (tuple(self._codec.items), self._tie, self._rows[: self._count].copy()),
+        )
+
+
+def _rebuild_online(
+    items: tuple[Item, ...], tie: MedianTie, rows: npt.NDArray[np.float64]
+) -> OnlineMedianAggregator:
+    aggregator = OnlineMedianAggregator(items, tie=tie)
+    count = int(rows.shape[0])
+    if count:
+        aggregator._rows = np.array(rows, dtype=np.float64)
+        aggregator._count = count
+    return aggregator

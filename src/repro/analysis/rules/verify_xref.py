@@ -1,4 +1,4 @@
-"""RP010 — public metric exported without an oracle-registry entry.
+"""RP010 — public metric/kernel exported without an oracle-registry entry.
 
 The verification harness (:mod:`repro.verify`) differential-tests every
 metric code path against an independent reference implementation — but
@@ -9,13 +9,19 @@ escapes fuzzing: its fast/batch variants could drift from the object
 implementation and nothing automated would notice.
 
 This project rule parses the ``covers=(...)`` keyword tuples out of
-``src/repro/verify/oracles.py`` and cross-references them against the
-metric-shaped names in ``repro.metrics.__all__`` (the same shape filter
-RP008 uses, widened to the pair-count/batch kernels). Related-work
-correlation coefficients are excluded: they are not distance entry points
-and have no reference/variant split. Like RP008, the rule stays silent
-when either side of the cross-reference is missing from the analyzed
-project (e.g. when analyzing a lone file).
+``src/repro/verify/oracles.py`` and cross-references them against two
+export surfaces:
+
+* the metric-shaped names in ``repro.metrics.__all__`` (the same shape
+  filter RP008 uses, widened to the pair-count/batch kernels); related-
+  work correlation coefficients are excluded — they are not distance
+  entry points and have no reference/variant split;
+* **every** name in ``repro.aggregate.batch.__all__`` — the position-
+  matrix aggregation kernels are bit-for-bit claims against the dict
+  reference path, so each one must have a differential oracle.
+
+Like RP008, the rule stays silent when a surface (or the oracle registry)
+is missing from the analyzed project (e.g. when analyzing a lone file).
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ _EXEMPT_EXPORTS = frozenset({"kendall_tau_a", "kendall_tau_b"})
 
 _ORACLES_SUFFIX = "repro/verify/oracles.py"
 _METRICS_INIT_SUFFIX = "repro/metrics/__init__.py"
+_AGGREGATE_BATCH_SUFFIX = "repro/aggregate/batch.py"
 
 
 def oracle_covers(tree: ast.Module) -> set[str]:
@@ -64,37 +71,50 @@ def oracle_covers(tree: ast.Module) -> set[str]:
 
 @register
 class OracleCoverageRule(Rule):
-    """RP010 — metric in ``repro.metrics.__all__`` with no oracle entry."""
+    """RP010 — exported metric/aggregation kernel with no oracle entry."""
 
     code = "RP010"
     name = "oracle-registry-coverage"
     severity = Severity.ERROR
     description = (
-        "Metric exported by repro.metrics.__init__ is not covered by any "
-        "OracleEntry in repro.verify.oracles; the fuzz harness cannot "
-        "differential-test it."
+        "Name exported by repro.metrics.__init__ or repro.aggregate.batch "
+        "is not covered by any OracleEntry in repro.verify.oracles; the "
+        "fuzz harness cannot differential-test it."
     )
 
     def __init__(self) -> None:
         self._metrics_init: SourceFile | None = None
+        self._aggregate_batch: SourceFile | None = None
         self._covered: set[str] | None = None
 
     def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
         posix = source.posix
         if posix.endswith(_METRICS_INIT_SUFFIX):
             self._metrics_init = source
+        elif posix.endswith(_AGGREGATE_BATCH_SUFFIX):
+            self._aggregate_batch = source
         elif posix.endswith(_ORACLES_SUFFIX):
             self._covered = oracle_covers(source.tree)
         return iter(())
 
     def finish(self, project: Project) -> Iterator[Finding]:
-        source = self._metrics_init
+        metrics_init = self._metrics_init
+        aggregate_batch = self._aggregate_batch
         covered = self._covered
         self._metrics_init = None
+        self._aggregate_batch = None
         self._covered = None
-        if source is None or covered is None:
-            # one side of the cross-reference is outside the analyzed set
+        if covered is None:
+            # the oracle registry is outside the analyzed set
             return
+        if metrics_init is not None:
+            yield from self._check_metrics(metrics_init, covered)
+        if aggregate_batch is not None:
+            yield from self._check_aggregate_batch(aggregate_batch, covered)
+
+    def _check_metrics(
+        self, source: SourceFile, covered: set[str]
+    ) -> Iterator[Finding]:
         all_node, entries = module_all(source.tree)
         if all_node is None:
             return
@@ -108,4 +128,20 @@ class OracleCoverageRule(Rule):
                     f"metric {entry!r} is exported but no OracleEntry in "
                     "repro.verify.oracles declares it in covers=(...); add a "
                     "differential oracle for it",
+                )
+
+    def _check_aggregate_batch(
+        self, source: SourceFile, covered: set[str]
+    ) -> Iterator[Finding]:
+        all_node, entries = module_all(source.tree)
+        if all_node is None:
+            return
+        for entry in entries:
+            if entry not in covered:
+                yield self.finding(
+                    source,
+                    all_node,
+                    f"aggregation kernel {entry!r} is exported but no "
+                    "OracleEntry in repro.verify.oracles declares it in "
+                    "covers=(...); the dict path is the natural oracle",
                 )

@@ -51,6 +51,7 @@ __all__ = [
     "profile_codec",
     "bucket_index_matrix",
     "position_matrix",
+    "sign_tensor",
     "pair_counts_matrix",
     "pairwise_distance_matrix",
     "METRIC_ALIASES",
@@ -144,6 +145,22 @@ def position_matrix(
 # ----------------------------------------------------------------------
 
 
+def sign_tensor(bucket_rows: npt.NDArray[np.int64]) -> npt.NDArray[np.float64]:
+    """Flattened per-ranking pair-sign tensors, shape ``(m, n·n)``.
+
+    ``S[r, i·n + j] = sign(bucket_r(i) − bucket_r(j))`` — +1 when ranking
+    ``r`` places item ``j`` strictly ahead of item ``i``, −1 when behind,
+    0 when tied. ``|S|`` is the strict-order indicator and ``1 − |S|`` the
+    tie indicator, so one tensor feeds both the dense pair classifier
+    here and the Kemeny pair-cost accumulation in
+    :mod:`repro.aggregate.kemeny`. Entries are exact small integers in
+    float64.
+    """
+    m, n = bucket_rows.shape
+    sign = np.sign(bucket_rows[:, :, None] - bucket_rows[:, None, :]).reshape(m, n * n)
+    return sign.astype(np.float64)
+
+
 def _tied_per_ranking(bucket_rows: npt.NDArray[np.int64]) -> npt.NDArray[np.int64]:
     """Per ranking: the number of item pairs tied in that ranking."""
     m = bucket_rows.shape[0]
@@ -204,8 +221,7 @@ def _pair_counts_dense(bucket_rows: npt.NDArray[np.int64]) -> PairCountsMatrix:
     exact and the final rounding is a formality.
     """
     m, n = bucket_rows.shape
-    sign = np.sign(bucket_rows[:, :, None] - bucket_rows[:, None, :]).reshape(m, n * n)
-    sign = sign.astype(np.float64)
+    sign = sign_tensor(bucket_rows)
     strict = np.abs(sign)
     tied = 1.0 - strict
     g_ss = sign @ sign.T

@@ -20,13 +20,29 @@ can actually catch a bug; they never run in normal fuzzing.
 
 from __future__ import annotations
 
+import pickle
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.aggregate.batch import (
+    median_fixed_type_batch,
+    median_full_ranking_batch,
+    median_partial_ranking_batch,
+    median_scores_batch,
+    median_top_k_batch,
+)
 from repro.aggregate.kemeny import kemeny_optimal
 from repro.aggregate.matching import optimal_footrule_aggregation
+from repro.aggregate.median import (
+    median_fixed_type,
+    median_full_ranking,
+    median_partial_ranking,
+    median_scores,
+    median_top_k,
+)
+from repro.aggregate.online import OnlineMedianAggregator
 from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import PartialRanking
 from repro.core.refine import common_full_ranking, star
@@ -302,6 +318,85 @@ def _kemeny_variant(jobs: int | None) -> _OracleFn:
     return call
 
 
+# -- median aggregation: dict reference engine vs array kernels ---------
+
+_MEDIAN_TIES = ("low", "mid", "high")
+
+
+def _deterministic_weights(count: int) -> list[float]:
+    """A fixed non-uniform positive weight vector (dyadic quarters)."""
+    return [1.0 + (index % 4) * 0.25 for index in range(count)]
+
+
+def _median_scores_engine(engine: str, weighted: bool) -> _OracleFn:
+    def call(rankings: Rankings) -> object:
+        weights = _deterministic_weights(len(rankings)) if weighted else None
+        if engine == "array":
+            return tuple(
+                median_scores_batch(rankings, tie=tie, weights=weights)
+                for tie in _MEDIAN_TIES
+            )
+        return tuple(
+            median_scores(rankings, tie=tie, weights=weights, engine="dict")
+            for tie in _MEDIAN_TIES
+        )
+
+    return call
+
+
+def _median_outputs_engine(engine: str) -> _OracleFn:
+    """Theorem 9/10/11 + Corollary 30 outputs under one engine."""
+
+    def call(rankings: Rankings) -> object:
+        n = len(rankings[0])
+        k = (n + 1) // 2
+        head = (n + 1) // 2
+        bucket_type = (head, n - head) if n > head else (n,)
+        if engine == "array":
+            return (
+                median_top_k_batch(rankings, k),
+                median_full_ranking_batch(rankings),
+                median_partial_ranking_batch(rankings),
+                median_fixed_type_batch(rankings, bucket_type),
+            )
+        return (
+            median_top_k(rankings, k, engine="dict"),
+            median_full_ranking(rankings, engine="dict"),
+            median_partial_ranking(rankings, engine="dict"),
+            median_fixed_type(rankings, bucket_type, engine="dict"),
+        )
+
+    return call
+
+
+def _online_reference(rankings: Rankings) -> object:
+    """Offline dict-engine scores after every prefix, then one discard."""
+    snapshots = [
+        median_scores(rankings[: index + 1], engine="dict")
+        for index in range(len(rankings))
+    ]
+    if len(rankings) > 1:
+        snapshots.append(median_scores(rankings[1:], engine="dict"))
+    return tuple(snapshots)
+
+
+def _online_variant(through_pickle: bool) -> _OracleFn:
+    def call(rankings: Rankings) -> object:
+        aggregator = OnlineMedianAggregator(rankings[0].domain)
+        snapshots = []
+        for sigma in rankings:
+            if through_pickle:
+                aggregator = pickle.loads(pickle.dumps(aggregator))
+            aggregator.add(sigma)
+            snapshots.append(aggregator.scores())
+        if len(rankings) > 1:
+            aggregator.discard(rankings[0])
+            snapshots.append(aggregator.scores())
+        return tuple(snapshots)
+
+    return call
+
+
 # ----------------------------------------------------------------------
 # The registry
 # ----------------------------------------------------------------------
@@ -510,6 +605,46 @@ def _build_entries() -> tuple[OracleEntry, ...]:
             variants=(("jobs2", _kemeny_variant(2)),),
             max_items=7,
             expensive=frozenset({"jobs2"}),
+        ),
+        OracleEntry(
+            name="aggregate-median-scores",
+            kind="profile",
+            citation="Lemma 8 median score function: dict gathers vs matrix kernel",
+            covers=("median_scores_array", "median_scores_batch"),
+            reference=_median_scores_engine("dict", weighted=False),
+            variants=(("array", _median_scores_engine("array", weighted=False)),),
+        ),
+        OracleEntry(
+            name="aggregate-median-weighted",
+            kind="profile",
+            citation="Lemma 8W weighted-voter medians, all tie rules",
+            covers=("median_scores_batch",),
+            reference=_median_scores_engine("dict", weighted=True),
+            variants=(("array", _median_scores_engine("array", weighted=True)),),
+        ),
+        OracleEntry(
+            name="aggregate-median-outputs",
+            kind="profile",
+            citation="Theorems 9-11 / Corollary 30 outputs: dict vs array engine",
+            covers=(
+                "median_top_k_batch",
+                "median_full_ranking_batch",
+                "median_partial_ranking_batch",
+                "median_fixed_type_batch",
+            ),
+            reference=_median_outputs_engine("dict"),
+            variants=(("array", _median_outputs_engine("array")),),
+        ),
+        OracleEntry(
+            name="aggregate-online-median",
+            kind="profile",
+            citation="online add/discard snapshots vs offline Lemma 8 medians",
+            covers=(),
+            reference=_online_reference,
+            variants=(
+                ("online", _online_variant(through_pickle=False)),
+                ("online-pickled", _online_variant(through_pickle=True)),
+            ),
         ),
         OracleEntry(
             name="selftest-kendall-flipped-tie",

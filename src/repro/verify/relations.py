@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.aggregate.median import median_scores
 from repro.core.partial_ranking import PartialRanking
 from repro.core.refine import common_full_ranking, is_refinement, star
 from repro.metrics.equivalence import check_proved_bounds, metric_bundle
@@ -252,6 +253,30 @@ def _check_refinement_distance_drop(rankings: Rankings) -> str | None:
     return None
 
 
+def _check_weighted_uniform_median(rankings: Rankings) -> str | None:
+    """Weighted median with uniform weights equals the unweighted median.
+
+    With every voter weight equal to a constant ``c > 0`` the weighted L1
+    objective is ``c`` times the unweighted one, so the minimizer sets
+    coincide — for every tie rule, and bitwise on both engines (the
+    prefix-weight crossings happen at the same indices).
+    """
+    for constant in (1.0, 0.5):
+        weights = [constant] * len(rankings)
+        for tie in ("low", "mid", "high"):
+            plain = median_scores(rankings, tie=tie, engine="dict")
+            for engine in ("dict", "array"):
+                weighted = median_scores(
+                    rankings, tie=tie, weights=weights, engine=engine
+                )
+                if weighted != plain:
+                    return (
+                        f"uniform weights {constant} changed the {tie} median "
+                        f"on the {engine} engine"
+                    )
+    return None
+
+
 _RELATIONS: tuple[Relation, ...] = (
     Relation("symmetry", 2, "metric axiom (Proposition 13)", _check_symmetry),
     Relation("regularity", 1, "metric axiom: d(x, x) = 0", _check_regularity),
@@ -265,6 +290,12 @@ _RELATIONS: tuple[Relation, ...] = (
     Relation("penalty-monotonicity", 2, "K^(p) linear in p", _check_penalty_monotone),
     Relation(
         "refinement-monotonicity", 2, "Lemma 3 / Lemma 4", _check_refinement_distance_drop
+    ),
+    Relation(
+        "median-weighted-uniform",
+        0,
+        "Lemma 8 / Lemma 8W: uniform voter weights reduce to the plain median",
+        _check_weighted_uniform_median,
     ),
 )
 

@@ -465,6 +465,74 @@ class TestRP009PairwiseLoops:
         assert codes(result) == []
         assert sum(finding.suppressed for finding in result.findings) == 1
 
+    def test_positive_per_item_median_of(self):
+        result = analyze_source(
+            "from repro.aggregate.median import median_of\n"
+            "def scores(profile, domain):\n"
+            "    out = {}\n"
+            "    for ranking in [profile]:\n"
+            "        for item in domain:\n"
+            "            out[item] = median_of([s[item] for s in ranking])\n"
+            "    return out\n",
+            select=["RP009"],
+        )
+        assert codes(result) == ["RP009"]
+        assert "repro.aggregate.batch" in result.active[0].message
+
+    def test_positive_cross_level_position_gather(self):
+        result = analyze_source(
+            "def gather(rankings, domain):\n"
+            "    return {\n"
+            "        item: [sigma[item] for sigma in rankings]\n"
+            "        for item in domain\n"
+            "    }\n",
+            select=["RP009"],
+        )
+        assert codes(result) == ["RP009"]
+        assert "sigma[item]" in result.active[0].message
+        assert "(m, n) position matrix" in result.active[0].message
+
+    def test_negative_non_ranking_container_gather(self):
+        # row[name] / line[i]: generic indexing, not the paper's notation
+        result = analyze_source(
+            "def table(rows, names):\n"
+            "    return [[row[name] for name in names] for row in rows]\n",
+            select=["RP009"],
+        )
+        assert codes(result) == []
+
+    def test_negative_same_level_subscript(self):
+        # sigma[item] where both names come from the same loop target
+        result = analyze_source(
+            "def pairs(entries, domain):\n"
+            "    return [\n"
+            "        [sigma[item] for sigma, item in entries]\n"
+            "        for _ in domain\n"
+            "    ]\n",
+            select=["RP009"],
+        )
+        assert codes(result) == []
+
+    def test_negative_single_loop_gather(self):
+        result = analyze_source(
+            "def one_item(rankings, item):\n"
+            "    return [sigma[item] for sigma in rankings]\n",
+            select=["RP009"],
+        )
+        assert codes(result) == []
+
+    def test_gather_noqa_escape(self):
+        result = analyze_source(
+            "def gather(rankings, domain):\n"
+            "    return {\n"
+            "        item: [sigma[item] for sigma in rankings]  # repro: noqa[RP009]\n"
+            "        for item in domain\n"
+            "    }\n",
+            select=["RP009"],
+        )
+        assert codes(result) == []
+        assert sum(finding.suppressed for finding in result.findings) == 1
+
 
 class TestRP010OracleCoverage:
     """Cross-file rule: metrics.__all__ vs covers=(...) in verify/oracles.py."""
@@ -526,6 +594,42 @@ class TestRP010OracleCoverage:
             filename="src/repro/metrics/__init__.py",
             select=["RP010"],
         )
+        assert codes(result) == []
+
+    def _add_aggregate_batch(self, root: Path, exports: str) -> None:
+        aggregate = root / "src" / "repro" / "aggregate"
+        aggregate.mkdir(parents=True)
+        (aggregate / "batch.py").write_text(
+            f"__all__ = {exports}\n", encoding="utf-8"
+        )
+
+    def test_positive_uncovered_aggregation_kernel(self, tmp_path):
+        # every aggregate.batch export needs coverage, whatever its name
+        root = self._project(tmp_path, "['kendall', 'footrule']")
+        self._add_aggregate_batch(root, "['median_scores_batch']")
+        result = analyze_paths([root / "src"], root=root, select=["RP010"])
+        assert codes(result) == ["RP010"]
+        assert "median_scores_batch" in result.active[0].message
+        assert "dict path is the natural oracle" in result.active[0].message
+
+    def test_negative_covered_aggregation_kernel(self, tmp_path):
+        root = self._project(tmp_path, "['kendall', 'footrule']")
+        self._add_aggregate_batch(root, "['median_scores_batch']")
+        oracles = root / "src" / "repro" / "verify" / "oracles.py"
+        oracles.write_text(
+            self._ORACLES.replace(
+                "covers=('footrule',)",
+                "covers=('footrule', 'median_scores_batch')",
+            ),
+            encoding="utf-8",
+        )
+        result = analyze_paths([root / "src"], root=root, select=["RP010"])
+        assert codes(result) == []
+
+    def test_silent_when_aggregate_batch_absent(self, tmp_path):
+        # the metrics-only project from the fixtures above stays valid
+        root = self._project(tmp_path, "['kendall', 'kendall_large', 'footrule']")
+        result = analyze_paths([root / "src"], root=root, select=["RP010"])
         assert codes(result) == []
 
 

@@ -45,8 +45,8 @@ class TestRegistry:
     def test_check_census(self):
         checks = all_checks()
         kinds = [info.kind for info in checks]
-        assert kinds.count("oracle") == 18
-        assert kinds.count("relation") == 11
+        assert kinds.count("oracle") == 22
+        assert kinds.count("relation") == 12
         assert not any(info.selftest_only for info in checks)
 
     def test_selftest_check_hidden_by_default(self):
@@ -65,7 +65,10 @@ class TestRegistry:
 
     def test_coverage_matches_metric_exports(self):
         # the runtime counterpart of analysis rule RP010: every distance
-        # kernel exported from repro.metrics has an oracle entry
+        # kernel exported from repro.metrics and every aggregation kernel
+        # exported from repro.aggregate.batch has an oracle entry
+        import repro.aggregate.batch
+
         exported = {
             name
             for name in repro.metrics.__all__
@@ -74,7 +77,8 @@ class TestRegistry:
             )
         }
         exempt = {"kendall_tau_a", "kendall_tau_b"}
-        assert covered_names() == exported - exempt
+        expected = (exported - exempt) | set(repro.aggregate.batch.__all__)
+        assert covered_names() == expected
 
     def test_find_check_round_trips(self):
         for info in all_checks(include_selftest=True):
