@@ -32,7 +32,7 @@ from repro.core.refine import common_full_ranking, star
 from repro.errors import AggregationError
 from repro.metrics.batch import position_matrix
 
-__all__ = [
+__all__ = [  # repro: noqa[RP011] — comparison baselines timed end to end by experiment spans
     "borda",
     "best_input",
     "pick_a_perm",

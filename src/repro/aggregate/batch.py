@@ -43,6 +43,7 @@ from collections.abc import Sequence
 import numpy as np
 import numpy.typing as npt
 
+from repro import obs
 from repro.aggregate.dp import optimal_bucketing
 from repro.aggregate.median import MedianTie, _check_tie, _validated_weights
 from repro.aggregate.objective import validate_profile
@@ -83,7 +84,35 @@ def median_scores_array(
     maintains column-sorted state (the online aggregator does); it is
     only meaningful on the unweighted path, because the weighted kernel
     must co-sort positions with their weights.
+
+    Kept as a thin tracing wrapper over :func:`_median_scores_array_impl`
+    so ``benchmarks/bench_obs.py`` can measure the disabled-mode overhead
+    of the instrumentation as (wrapper − impl) directly.
     """
+    if not obs.enabled():
+        return _median_scores_array_impl(
+            positions, tie, weights, assume_sorted=assume_sorted
+        )
+    shape = np.shape(positions)
+    with obs.trace(
+        "aggregate.batch.median_scores_array",
+        tie=tie,
+        weighted=weights is not None,
+    ):
+        if len(shape) == 2:
+            obs.add("aggregate.cells", shape[0] * shape[1])
+        return _median_scores_array_impl(
+            positions, tie, weights, assume_sorted=assume_sorted
+        )
+
+
+def _median_scores_array_impl(
+    positions: npt.NDArray[np.float64],
+    tie: MedianTie = "mid",
+    weights: Sequence[float] | None = None,
+    *,
+    assume_sorted: bool = False,
+) -> npt.NDArray[np.float64]:
     _check_tie(tie)
     matrix = np.asarray(positions, dtype=np.float64)
     if matrix.ndim != 2:

@@ -34,7 +34,7 @@ from repro._util import SortedSliceL1
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
 
-__all__ = [
+__all__ = [  # repro: noqa[RP011] — small-n DP comparator; experiment spans time it end to end
     "BucketingResult",
     "bucketing_cost",
     "optimal_bucketing",

@@ -26,7 +26,7 @@ from repro.errors import AggregationError
 
 Metric = str | Callable[[PartialRanking, PartialRanking], float]
 
-__all__ = [
+__all__ = [  # repro: noqa[RP011] — factorial-time exact oracles for tests
     "all_full_rankings",
     "all_partial_rankings",
     "all_top_k_lists",

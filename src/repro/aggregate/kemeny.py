@@ -27,6 +27,7 @@ from collections.abc import Sequence
 import numpy as np
 import numpy.typing as npt
 
+from repro import obs
 from repro.aggregate.objective import validate_profile
 from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import Item, PartialRanking
@@ -98,18 +99,21 @@ def pair_cost_matrix(
     n = len(items)
     m = len(rankings)
 
-    bucket_rows = bucket_index_matrix(rankings, codec)
-    n_jobs = min(resolve_jobs(jobs), m)
-    per_chunk = max(1, min(_CHUNK_BUDGET // max(1, n * n), -(-m // max(1, n_jobs))))
-    chunks = [bucket_rows[a : a + per_chunk] for a in range(0, m, per_chunk)]
-    ahead = np.zeros((n, n), dtype=np.int64)
-    tied = np.zeros((n, n), dtype=np.int64)
-    for chunk_ahead, chunk_tied in parallel_map(_pair_order_chunk, chunks, jobs=jobs):
-        ahead += chunk_ahead
-        tied += chunk_tied
-    cost = ahead + p * tied
-    np.fill_diagonal(cost, 0.0)
-    return items, cost.tolist()
+    with obs.trace("aggregate.kemeny.pair_cost_matrix", m=m, n=n):
+        obs.add("kemeny.cells", m * n * n)
+        bucket_rows = bucket_index_matrix(rankings, codec)
+        n_jobs = min(resolve_jobs(jobs), m)
+        per_chunk = max(1, min(_CHUNK_BUDGET // max(1, n * n), -(-m // max(1, n_jobs))))
+        chunks = [bucket_rows[a : a + per_chunk] for a in range(0, m, per_chunk)]
+        obs.set_attr("chunks", len(chunks))
+        ahead = np.zeros((n, n), dtype=np.int64)
+        tied = np.zeros((n, n), dtype=np.int64)
+        for chunk_ahead, chunk_tied in parallel_map(_pair_order_chunk, chunks, jobs=jobs):
+            ahead += chunk_ahead
+            tied += chunk_tied
+        cost = ahead + p * tied
+        np.fill_diagonal(cost, 0.0)
+        return items, cost.tolist()
 
 
 def kemeny_lower_bound(
@@ -150,7 +154,14 @@ def kemeny_optimal(
             f"exact Kemeny refused for n={n} > {_MAX_EXACT}; "
             "use median aggregation for large domains"
         )
+    with obs.trace("aggregate.kemeny.held_karp", n=n):
+        obs.add("kemeny.dp_states", 1 << n)
+        return _held_karp(items, cost, n)
 
+
+def _held_karp(
+    items: list[Item], cost: list[list[float]], n: int
+) -> tuple[PartialRanking, float]:
     full = 1 << n
     infinity = float("inf")
     dp = [infinity] * full

@@ -20,6 +20,7 @@ import numpy as np
 import numpy.typing as npt
 from scipy.optimize import linear_sum_assignment
 
+from repro import obs
 from repro.aggregate.objective import validate_profile
 from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import PartialRanking
@@ -61,15 +62,19 @@ def optimal_footrule_aggregation(
     items = list(codec.items)  # canonical key order, as before
     n = len(items)
 
-    position_rows = np.stack([sigma.dense_arrays(codec)[1] for sigma in rankings])
-    n_jobs = min(resolve_jobs(jobs), len(rankings))
-    bounds = np.linspace(0, len(rankings), max(1, n_jobs) + 1).astype(int)
-    chunks = [position_rows[a:b] for a, b in zip(bounds, bounds[1:]) if a < b]
-    cost = sum(parallel_map(_matching_cost_chunk, chunks, jobs=jobs), np.zeros((n, n)))
+    with obs.trace("aggregate.matching.assignment", m=len(rankings), n=n):
+        obs.add("aggregate.matching.cells", len(rankings) * n * n)
+        position_rows = np.stack([sigma.dense_arrays(codec)[1] for sigma in rankings])
+        n_jobs = min(resolve_jobs(jobs), len(rankings))
+        bounds = np.linspace(0, len(rankings), max(1, n_jobs) + 1).astype(int)
+        chunks = [position_rows[a:b] for a, b in zip(bounds, bounds[1:]) if a < b]
+        cost = sum(
+            parallel_map(_matching_cost_chunk, chunks, jobs=jobs), np.zeros((n, n))
+        )
 
-    rows, cols = linear_sum_assignment(cost)
-    order: list = [None] * n
-    for row, col in zip(rows, cols):
-        order[col] = items[row]
-    total_cost = float(cost[rows, cols].sum())
-    return PartialRanking.from_sequence(order), total_cost
+        rows, cols = linear_sum_assignment(cost)
+        order: list = [None] * n
+        for row, col in zip(rows, cols):
+            order[col] = items[row]
+        total_cost = float(cost[rows, cols].sum())
+        return PartialRanking.from_sequence(order), total_cost

@@ -34,6 +34,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Literal
 
+from repro import obs
 from repro.aggregate.dp import optimal_partial_ranking
 from repro.aggregate.objective import validate_profile
 from repro.core.partial_ranking import Item, PartialRanking
@@ -84,10 +85,15 @@ def _validated_weights(
 
 def _resolve_engine(engine: str, cells: int) -> str:
     if engine == "auto":
-        return "array" if cells >= _ARRAY_MIN_CELLS else "dict"
-    if engine in ("dict", "array"):
-        return engine
-    raise AggregationError(f"unknown median engine {engine!r}")
+        engine = "array" if cells >= _ARRAY_MIN_CELLS else "dict"
+    elif engine not in ("dict", "array"):
+        raise AggregationError(f"unknown median engine {engine!r}")
+    if obs.enabled():
+        # one shared instrumentation site for every median_* entry point:
+        # the crossover decision lands on the caller's @traced span
+        obs.add(f"aggregate.engine.{engine}")
+        obs.set_attr("engine", engine)
+    return engine
 
 
 def median_of(
@@ -150,6 +156,7 @@ def _median_of_checked(
     return (low + high) / 2
 
 
+@obs.traced("aggregate.median_scores")
 def median_scores(
     rankings: Sequence[PartialRanking],
     tie: MedianTie = "mid",
@@ -188,6 +195,7 @@ def _order_by_scores(scores: dict[Item, float]) -> list[Item]:
     return sorted(scores, key=lambda item: (scores[item], type(item).__name__, repr(item)))
 
 
+@obs.traced("aggregate.median_top_k")
 def median_top_k(
     rankings: Sequence[PartialRanking],
     k: int,
@@ -214,6 +222,7 @@ def median_top_k(
     return PartialRanking.top_k(ordered[:k], scores.keys())
 
 
+@obs.traced("aggregate.median_full_ranking")
 def median_full_ranking(
     rankings: Sequence[PartialRanking],
     tie: MedianTie = "mid",
@@ -235,6 +244,7 @@ def median_full_ranking(
     return PartialRanking.from_sequence(_order_by_scores(scores))
 
 
+@obs.traced("aggregate.median_partial_ranking")
 def median_partial_ranking(
     rankings: Sequence[PartialRanking],
     tie: MedianTie = "mid",
@@ -256,6 +266,7 @@ def median_partial_ranking(
     return optimal_partial_ranking(scores)
 
 
+@obs.traced("aggregate.median_fixed_type")
 def median_fixed_type(
     rankings: Sequence[PartialRanking],
     bucket_type: Sequence[int],

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.aggregate.batch import _order_slots, median_scores_array
 from repro.aggregate.median import MedianTie
 from repro.aggregate.objective import validate_profile
@@ -132,6 +133,7 @@ def medrank(
 
     ranking = PartialRanking.top_k(selected, domain)
     log = AccessLog(depth=depth, num_lists=m, domain_size=n)
+    obs.add("aggregate.medrank.accesses", log.total_accesses)
     return MedrankResult(winners=tuple(selected), ranking=ranking, access_log=log)
 
 
@@ -198,6 +200,7 @@ def nra_median(
             candidates = [items[slot] for slot in candidate_slots]
             ranking_out = PartialRanking.top_k(candidates, domain)
             log = AccessLog(depth=depth, num_lists=m, domain_size=n)
+            obs.add("aggregate.medrank.accesses", log.total_accesses)
             return MedrankResult(
                 winners=tuple(candidates), ranking=ranking_out, access_log=log
             )

@@ -16,7 +16,7 @@ from repro.metrics.footrule import footrule
 from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff_counts
 from repro.metrics.kendall import kendall
 
-__all__ = ["METRICS", "total_distance", "total_l1_to_function", "validate_profile"]
+__all__ = ["METRICS", "total_distance", "total_l1_to_function", "validate_profile"]  # repro: noqa[RP011] — objective evaluation sums over instrumented metrics
 
 #: Name -> metric function registry used across experiments and baselines.
 METRICS: dict[str, Callable[[PartialRanking, PartialRanking], float]] = {

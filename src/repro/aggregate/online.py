@@ -30,6 +30,7 @@ from collections.abc import Iterable
 import numpy as np
 import numpy.typing as npt
 
+from repro import obs
 from repro.aggregate.batch import (
     _order_slots,
     _partial_ranking_from_scores,
@@ -125,6 +126,7 @@ class OnlineMedianAggregator:
             self._rows = grown
         self._rows[self._count] = positions
         self._count += 1
+        obs.add("aggregate.online.adds")
         if self._sorted is not None:
             self._sorted = _merge_sorted_row(self._sorted, positions)
 
@@ -152,6 +154,7 @@ class OnlineMedianAggregator:
         columns = np.arange(active.shape[1])
         active[row_of_match, columns] = active[self._count - 1].copy()
         self._count -= 1
+        obs.add("aggregate.online.discards")
         if self._sorted is not None:
             self._sorted = _remove_sorted_row(self._sorted, positions)
 
@@ -164,7 +167,10 @@ class OnlineMedianAggregator:
     def _sorted_rows(self) -> npt.NDArray[np.float64]:
         """Column-sorted active rows, cached and merged incrementally."""
         if self._sorted is None or self._sorted.shape[0] != self._count:
+            obs.add("aggregate.online.sort_cache.misses")
             self._sorted = np.sort(self._rows[: self._count], axis=0)
+        else:
+            obs.add("aggregate.online.sort_cache.hits")
         return self._sorted
 
     def _score_vector(self) -> npt.NDArray[np.float64]:

@@ -28,7 +28,7 @@ from repro.aggregate.kemeny import pair_cost_matrix
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
 
-__all__ = [
+__all__ = [  # repro: noqa[RP011] — Condorcet structure diagnostics, not a hot path
     "majority_digraph",
     "is_condorcet_consistent",
     "condorcet_winner",

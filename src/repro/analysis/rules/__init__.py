@@ -14,6 +14,7 @@ RP007  :mod:`~repro.analysis.rules.hygiene`        no bare/overbroad ``except``
 RP008  :mod:`~repro.analysis.rules.api_surface`    exported metrics have axiom coverage
 RP009  :mod:`~repro.analysis.rules.batching`       all-pairs loops use the batch layer
 RP010  :mod:`~repro.analysis.rules.verify_xref`    exported metrics have a fuzz oracle
+RP011  :mod:`~repro.analysis.rules.obs_xref`       kernel modules report into repro.obs
 =====  ====================================  =========================================
 """
 
@@ -22,6 +23,7 @@ from repro.analysis.rules.batching import PairwiseLoopRule
 from repro.analysis.rules.contracts_xref import DomainValidationRule
 from repro.analysis.rules.hygiene import MutableDefaultRule, OverbroadExceptRule
 from repro.analysis.rules.numerics import FloatDistanceComparisonRule
+from repro.analysis.rules.obs_xref import ObsInstrumentationRule
 from repro.analysis.rules.oracles import OracleImportRule
 from repro.analysis.rules.theory import TheoremCitationRule
 from repro.analysis.rules.verify_xref import OracleCoverageRule
@@ -37,4 +39,5 @@ __all__ = [
     "MetricTestMatrixRule",
     "PairwiseLoopRule",
     "OracleCoverageRule",
+    "ObsInstrumentationRule",
 ]

@@ -1,0 +1,206 @@
+"""RP011 — kernel modules must be observable; library code must not print.
+
+The observability layer (:mod:`repro.obs`) only tells the truth if the
+hot paths actually report into it. A new kernel module added under
+``repro.metrics``, ``repro.aggregate`` or ``repro.db`` without a span or
+counter silently disappears from every trace: ``python -m repro.obs
+summarize`` shows nothing, the counter cross-checks in the test suite
+cannot cover it, and a performance regression in it is invisible.
+
+This project rule enforces two things:
+
+* **Instrumentation coverage** — every module under those three packages
+  whose ``__all__`` exports at least one module-level function (a public
+  kernel entry point) must contain at least one call into the obs API
+  (``trace`` / ``@traced`` / ``add`` / ``set_attr`` / ``kernel_timer``,
+  via ``from repro import obs`` or ``from repro.obs import ...``).
+  Reference implementations, test oracles and thin wrappers opt out with
+  ``# repro: noqa[RP011] — <reason>`` on the ``__all__`` line; the reason
+  is *required* — a bare ``noqa[RP011]`` does not suppress the finding.
+  Counter-only instrumentation (``obs.add``) counts: exact work counters
+  are the layer's primary cross-check currency.
+
+* **No bare prints** — ``print(...)`` without a ``file=`` argument
+  anywhere in ``src/repro/`` outside CLI/reporter modules (``cli.py``,
+  ``__main__.py``, ``reporters.py``). Library code reports through
+  return values, spans and counters; stdout belongs to the CLIs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, Project, Rule, Severity, SourceFile, register
+from repro.analysis.rules.api_surface import module_all
+
+__all__ = ["ObsInstrumentationRule", "obs_evidence", "OBS_API_NAMES"]
+
+#: repro.obs entry points whose use counts as instrumentation evidence.
+OBS_API_NAMES = frozenset({"trace", "traced", "add", "set_attr", "kernel_timer"})
+
+#: Modules the instrumentation-coverage check applies to.
+_KERNEL_MODULE_RE = re.compile(r"repro/(metrics|aggregate|db)/(?!__init__\.py$)[^/]+\.py$")
+
+#: Module basenames allowed to write to stdout.
+_PRINT_EXEMPT = frozenset({"cli.py", "__main__.py", "reporters.py"})
+
+#: A noqa[RP011] marker followed by its (required) free-text reason.
+_NOQA_REASON_RE = re.compile(r"#\s*repro:\s*noqa\[[^\]]*RP011[^\]]*\]\s*(?P<reason>.*)$")
+
+
+def _obs_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names bound from the obs package: (module aliases, function names).
+
+    ``from repro import obs`` / ``import repro.obs as o`` contribute
+    module aliases; ``from repro.obs import trace, add`` contributes the
+    function names directly.
+    """
+    modules: set[str] = set()
+    functions: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "repro":
+                for alias in node.names:
+                    if alias.name == "obs":
+                        modules.add(alias.asname or alias.name)
+            elif node.module is not None and node.module.startswith("repro.obs"):
+                for alias in node.names:
+                    if alias.name in OBS_API_NAMES:
+                        functions.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.obs" and alias.asname is not None:
+                    modules.add(alias.asname)
+    return modules, functions
+
+
+def obs_evidence(tree: ast.Module) -> bool:
+    """Whether the module calls (or decorates with) any obs API entry point."""
+    modules, functions = _obs_aliases(tree)
+    if not modules and not functions:
+        return False
+
+    def is_obs_ref(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Attribute):
+            return (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id in modules
+                and expr.attr in OBS_API_NAMES
+            )
+        return isinstance(expr, ast.Name) and expr.id in functions
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and is_obs_ref(node.func):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in node.decorator_list:
+                target = decorator.func if isinstance(decorator, ast.Call) else decorator
+                if is_obs_ref(target):
+                    return True
+    return False
+
+
+def _public_functions(tree: ast.Module, entries: tuple[str, ...]) -> list[str]:
+    """``__all__`` entries bound by a module-level ``def``."""
+    defined = {
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    return [entry for entry in entries if entry in defined]
+
+
+@register
+class ObsInstrumentationRule(Rule):
+    """RP011 — uninstrumented kernel module, or bare print in library code."""
+
+    code = "RP011"
+    name = "obs-instrumentation-coverage"
+    severity = Severity.ERROR
+    description = (
+        "Module under repro.metrics/aggregate/db exports a public kernel "
+        "entry point but never reports into repro.obs (no trace/traced/add "
+        "site and no reasoned noqa), or library code prints to stdout."
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        yield from self._check_instrumentation(source)
+        yield from self._check_prints(source)
+
+    def _check_instrumentation(self, source: SourceFile) -> Iterator[Finding]:
+        if _KERNEL_MODULE_RE.search(source.posix) is None:
+            return
+        all_node, entries = module_all(source.tree)
+        if all_node is None:
+            return
+        kernels = _public_functions(source.tree, entries)
+        if not kernels or obs_evidence(source.tree):
+            return
+        line = getattr(all_node, "lineno", 1)
+        names = ", ".join(repr(name) for name in kernels)
+        if source.is_suppressed(self.code, line):
+            if self._noqa_has_reason(source, line):
+                yield self.finding(
+                    source,
+                    all_node,
+                    f"kernel entry point(s) {names} opted out of obs "
+                    "instrumentation (reasoned noqa)",
+                )
+                return
+            # A bare noqa[RP011] must not silence the rule: emit the
+            # finding unsuppressed, pointing at the missing reason.
+            yield Finding(
+                rule=self.code,
+                severity=self.severity,
+                path=source.posix,
+                line=line,
+                column=getattr(all_node, "col_offset", 0) + 1,
+                message=(
+                    f"noqa[RP011] on kernel entry point(s) {names} needs a "
+                    "reason — write `# repro: noqa[RP011] — <why this module "
+                    "is exempt from obs instrumentation>`"
+                ),
+                suppressed=False,
+            )
+            return
+        yield self.finding(
+            source,
+            all_node,
+            f"module exports kernel entry point(s) {names} but contains no "
+            "repro.obs instrumentation; add a trace/@traced span or an "
+            "obs.add counter to the hot path, or opt out with "
+            "`# repro: noqa[RP011] — <reason>`",
+        )
+
+    @staticmethod
+    def _noqa_has_reason(source: SourceFile, line: int) -> bool:
+        lines = source.text.splitlines()
+        if not 1 <= line <= len(lines):
+            return False
+        match = _NOQA_REASON_RE.search(lines[line - 1])
+        if match is None:
+            return False
+        return re.search(r"\w", match.group("reason")) is not None
+
+    def _check_prints(self, source: SourceFile) -> Iterator[Finding]:
+        posix = source.posix
+        if "repro/" not in posix or source.path.name in _PRINT_EXEMPT:
+            return
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                continue
+            if any(keyword.arg == "file" for keyword in node.keywords):
+                continue  # explicit stream choice (stderr diagnostics etc.)
+            yield self.finding(
+                source,
+                node,
+                "bare print() in library code writes to stdout; return the "
+                "value, record it on a span/counter (repro.obs), or move "
+                "the output into a CLI module",
+            )

@@ -8,6 +8,7 @@
     python -m repro aggregate profile.csv --output topk --k 5
     python -m repro experiments e03
     python -m repro verify --rounds 50 --seed 0
+    python -m repro obs summarize trace.jsonl
 
 Ranking files are JSON (single ranking or profile) or long-format CSV —
 see :mod:`repro.io` for the formats.
@@ -124,6 +125,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if args.all:
         argv.append("--all")
     argv.extend(["--seed", str(args.seed)])
+    if args.jobs is not None:
+        argv.extend(["--jobs", str(args.jobs)])
+    if args.trace:
+        argv.extend(["--trace", args.trace])
     return experiments_main(argv)
 
 
@@ -136,8 +141,17 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return verify_main(forwarded)
 
 
-def _delegate_verify(argv: list[str] | None) -> list[str] | None:
-    """Rewrite ``verify --flag ...`` so REMAINDER captures the flags.
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.cli import main as obs_main
+
+    forwarded = list(args.obs_args)
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return obs_main(forwarded)
+
+
+def _delegate_remainder(argv: list[str] | None) -> list[str] | None:
+    """Rewrite ``verify --flag ...`` / ``obs --flag ...`` for REMAINDER.
 
     argparse's REMAINDER refuses to start on an option-like token, so
     ``python -m repro verify --rounds 5`` would die with "unrecognized
@@ -146,7 +160,7 @@ def _delegate_verify(argv: list[str] | None) -> list[str] | None:
     """
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "verify" and "--" not in argv:
+    if argv and argv[0] in ("verify", "obs") and "--" not in argv:
         return [argv[0], "--", *argv[1:]]
     return argv
 
@@ -186,6 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("experiment", nargs="?", help="experiment id, e.g. e03")
     experiments.add_argument("--all", action="store_true")
     experiments.add_argument("--seed", type=int, default=0)
+    experiments.add_argument("--jobs", type=int, default=None)
+    experiments.add_argument(
+        "--trace", metavar="OUT.JSONL", default=None, help="record spans to a trace file"
+    )
     experiments.set_defaults(handler=_cmd_experiments)
 
     verify = subparsers.add_parser(
@@ -199,13 +217,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.set_defaults(handler=_cmd_verify)
 
+    obs = subparsers.add_parser(
+        "obs",
+        help="inspect REPRO_TRACE trace files (see python -m repro.obs)",
+    )
+    obs.add_argument(
+        "obs_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.obs",
+    )
+    obs.set_defaults(handler=_cmd_obs)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
-    args = parser.parse_args(_delegate_verify(argv))
+    args = parser.parse_args(_delegate_remainder(argv))
     try:
         return args.handler(args)
     except (ReproError, OSError) as exc:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import ReproError
 
@@ -68,6 +69,7 @@ class SortedCursor:
         item = self._order[self._index]
         self._index += 1
         self._accesses += 1
+        obs.add("db.cursor.accesses")
         return item, self._ranking[item]
 
     def peek_position(self) -> float:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from numbers import Number
 from typing import Any
 
+from repro import obs
 from repro.aggregate.medrank import AccessLog, medrank
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.db.relation import Relation, SchemaError
@@ -102,11 +103,15 @@ def similarity_search(
     neighbours (but still participates in the aggregation domain, exactly
     as in [11]).
     """
-    rankings = similarity_rankings(relation, query_key, attributes)
-    if not 0 < k < len(relation):
-        raise SchemaError(f"k={k} out of range for a relation of size {len(relation)}")
-    # ask for one extra winner: the query record itself always wins
-    result = medrank(rankings, k=min(k + 1, len(relation)))
+    with obs.trace("db.similarity.search", k=k, rows=len(relation)):
+        rankings = similarity_rankings(relation, query_key, attributes)
+        obs.add("db.similarity.rankings", len(rankings))
+        if not 0 < k < len(relation):
+            raise SchemaError(
+                f"k={k} out of range for a relation of size {len(relation)}"
+            )
+        # ask for one extra winner: the query record itself always wins
+        result = medrank(rankings, k=min(k + 1, len(relation)))
     neighbors = tuple(item for item in result.winners if item != query_key)[:k]
     return SimilarityResult(
         query_key=query_key,

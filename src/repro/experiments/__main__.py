@@ -12,8 +12,10 @@
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
+from repro import obs
 from repro.experiments.runner import (
     all_experiments,
     format_tables,
@@ -45,26 +47,37 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for --all (default: REPRO_JOBS or serial; "
         "negative = all CPUs)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.JSONL",
+        default=None,
+        help="record per-experiment spans to a JSON-lines trace file "
+        "(inspect with: python -m repro.obs summarize OUT.JSONL)",
+    )
     args = parser.parse_args(argv)
 
-    if args.all:
-        descriptions = {
-            experiment_id: description
-            for experiment_id, (_, description) in all_experiments().items()
-        }
-        results = run_experiments(seed=args.seed, jobs=args.jobs)
-        for experiment_id, tables in results.items():
-            print(f"== {experiment_id}: {descriptions[experiment_id]} ==")
-            print(format_tables(tables))
-            print()
+    tracing = obs.session(args.trace) if args.trace else contextlib.nullcontext()
+    with tracing:
+        if args.all:
+            descriptions = {
+                experiment_id: description
+                for experiment_id, (_, description) in all_experiments().items()
+            }
+            results = run_experiments(seed=args.seed, jobs=args.jobs)
+            for experiment_id, tables in results.items():
+                print(f"== {experiment_id}: {descriptions[experiment_id]} ==")
+                print(format_tables(tables))
+                print()
+            return 0
+        if not args.experiment:
+            print(_list_experiments())
+            return 0
+        runner, description = get_experiment(args.experiment)
+        print(f"== {args.experiment}: {description} ==")
+        with obs.trace(f"experiment.{args.experiment}", seed=args.seed):
+            tables = runner(seed=args.seed)
+        print(format_tables(tables))
         return 0
-    if not args.experiment:
-        print(_list_experiments())
-        return 0
-    runner, description = get_experiment(args.experiment)
-    print(f"== {args.experiment}: {description} ==")
-    print(format_tables(runner(seed=args.seed)))
-    return 0
 
 
 if __name__ == "__main__":

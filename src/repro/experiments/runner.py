@@ -12,6 +12,8 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from repro import obs
+
 __all__ = [
     "Table",
     "format_table",
@@ -111,7 +113,8 @@ def _run_one(task: tuple[str, int]) -> tuple[str, list[Table]]:
     """
     experiment_id, seed = task
     runner, _ = get_experiment(experiment_id)
-    return experiment_id, runner(seed=seed)
+    with obs.trace(f"experiment.{experiment_id}", seed=seed):
+        return experiment_id, runner(seed=seed)
 
 
 def run_experiments(

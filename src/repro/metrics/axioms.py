@@ -28,7 +28,7 @@ from repro.core.partial_ranking import PartialRanking
 
 Distance = Callable[[PartialRanking, PartialRanking], float]
 
-__all__ = [
+__all__ = [  # repro: noqa[RP011] — axiom-checking oracles, not runtime kernels
     "Violation",
     "AxiomReport",
     "check_distance_measure",

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 import numpy.typing as npt
 
+from repro import obs
 from repro._util import pairs
 from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import PartialRanking
@@ -294,11 +295,20 @@ def pair_counts_matrix(
     m, n = bucket_rows.shape
     if strategy == "auto":
         strategy = "dense" if m * n * n <= _DENSE_BUDGET else "pairs"
-    if strategy == "dense":
-        return _pair_counts_dense(bucket_rows)
-    if strategy == "pairs":
+    if strategy not in ("dense", "pairs"):
+        raise ValueError(f"unknown strategy {strategy!r}; expected 'auto', 'dense' or 'pairs'")
+    if not obs.enabled():
+        if strategy == "dense":
+            return _pair_counts_dense(bucket_rows)
         return _pair_counts_pairs(bucket_rows, jobs)
-    raise ValueError(f"unknown strategy {strategy!r}; expected 'auto', 'dense' or 'pairs'")
+    with obs.trace("metrics.batch.pair_counts_matrix", m=m, n=n, strategy=strategy):
+        # every strategy classifies all n-choose-2 item pairs of each of
+        # the m rankings' pairings, i.e. m·n(n−1)/2 pair slots per role
+        obs.add("metrics.batch.pairs", m * pairs(n))
+        obs.add("metrics.batch.ranking_pairs", pairs(m))
+        if strategy == "dense":
+            return _pair_counts_dense(bucket_rows)
+        return _pair_counts_pairs(bucket_rows, jobs)
 
 
 # ----------------------------------------------------------------------
@@ -389,6 +399,30 @@ def pairwise_distance_matrix(
             f"unknown metric {metric!r}; expected one of {sorted(METRIC_ALIASES)}"
         ) from None
 
+    if not obs.enabled():
+        return _pairwise_distance_matrix_impl(
+            rankings, canonical, p=p, strategy=strategy, jobs=jobs
+        )
+    with obs.trace(
+        "metrics.batch.pairwise_distance_matrix", metric=canonical, m=len(rankings)
+    ):
+        if canonical in ("footrule", "footrule_hausdorff"):
+            # the Kendall family counts its ranking pairs inside
+            # pair_counts_matrix; counting here too would double-book
+            obs.add("metrics.batch.ranking_pairs", pairs(len(rankings)))
+        return _pairwise_distance_matrix_impl(
+            rankings, canonical, p=p, strategy=strategy, jobs=jobs
+        )
+
+
+def _pairwise_distance_matrix_impl(
+    rankings: Sequence[PartialRanking],
+    canonical: str,
+    *,
+    p: float,
+    strategy: str,
+    jobs: int | None,
+) -> npt.NDArray[np.float64]:
     if canonical == "kendall":
         counts = pair_counts_matrix(rankings, strategy=strategy, jobs=jobs)
         return counts.kendall(p)

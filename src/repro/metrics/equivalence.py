@@ -24,7 +24,7 @@ from repro.metrics.footrule import footrule
 from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff_counts
 from repro.metrics.kendall import kendall
 
-__all__ = [
+__all__ = [  # repro: noqa[RP011] — bound-checking oracles over instrumented metrics
     "MetricBundle",
     "metric_bundle",
     "PROVED_BOUNDS",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
+from repro import obs
 from repro.analysis.contracts import checked_metric
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import DomainMismatchError, InvalidRankingError
@@ -39,7 +40,11 @@ def footrule(sigma: PartialRanking, tau: PartialRanking) -> float:
         raise DomainMismatchError(
             f"rankings must share a domain (sizes {len(sigma)} and {len(tau)})"
         )
-    return sum(abs(sigma[item] - tau[item]) for item in sigma.domain)
+    if not obs.enabled():
+        return sum(abs(sigma[item] - tau[item]) for item in sigma.domain)
+    with obs.trace("metrics.footrule", n=len(sigma)):
+        obs.add("metrics.footrule.items", len(sigma))
+        return sum(abs(sigma[item] - tau[item]) for item in sigma.domain)
 
 
 def footrule_full(sigma: PartialRanking, tau: PartialRanking) -> float:

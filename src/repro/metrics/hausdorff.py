@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro import obs
 from repro.analysis.contracts import checked_metric
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.core.refine import common_full_ranking, star_chain
@@ -77,12 +78,21 @@ def hausdorff_witnesses(
         rho = common_full_ranking(sigma)
     elif not rho.is_full or rho.domain != sigma.domain:
         raise DomainMismatchError("rho must be a full ranking over the same domain")
-    return HausdorffWitnesses(
-        sigma_1=star_chain(rho, tau.reverse(), sigma),
-        tau_1=star_chain(rho, sigma, tau),
-        sigma_2=star_chain(rho, tau, sigma),
-        tau_2=star_chain(rho, sigma.reverse(), tau),
-    )
+    if not obs.enabled():
+        return HausdorffWitnesses(
+            sigma_1=star_chain(rho, tau.reverse(), sigma),
+            tau_1=star_chain(rho, sigma, tau),
+            sigma_2=star_chain(rho, tau, sigma),
+            tau_2=star_chain(rho, sigma.reverse(), tau),
+        )
+    with obs.trace("metrics.hausdorff.witnesses", n=len(sigma)):
+        obs.add("metrics.hausdorff.witnesses", 4)
+        return HausdorffWitnesses(
+            sigma_1=star_chain(rho, tau.reverse(), sigma),
+            tau_1=star_chain(rho, sigma, tau),
+            sigma_2=star_chain(rho, tau, sigma),
+            tau_2=star_chain(rho, sigma.reverse(), tau),
+        )
 
 
 @checked_metric()

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Any
 
+from repro import obs
 from repro._util import FenwickTree, pairs
 from repro.analysis.contracts import checked_metric, near_triangle_constant
 from repro.core.partial_ranking import PartialRanking
@@ -91,6 +92,15 @@ def pair_counts(sigma: PartialRanking, tau: PartialRanking) -> PairCounts:
     ``tau``-bucket — exactly the pairs ordered one way by ``sigma`` and the
     opposite way by ``tau``.
     """
+    if not obs.enabled():
+        return _pair_counts_impl(sigma, tau)
+    n = len(sigma)
+    with obs.trace("metrics.pair_counts", n=n):
+        obs.add("metrics.pairs", pairs(n))
+        return _pair_counts_impl(sigma, tau)
+
+
+def _pair_counts_impl(sigma: PartialRanking, tau: PartialRanking) -> PairCounts:
     _require_common_domain(sigma, tau)
     n = len(sigma)
     total = pairs(n)

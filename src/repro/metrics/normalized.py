@@ -22,7 +22,7 @@ from repro.metrics.footrule import footrule
 from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff_counts
 from repro.metrics.kendall import kendall
 
-__all__ = [
+__all__ = [  # repro: noqa[RP011] — O(1) normalizing wrappers over instrumented kernels
     "max_kendall",
     "max_footrule",
     "normalized_kendall",

@@ -22,7 +22,7 @@ from itertools import permutations
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import DomainMismatchError
 
-__all__ = ["k_profile", "f_profile", "k_profile_l1", "f_profile_l1"]
+__all__ = ["k_profile", "f_profile", "k_profile_l1", "f_profile_l1"]  # repro: noqa[RP011] — deliberately quadratic reference profiles used as test oracles
 
 
 def k_profile(sigma: PartialRanking) -> dict[tuple[Item, Item], float]:

@@ -40,7 +40,7 @@ from repro.core.partial_ranking import Item, PartialRanking
 from repro.core.refine import star
 from repro.errors import DomainMismatchError, ReproError
 
-__all__ = [
+__all__ = [  # repro: noqa[RP011] — structural reflection helpers, no kernel work
     "Mirror",
     "reflect",
     "pi_natural",

@@ -32,7 +32,7 @@ from repro.errors import ReproError
 from repro.metrics.footrule import footrule
 from repro.metrics.kendall import pair_counts
 
-__all__ = [
+__all__ = [  # repro: noqa[RP011] — closed-form formulas over the instrumented pair_counts kernel
     "UndefinedCorrelationError",
     "kendall_tau_a",
     "kendall_tau_b",

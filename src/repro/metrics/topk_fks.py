@@ -27,7 +27,7 @@ from repro.metrics.footrule import footrule
 from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff_counts
 from repro.metrics.kendall import kendall
 
-__all__ = [
+__all__ = [  # repro: noqa[RP011] — conversion wrappers delegating to instrumented metrics
     "TopKList",
     "active_domain",
     "as_partial_rankings",

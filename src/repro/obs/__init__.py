@@ -1,0 +1,46 @@
+"""repro.obs: zero-dependency observability for the ranking kernels.
+
+Structured tracing (:mod:`repro.obs.spans`), process-wide metrics
+(:mod:`repro.obs.metrics`), exporters (:mod:`repro.obs.export`),
+profiling hooks (:mod:`repro.obs.profile`) and a trace-inspection CLI
+(:mod:`repro.obs.cli`). Everything is stdlib-only and a strict no-op
+unless armed via ``REPRO_TRACE`` or ``obs.session(...)`` — see
+``docs/OBSERVABILITY.md`` for the span/counter naming scheme and usage.
+"""
+
+from repro.obs.metrics import counter, histogram, snapshot
+from repro.obs.profile import kernel_timer, profiled
+from repro.obs.spans import (
+    ENV_TRACE,
+    Span,
+    TraceSession,
+    add,
+    attach_worker_spans,
+    capture,
+    current_span,
+    enabled,
+    session,
+    set_attr,
+    trace,
+    traced,
+)
+
+__all__ = [
+    "ENV_TRACE",
+    "Span",
+    "TraceSession",
+    "add",
+    "attach_worker_spans",
+    "capture",
+    "counter",
+    "current_span",
+    "enabled",
+    "histogram",
+    "kernel_timer",
+    "profiled",
+    "session",
+    "set_attr",
+    "snapshot",
+    "trace",
+    "traced",
+]

@@ -1,0 +1,149 @@
+"""Command-line trace inspection: ``python -m repro.obs summarize ...``.
+
+Also reachable as ``python -m repro obs summarize ...``. Subcommands:
+
+* ``summarize trace.jsonl`` — top span names by total self-time (worker
+  spans merged into the same table, with call and worker counts),
+  followed by counter totals from the closing metrics line (falling
+  back to summing span counters for truncated traces);
+* ``tree trace.jsonl`` — the indented span forest, timings, attributes
+  and counters inline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.obs.export import read_trace, render_tree
+from repro.obs.spans import Span
+
+__all__ = ["main"]
+
+
+def _walk(spans: list[Span]) -> list[Span]:
+    out: list[Span] = []
+    stack = list(spans)
+    while stack:
+        span = stack.pop()
+        out.append(span)
+        stack.extend(span.children)
+    return out
+
+
+def _summary(spans: list[Span], metrics: dict[str, Any]) -> dict[str, Any]:
+    rows: dict[str, dict[str, Any]] = {}
+    all_spans = _walk(spans)
+    for span in all_spans:
+        row = rows.setdefault(
+            span.name,
+            {"name": span.name, "calls": 0, "self_ns": 0, "total_ns": 0, "workers": set()},
+        )
+        row["calls"] += 1
+        row["self_ns"] += span.self_ns
+        row["total_ns"] += span.duration_ns
+        if span.worker is not None:
+            row["workers"].add(span.worker)
+
+    counters = metrics.get("counters")
+    if not isinstance(counters, dict) or not counters:
+        # Truncated trace with no closing metrics line: recover totals
+        # from the per-span counters instead.
+        counters = {}
+        for span in all_spans:
+            for name, value in span.counters.items():
+                counters[name] = counters.get(name, 0) + value
+
+    return {
+        "spans": sorted(rows.values(), key=lambda r: -int(r["self_ns"])),
+        "counters": dict(sorted(counters.items())),
+        "dropped_spans": int(metrics.get("dropped_spans", 0) or 0),
+    }
+
+
+def _format_ns(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.3f}s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.3f}ms"
+    return f"{ns / 1e3:.1f}us"
+
+
+def _print_summary(summary: dict[str, Any], top: int) -> None:
+    rows = summary["spans"][:top]
+    if rows:
+        width = max(len(str(r["name"])) for r in rows)
+        print(f"top {len(rows)} spans by self-time")
+        print(f"{'span':<{width}}  {'calls':>7}  {'self':>10}  {'total':>10}  workers")
+        for row in rows:
+            workers = (
+                ",".join(str(w) for w in sorted(row["workers"])) if row["workers"] else "-"
+            )
+            print(
+                f"{row['name']:<{width}}  {row['calls']:>7}  "
+                f"{_format_ns(row['self_ns']):>10}  "
+                f"{_format_ns(row['total_ns']):>10}  {workers}"
+            )
+    else:
+        print("no spans recorded")
+    counters = summary["counters"]
+    if counters:
+        print()
+        print("counter totals")
+        cwidth = max(len(name) for name in counters)
+        for name, value in counters.items():
+            print(f"{name:<{cwidth}}  {value}")
+    if summary["dropped_spans"]:
+        print()
+        print(f"warning: {summary['dropped_spans']} spans dropped at the file cap")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect REPRO_TRACE JSON-lines trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="top spans by self-time + counter totals")
+    p_sum.add_argument("trace", help="trace file written via REPRO_TRACE / obs.session")
+    p_sum.add_argument("--top", type=int, default=20, help="span rows to show")
+    p_sum.add_argument("--format", choices=["text", "json"], default="text")
+
+    p_tree = sub.add_parser("tree", help="print the full span tree")
+    p_tree.add_argument("trace", help="trace file written via REPRO_TRACE / obs.session")
+
+    args = parser.parse_args(argv)
+    try:
+        spans, metrics = read_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.command == "tree":
+            print(render_tree(spans))
+            return 0
+
+        summary = _summary(spans, metrics)
+        if args.format == "json":
+            for row in summary["spans"]:
+                row["workers"] = sorted(row["workers"])
+            print(json.dumps(summary, indent=2))
+        else:
+            _print_summary(summary, args.top)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved unix filter (devnull swap avoids a second raise
+        # from the interpreter flushing stdout at shutdown)
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,165 @@
+"""Trace exporters: JSON-lines files, console span trees, Prometheus text.
+
+The JSONL schema is one object per line, discriminated by ``kind``:
+
+* ``{"kind": "span", ...Span.to_dict()...}`` — one completed root span
+  per line, children nested inline; and
+* ``{"kind": "metrics", "counters": {...}, "histograms": {...},
+  "dropped_spans": N}`` — a single final snapshot written on close.
+
+:class:`JsonlSink` caps the number of span lines per file
+(:data:`SPAN_CAP`) so tracing a whole test suite cannot fill the disk;
+the cap is never silent — the drop count is recorded in the closing
+metrics line and surfaced by the CLI summarizer.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO, Any
+
+from repro.obs.spans import Span
+
+__all__ = [
+    "SPAN_CAP",
+    "JsonlSink",
+    "prometheus_text",
+    "read_trace",
+    "render_tree",
+]
+
+#: Maximum span lines per trace file; overflow is counted, not silent.
+SPAN_CAP = 100_000
+
+
+class JsonlSink:
+    """Write root spans (and a final metrics snapshot) as JSON lines.
+
+    ``path`` may be ``-`` for stderr. With ``lazy=True`` the file is not
+    opened until the first span arrives — important for the env-armed
+    session, which every worker process inherits but most never use.
+    """
+
+    __slots__ = ("path", "written", "dropped", "_fh", "_lazy")
+
+    def __init__(self, path: str, *, lazy: bool = False) -> None:
+        self.path = path
+        self.written = 0
+        self.dropped = 0
+        self._fh: IO[str] | None = None
+        self._lazy = lazy
+        if not lazy:
+            self._open()
+
+    def _open(self) -> IO[str]:
+        if self._fh is None:
+            if self.path == "-":
+                self._fh = sys.stderr
+            else:
+                self._fh = open(self.path, "w", encoding="utf-8")
+        return self._fh
+
+    def write_span(self, span: Span) -> None:
+        if self.written >= SPAN_CAP:
+            self.dropped += 1
+            return
+        record = span.to_dict()
+        record["kind"] = "span"
+        fh = self._open()
+        fh.write(json.dumps(record, separators=(",", ":"), default=str) + "\n")
+        self.written += 1
+
+    def close(self, metrics_snapshot: dict[str, Any]) -> None:
+        if self._fh is None and self.written == 0 and self._lazy:
+            return
+        record = dict(metrics_snapshot)
+        record["kind"] = "metrics"
+        record["dropped_spans"] = self.dropped
+        fh = self._open()
+        fh.write(json.dumps(record, separators=(",", ":"), default=str) + "\n")
+        fh.flush()
+        if fh is not sys.stderr:
+            fh.close()
+        self._fh = None
+
+
+def read_trace(path: str) -> tuple[list[Span], dict[str, Any]]:
+    """Parse a trace file back into root spans + the metrics snapshot.
+
+    Blank lines are skipped; unknown ``kind`` values are ignored so the
+    schema can grow. Returns an empty snapshot if the trace was cut off
+    before the closing metrics line.
+    """
+    spans: list[Span] = []
+    metrics_snapshot: dict[str, Any] = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "span":
+                spans.append(Span.from_dict(record))
+            elif kind == "metrics":
+                metrics_snapshot = record
+    return spans, metrics_snapshot
+
+
+def _format_ns(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.3f}s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.3f}ms"
+    return f"{ns / 1e3:.1f}us"
+
+
+def _render_span(span: Span, indent: int, lines: list[str]) -> None:
+    parts = [f"{'  ' * indent}{span.name}  {_format_ns(span.duration_ns)}"]
+    if span.worker is not None:
+        parts.append(f"[worker {span.worker} pid {span.pid}]")
+    if span.attrs:
+        parts.append(" ".join(f"{k}={v}" for k, v in sorted(span.attrs.items())))
+    if span.counters:
+        parts.append(
+            "{" + ", ".join(f"{k}={v}" for k, v in sorted(span.counters.items())) + "}"
+        )
+    lines.append("  ".join(parts))
+    for child in span.children:
+        _render_span(child, indent + 1, lines)
+
+
+def render_tree(spans: list[Span]) -> str:
+    """An indented console rendering of the span forest."""
+    lines: list[str] = []
+    for span in spans:
+        _render_span(span, 0, lines)
+    return "\n".join(lines)
+
+
+def prometheus_text(snapshot: dict[str, Any] | None = None) -> str:
+    """A Prometheus-style text exposition of the metric registry.
+
+    Dotted metric names become underscore-joined (``metrics.pairs`` →
+    ``repro_metrics_pairs``); histograms expose ``_count`` and ``_sum``.
+    """
+    from repro.obs import metrics as _metrics
+
+    if snapshot is None:
+        snapshot = _metrics.snapshot()
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if isinstance(counters, dict):
+        for name, value in sorted(counters.items()):
+            flat = "repro_" + str(name).replace(".", "_")
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat} {value}")
+    histograms = snapshot.get("histograms", {})
+    if isinstance(histograms, dict):
+        for name, data in sorted(histograms.items()):
+            flat = "repro_" + str(name).replace(".", "_")
+            lines.append(f"# TYPE {flat} summary")
+            lines.append(f"{flat}_count {data['count']}")
+            lines.append(f"{flat}_sum {data['sum']}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,66 @@
+"""Optional profiling hooks around the numpy kernels.
+
+Two independent tools:
+
+* :func:`kernel_timer` — a cheap ``time.perf_counter_ns`` context
+  manager that records one observation into the histogram
+  ``kernel.<name>`` (and mirrors the duration as a span attribute when
+  one is open). Like the rest of :mod:`repro.obs` it is a strict no-op
+  unless a trace session is active.
+* :func:`profiled` — a cProfile wrapper for offline deep dives; armed
+  explicitly or via ``REPRO_PROFILE=out.pstats`` around a whole run.
+  This is deliberately *not* tied to trace sessions: cProfile's
+  overhead is far above the <2% budget the span layer guarantees.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+
+__all__ = ["ENV_PROFILE", "kernel_timer", "profiled"]
+
+ENV_PROFILE = "REPRO_PROFILE"
+
+
+@contextmanager
+def kernel_timer(name: str) -> Iterator[None]:
+    """Record one ``kernel.<name>`` histogram observation (nanoseconds)."""
+    if not _spans.enabled():
+        yield
+        return
+    start = time.perf_counter_ns()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter_ns() - start
+        _metrics.histogram(f"kernel.{name}").observe(float(elapsed))
+        _spans.set_attr(f"kernel.{name}.ns", elapsed)
+
+
+@contextmanager
+def profiled(path: str | None = None) -> Iterator[cProfile.Profile | None]:
+    """cProfile the enclosed block, dumping stats to ``path`` if given.
+
+    With ``path=None`` the destination is taken from ``REPRO_PROFILE``;
+    if that is unset too, the block runs unprofiled (yields ``None``),
+    so call sites can wrap hot paths unconditionally.
+    """
+    if path is None:
+        path = os.environ.get(ENV_PROFILE)
+    if not path:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)

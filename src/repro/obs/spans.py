@@ -1,0 +1,357 @@
+"""Structured tracing: nested spans with exact work counters.
+
+A *span* is one timed region of work — a kernel call, a fuzz round, an
+experiment — with monotonic-clock wall time (``time.perf_counter_ns``),
+free-form attributes (strategy chosen, engine resolved, problem sizes)
+and exact integer counters (pairs compared, cells touched, cache hits).
+Spans nest: ``trace("outer")`` then ``trace("inner")`` attaches the
+inner span as a child of the outer one via a thread-local stack.
+
+Activation is opt-in twice over:
+
+* programmatically — ``with obs.session("trace.jsonl"):`` (or
+  ``obs.capture()`` to collect spans in memory), and
+* by environment — ``REPRO_TRACE=path`` (``-`` for stderr) arms a
+  process-wide session at import time.
+
+When no session is active every entry point is a strict no-op:
+``trace(...)`` returns a shared pre-built context manager and
+``add``/``set_attr`` return after one truthiness check, so instrumented
+kernels pay no measurable cost (enforced by ``benchmarks/bench_obs.py``).
+
+Sessions form a stack (``_SESSIONS``); completed *root* spans are handed
+to the top session only. This is what makes worker propagation safe:
+``parallel.parallel_map`` workers push a ``capture()`` session on entry,
+so a worker's spans go to that capture — never to a file handle or env
+session inherited from the parent — and are shipped back to the parent
+pickled as dicts, where :func:`attach_worker_spans` grafts them under
+the calling span tagged with the worker id.
+"""
+
+from __future__ import annotations
+
+import atexit
+import functools
+import os
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from types import TracebackType
+from typing import Any, ParamSpec, TypeVar
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "ENV_TRACE",
+    "Span",
+    "TraceSession",
+    "add",
+    "attach_worker_spans",
+    "capture",
+    "current_span",
+    "enabled",
+    "session",
+    "set_attr",
+    "trace",
+    "traced",
+]
+
+ENV_TRACE = "REPRO_TRACE"
+
+P = ParamSpec("P")
+R = TypeVar("R")
+
+
+class Span:
+    """One timed region of work, with attributes, counters and children."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "start_ns",
+        "duration_ns",
+        "counters",
+        "children",
+        "pid",
+        "worker",
+    )
+
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = attrs if attrs is not None else {}
+        self.start_ns = 0
+        self.duration_ns = 0
+        self.counters: dict[str, int | float] = {}
+        self.children: list[Span] = []
+        self.pid = os.getpid()
+        self.worker: int | None = None
+
+    @property
+    def self_ns(self) -> int:
+        """Wall time not accounted for by direct children (clamped at 0).
+
+        Worker children run concurrently with the parent and with each
+        other, so their summed durations can exceed the parent's wall
+        time — the clamp absorbs that, and a ``parallel.map`` span's
+        self-time reads as coordination overhead rather than the whole
+        pool wall time.
+        """
+        child_ns = sum(c.duration_ns for c in self.children)
+        return max(0, self.duration_ns - child_ns)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "pid": self.pid,
+        }
+        if self.attrs:
+            data["attrs"] = self.attrs
+        if self.counters:
+            data["counters"] = self.counters
+        if self.worker is not None:
+            data["worker"] = self.worker
+        if self.children:
+            data["children"] = [c.to_dict() for c in self.children]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> Span:
+        span = cls(str(data["name"]), dict(data.get("attrs", {})))
+        span.start_ns = int(data["start_ns"])
+        span.duration_ns = int(data["duration_ns"])
+        span.pid = int(data.get("pid", 0))
+        worker = data.get("worker")
+        span.worker = None if worker is None else int(worker)
+        span.counters = {str(k): v for k, v in data.get("counters", {}).items()}
+        span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return span
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, duration_ns={self.duration_ns})"
+
+
+class _Local(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[Span] = []
+
+
+_LOCAL = _Local()
+
+#: Active sessions, bottom to top; completed root spans go to the top.
+_SESSIONS: list["TraceSession"] = []
+
+
+def enabled() -> bool:
+    """Whether any trace session is currently active in this process."""
+    return bool(_SESSIONS)
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread, if tracing is active."""
+    stack = _LOCAL.stack
+    return stack[-1] if stack else None
+
+
+class _NoopContext:
+    """Shared do-nothing context manager: the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        return None
+
+
+_NOOP = _NoopContext()
+
+
+class _SpanContext:
+    __slots__ = ("_span",)
+
+    def __init__(self, span: Span) -> None:
+        self._span = span
+
+    def __enter__(self) -> Span:
+        span = self._span
+        _LOCAL.stack.append(span)
+        span.start_ns = time.perf_counter_ns()
+        return span
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        span = self._span
+        span.duration_ns = time.perf_counter_ns() - span.start_ns
+        if exc_type is not None:
+            span.attrs["error"] = exc_type.__name__
+        stack = _LOCAL.stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        elif _SESSIONS:
+            _SESSIONS[-1]._finish_root(span)
+
+
+def trace(name: str, **attrs: Any) -> _NoopContext | _SpanContext:
+    """Open a span named ``name`` — or do nothing if tracing is disabled."""
+    if not _SESSIONS:
+        return _NOOP
+    return _SpanContext(Span(name, attrs or None))
+
+
+def traced(name: str | None = None) -> Callable[[Callable[P, R]], Callable[P, R]]:
+    """Decorator form of :func:`trace`; defaults to the qualified name."""
+
+    def decorate(fn: Callable[P, R]) -> Callable[P, R]:
+        span_name = name if name is not None else f"{fn.__module__}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args: P.args, **kwargs: P.kwargs) -> R:
+            if not _SESSIONS:
+                return fn(*args, **kwargs)
+            with _SpanContext(Span(span_name)):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def add(name: str, value: int | float = 1) -> None:
+    """Increment counter ``name`` on the current span and process-wide."""
+    if not _SESSIONS:
+        return
+    stack = _LOCAL.stack
+    if stack:
+        counters = stack[-1].counters
+        counters[name] = counters.get(name, 0) + value
+    _metrics.counter(name).inc(value)
+
+
+def set_attr(name: str, value: Any) -> None:
+    """Attach an attribute to the current span (no-op when disabled)."""
+    if not _SESSIONS:
+        return
+    stack = _LOCAL.stack
+    if stack:
+        stack[-1].attrs[name] = value
+
+
+class TraceSession:
+    """A sink for completed root spans; stacked, top receives spans."""
+
+    __slots__ = ("roots", "_sink", "_closed")
+
+    def __init__(self, sink: Any | None = None) -> None:
+        self.roots: list[Span] = []
+        self._sink = sink
+        self._closed = False
+
+    def _finish_root(self, span: Span) -> None:
+        if self._sink is not None:
+            self._sink.write_span(span)
+        else:
+            self.roots.append(span)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._sink is not None:
+            self._sink.close(_metrics.snapshot())
+
+
+def _push(sess: TraceSession) -> None:
+    _SESSIONS.append(sess)
+
+
+def _pop(sess: TraceSession) -> None:
+    if sess in _SESSIONS:
+        _SESSIONS.remove(sess)
+    sess.close()
+
+
+@contextmanager
+def session(path: str) -> Iterator[TraceSession]:
+    """Write completed root spans to ``path`` as JSON lines (``-`` = stderr)."""
+    from repro.obs.export import JsonlSink
+
+    sess = TraceSession(JsonlSink(path))
+    _push(sess)
+    try:
+        yield sess
+    finally:
+        _pop(sess)
+
+
+@contextmanager
+def capture() -> Iterator[TraceSession]:
+    """Collect completed root spans in memory (``session.roots``)."""
+    sess = TraceSession()
+    _push(sess)
+    try:
+        yield sess
+    finally:
+        _pop(sess)
+
+
+def attach_worker_spans(span_dicts: list[dict[str, Any]], worker: int) -> None:
+    """Graft spans captured in a worker process under the current span.
+
+    ``span_dicts`` is the pickled form shipped back by the worker (see
+    ``parallel.parallel_map``). Each rebuilt span is tagged with the
+    worker id, attached as a child of the calling span (or emitted as a
+    root if none is open), and its counters — summed over the whole
+    worker subtree — are folded into this process's metric registry so
+    totals stay exact across the process boundary.
+    """
+    if not _SESSIONS or not span_dicts:
+        return
+    stack = _LOCAL.stack
+    for data in span_dicts:
+        span = Span.from_dict(data)
+        span.worker = worker
+        totals: dict[str, int | float] = {}
+        _sum_counters(span, totals)
+        _metrics.merge_counters(totals)
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            _SESSIONS[-1]._finish_root(span)
+
+
+def _sum_counters(span: Span, totals: dict[str, int | float]) -> None:
+    for name, value in span.counters.items():
+        totals[name] = totals.get(name, 0) + value
+    for child in span.children:
+        _sum_counters(child, totals)
+
+
+def _activate_from_env() -> None:
+    path = os.environ.get(ENV_TRACE)
+    if not path:
+        return
+    from repro.obs.export import JsonlSink
+
+    sess = TraceSession(JsonlSink(path, lazy=True))
+    # The env session sits at the *bottom* of the stack so programmatic
+    # sessions opened later (including worker-side capture()) win.
+    _SESSIONS.insert(0, sess)
+    atexit.register(sess.close)
+
+
+_activate_from_env()

@@ -13,6 +13,15 @@ Worker functions must be module-level (picklable); rankings cross the
 process boundary via :meth:`PartialRanking.__reduce__
 <repro.core.partial_ranking.PartialRanking.__reduce__>`, which ships only
 the bucket tuples and lets each worker rebuild its caches locally.
+
+When a :mod:`repro.obs` trace session is active in the parent, the pool
+path additionally propagates span context across the process boundary:
+each task runs under an in-worker ``obs.capture()`` session, the spans it
+records come back pickled alongside the result, and the parent grafts
+them under its ``parallel.map`` span tagged with a stable worker id (one
+id per distinct worker pid, in order of first appearance). With tracing
+disabled the task payloads are exactly the untouched ``fn``/``item``
+pairs of the serial path.
 """
 
 from __future__ import annotations
@@ -21,7 +30,9 @@ import os
 import warnings
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from typing import TypeVar
+from typing import Any, TypeVar
+
+from repro.obs import spans as _spans
 
 __all__ = ["ENV_JOBS", "resolve_jobs", "parallel_map"]
 
@@ -29,6 +40,32 @@ ENV_JOBS = "REPRO_JOBS"
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Parsed ``REPRO_JOBS`` values, keyed by the raw string — the variable
+#: is immutable for the life of a normal run, so re-reading and
+#: re-parsing it (and re-warning on a typo) on every ``resolve_jobs``
+#: call site was pure noise. Keying by the raw value means a test that
+#: monkeypatches the environment still sees the new value parsed (and a
+#: *new* malformed value warned about) exactly once.
+_ENV_CACHE: dict[str, int] = {}
+
+
+def _reset_jobs_cache() -> None:
+    """Forget memoized ``REPRO_JOBS`` parses (test isolation only)."""
+    _ENV_CACHE.clear()
+
+
+def _parse_env_jobs(raw: str) -> int:
+    try:
+        return int(raw) if raw else 1
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed {ENV_JOBS}={raw!r} (not an integer); "
+            "running serially",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return 1
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -38,27 +75,39 @@ def resolve_jobs(jobs: int | None = None) -> int:
     1 (serial) when that is unset. A malformed value also falls back to
     serial but emits a :class:`RuntimeWarning` naming the bad value — a
     typo in ``REPRO_JOBS`` silently disabling parallelism is exactly the
-    kind of config error that otherwise goes unnoticed for months. A
-    negative value means "all available CPUs". Zero is rejected: it is
-    always a bug, not a plausible request.
+    kind of config error that otherwise goes unnoticed for months. The
+    parse is memoized per distinct raw value, so the warning fires once
+    per process rather than once per call site. A negative value means
+    "all available CPUs". Zero is rejected: it is always a bug, not a
+    plausible request.
     """
     if jobs is None:
         raw = os.environ.get(ENV_JOBS, "").strip()
-        try:
-            jobs = int(raw) if raw else 1
-        except ValueError:
-            warnings.warn(
-                f"ignoring malformed {ENV_JOBS}={raw!r} (not an integer); "
-                "running serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            jobs = 1
+        jobs = _ENV_CACHE.get(raw)
+        if jobs is None:
+            jobs = _ENV_CACHE[raw] = _parse_env_jobs(raw)
     if jobs == 0:
         raise ValueError("jobs=0 is invalid; use jobs=1 for serial or a negative value for all CPUs")
     if jobs < 0:
         jobs = os.cpu_count() or 1
     return jobs
+
+
+def _traced_worker(payload: tuple[Callable[[_T], _R], _T]) -> tuple[_R, list[dict[str, Any]]]:
+    """Run one task under an in-worker capture session.
+
+    The capture sits on top of the worker's session stack, so spans the
+    task records land here — not in a file sink inherited via
+    ``REPRO_TRACE`` — and travel back to the parent as plain dicts.
+    """
+    fn, item = payload
+    # Under the fork start method the worker inherits the parent's open
+    # span stack; without this, worker spans would attach to a stale
+    # copy of the parent span and never reach the capture session.
+    _spans._LOCAL.stack.clear()
+    with _spans.capture() as sess:
+        result = fn(item)
+    return result, [span.to_dict() for span in sess.roots]
 
 
 def parallel_map(
@@ -79,5 +128,21 @@ def parallel_map(
     n_jobs = min(resolve_jobs(jobs), len(work)) if work else 1
     if n_jobs <= 1:
         return [fn(item) for item in work]
-    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        return list(pool.map(fn, work, chunksize=max(1, chunksize)))
+    if not _spans.enabled():
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            return list(pool.map(fn, work, chunksize=max(1, chunksize)))
+    with _spans.trace("parallel.map", jobs=n_jobs, items=len(work)):
+        payloads = [(fn, item) for item in work]
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            shipped = list(
+                pool.map(_traced_worker, payloads, chunksize=max(1, chunksize))
+            )
+        pid_to_worker: dict[int, int] = {}
+        results: list[_R] = []
+        for result, span_dicts in shipped:
+            if span_dicts:
+                pid = int(span_dicts[0].get("pid", 0))
+                worker = pid_to_worker.setdefault(pid, len(pid_to_worker))
+                _spans.attach_worker_spans(span_dicts, worker)
+            results.append(result)
+        return results

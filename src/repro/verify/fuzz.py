@@ -20,6 +20,7 @@ import random
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro import obs
 from repro.generators import (
     adversarial_profile_workload,
     db_profile_workload,
@@ -152,14 +153,42 @@ def run_round(
     rng = random.Random(round_seed)
     workload_name, profile = draw_profile(rng)
     discrepancies: list[Discrepancy] = []
+    with obs.trace("verify.round", index=round_index, workload=workload_name):
+        obs.add("verify.rounds")
+        _run_round_checks(
+            round_index,
+            round_seed,
+            checks,
+            workload_name,
+            profile,
+            rng,
+            include_expensive,
+            discrepancies,
+        )
+    return discrepancies
+
+
+def _run_round_checks(
+    round_index: int,
+    round_seed: int,
+    checks: Sequence[CheckInfo],
+    workload_name: str,
+    profile: Rankings,
+    rng: random.Random,
+    include_expensive: bool,
+    discrepancies: list[Discrepancy],
+) -> None:
     for info in checks:
         for sample in _samples_for(info, profile, rng):
+            obs.add("verify.checks")
             try:
                 failures = run_check(
                     info.check_id, sample, include_expensive=include_expensive
                 )
             except Exception as exc:  # repro: noqa[RP007] — a crash IS a finding
                 failures = [f"raised {type(exc).__name__}: {exc}"]
+            if failures:
+                obs.add("verify.discrepancies", len(failures))
             for detail in failures:
                 discrepancies.append(
                     Discrepancy(
@@ -171,7 +200,6 @@ def run_round(
                         workload=workload_name,
                     )
                 )
-    return discrepancies
 
 
 #: Worker task: (round_index, round_seed, check ids, include_expensive).

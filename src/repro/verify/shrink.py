@@ -14,6 +14,7 @@ discrepancy — small enough to eyeball the bucket structures directly.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.partial_ranking import Item
 from repro.verify.oracles import Rankings
 from repro.verify.registry import find_check, run_check
@@ -55,40 +56,42 @@ def shrink_case(
     def fails(candidate: Rankings) -> bool:
         nonlocal evaluations
         evaluations += 1
+        obs.add("verify.shrink.steps")
         return _still_fails(check_id, candidate, include_expensive)
 
-    if not fails(rankings):
-        return rankings
+    with obs.trace("verify.shrink", check=check_id):
+        if not fails(rankings):
+            return rankings
 
-    current = rankings
-    improved = True
-    while improved and evaluations < max_evaluations:
-        improved = False
-        # move 1: drop whole rankings (profile workloads only)
-        if info.arity == 0:
-            for index in range(len(current)):
-                if len(current) <= _MIN_RANKINGS:
+        current = rankings
+        improved = True
+        while improved and evaluations < max_evaluations:
+            improved = False
+            # move 1: drop whole rankings (profile workloads only)
+            if info.arity == 0:
+                for index in range(len(current)):
+                    if len(current) <= _MIN_RANKINGS:
+                        break
+                    candidate = current[:index] + current[index + 1 :]
+                    if evaluations >= max_evaluations:
+                        return current
+                    if fails(candidate):
+                        current = candidate
+                        improved = True
+                        break
+                if improved:
+                    continue
+            # move 2: remove one domain item at a time
+            domain = sorted(current[0].domain, key=repr)
+            for item in domain:
+                if len(domain) <= _MIN_ITEMS:
                     break
-                candidate = current[:index] + current[index + 1 :]
+                keep = [other for other in domain if other != item]
                 if evaluations >= max_evaluations:
                     return current
+                candidate = _restrict_all(current, keep)
                 if fails(candidate):
                     current = candidate
                     improved = True
                     break
-            if improved:
-                continue
-        # move 2: remove one domain item at a time
-        domain = sorted(current[0].domain, key=repr)
-        for item in domain:
-            if len(domain) <= _MIN_ITEMS:
-                break
-            keep = [other for other in domain if other != item]
-            if evaluations >= max_evaluations:
-                return current
-            candidate = _restrict_all(current, keep)
-            if fails(candidate):
-                current = candidate
-                improved = True
-                break
-    return current
+        return current

@@ -37,6 +37,7 @@ ALL_CODES = (
     "RP008",
     "RP009",
     "RP010",
+    "RP011",
 )
 
 
@@ -630,6 +631,125 @@ class TestRP010OracleCoverage:
         # the metrics-only project from the fixtures above stays valid
         root = self._project(tmp_path, "['kendall', 'kendall_large', 'footrule']")
         result = analyze_paths([root / "src"], root=root, select=["RP010"])
+        assert codes(result) == []
+
+
+class TestRP011ObsInstrumentation:
+    """Kernel modules must report into repro.obs; no bare prints in the library."""
+
+    _KERNEL = "__all__ = ['my_kernel']\n\n\ndef my_kernel(x):\n    return x\n"
+
+    def test_positive_uninstrumented_kernel_module(self):
+        result = analyze_source(
+            self._KERNEL,
+            filename="src/repro/metrics/mykernel.py",
+            select=["RP011"],
+        )
+        assert codes(result) == ["RP011"]
+        assert "my_kernel" in result.active[0].message
+        assert result.active[0].severity is Severity.ERROR
+
+    def test_negative_traced_module(self):
+        result = analyze_source(
+            "from repro import obs\n"
+            "__all__ = ['my_kernel']\n"
+            "def my_kernel(x):\n"
+            "    with obs.trace('metrics.my_kernel'):\n"
+            "        return x\n",
+            filename="src/repro/metrics/mykernel.py",
+            select=["RP011"],
+        )
+        assert codes(result) == []
+
+    def test_negative_counter_only_instrumentation(self):
+        # exact work counters are the obs layer's cross-check currency
+        result = analyze_source(
+            "from repro import obs\n"
+            "__all__ = ['my_kernel']\n"
+            "def my_kernel(x):\n"
+            "    obs.add('aggregate.my_kernel.items', len(x))\n"
+            "    return x\n",
+            filename="src/repro/aggregate/mykernel.py",
+            select=["RP011"],
+        )
+        assert codes(result) == []
+
+    def test_negative_traced_decorator_via_from_import(self):
+        result = analyze_source(
+            "from repro.obs import traced\n"
+            "__all__ = ['my_kernel']\n"
+            "@traced('db.my_kernel')\n"
+            "def my_kernel(x):\n"
+            "    return x\n",
+            filename="src/repro/db/mykernel.py",
+            select=["RP011"],
+        )
+        assert codes(result) == []
+
+    def test_negative_class_only_exports(self):
+        result = analyze_source(
+            "__all__ = ['Container']\n\n\nclass Container:\n    pass\n",
+            filename="src/repro/db/container.py",
+            select=["RP011"],
+        )
+        assert codes(result) == []
+
+    def test_negative_outside_kernel_packages(self):
+        result = analyze_source(
+            self._KERNEL,
+            filename="src/repro/core/mykernel.py",
+            select=["RP011"],
+        )
+        assert codes(result) == []
+
+    def test_reasoned_noqa_suppresses(self):
+        result = analyze_source(
+            "__all__ = ['my_kernel']  # repro: noqa[RP011] — brute-force test oracle\n"
+            "def my_kernel(x):\n"
+            "    return x\n",
+            filename="src/repro/metrics/mykernel.py",
+            select=["RP011"],
+        )
+        assert codes(result) == []
+        assert [f.rule for f in result.findings] == ["RP011"]
+        assert result.findings[0].suppressed
+
+    def test_bare_noqa_requires_a_reason(self):
+        result = analyze_source(
+            "__all__ = ['my_kernel']  # repro: noqa[RP011]\n"
+            "def my_kernel(x):\n"
+            "    return x\n",
+            filename="src/repro/metrics/mykernel.py",
+            select=["RP011"],
+        )
+        assert codes(result) == ["RP011"]
+        assert "needs a reason" in result.active[0].message
+
+    def test_positive_bare_print_in_library_code(self):
+        result = analyze_source(
+            "def helper(x):\n    print(x)\n    return x\n",
+            filename="src/repro/metrics/helper.py",
+            select=["RP011"],
+        )
+        assert codes(result) == ["RP011"]
+        assert "print" in result.active[0].message
+
+    def test_negative_print_with_explicit_stream(self):
+        result = analyze_source(
+            "import sys\n\n\ndef helper(x):\n"
+            "    print(x, file=sys.stderr)\n"
+            "    return x\n",
+            filename="src/repro/metrics/helper.py",
+            select=["RP011"],
+        )
+        assert codes(result) == []
+
+    def test_negative_print_in_cli_module(self):
+        result = analyze_source(
+            "def report(x):\n    print(x)\n",
+            filename="src/repro/somepkg/cli.py",
+            select=["RP011"],
+        )
         assert codes(result) == []
 
 

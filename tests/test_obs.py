@@ -1,0 +1,291 @@
+"""Tests for the repro.obs observability layer.
+
+Covers span nesting, counter exactness against closed-form pair counts,
+the disabled no-op fast path, span propagation across a real
+``parallel_map`` process boundary, the JSONL trace schema, and the CLI
+summarizer round trip (including ``REPRO_TRACE`` env activation in a
+fresh interpreter).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.partial_ranking import PartialRanking
+from repro.metrics.batch import pair_counts_matrix
+from repro.obs import cli as obs_cli
+from repro.obs import export, metrics, spans
+from repro.parallel import parallel_map
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    """Detach any ambient session (e.g. CI's REPRO_TRACE) and reset metrics.
+
+    The disabled-mode tests below assert that tracing is *off*; without
+    this fixture an env-armed session in the outer process would leak
+    spans from every test into its trace file and flip ``enabled()``.
+    """
+    saved = spans._SESSIONS[:]
+    spans._SESSIONS.clear()
+    spans._LOCAL.stack.clear()
+    metrics.reset()
+    yield
+    spans._SESSIONS[:] = saved
+    spans._LOCAL.stack.clear()
+    metrics.reset()
+
+
+def _profile_3x4() -> list[PartialRanking]:
+    """Three full rankings over a 4-item domain: m=3, n=4."""
+    return [
+        PartialRanking.from_sequence(["a", "b", "c", "d"]),
+        PartialRanking.from_sequence(["d", "c", "b", "a"]),
+        PartialRanking.from_sequence(["b", "a", "d", "c"]),
+    ]
+
+
+class TestSpans:
+    def test_nesting_attaches_children(self):
+        with obs.capture() as sess:
+            with obs.trace("outer", label="x"):
+                with obs.trace("inner"):
+                    pass
+                with obs.trace("inner"):
+                    pass
+        assert [root.name for root in sess.roots] == ["outer"]
+        outer = sess.roots[0]
+        assert outer.attrs == {"label": "x"}
+        assert [child.name for child in outer.children] == ["inner", "inner"]
+        assert outer.duration_ns >= sum(c.duration_ns for c in outer.children)
+        assert outer.self_ns <= outer.duration_ns
+
+    def test_counters_land_on_the_open_span_and_registry(self):
+        with obs.capture() as sess:
+            with obs.trace("work"):
+                obs.add("test.items", 3)
+                obs.add("test.items", 4)
+        assert sess.roots[0].counters == {"test.items": 7}
+        assert metrics.snapshot()["counters"]["test.items"] == 7
+
+    def test_traced_decorator_defaults_to_qualified_name(self):
+        @obs.traced()
+        def helper():
+            return 41
+
+        with obs.capture() as sess:
+            assert helper() == 41
+        assert sess.roots[0].name.endswith("helper")
+
+    def test_exception_is_recorded_and_reraised(self):
+        with obs.capture() as sess:
+            with pytest.raises(ValueError):
+                with obs.trace("doomed"):
+                    raise ValueError("boom")
+        assert sess.roots[0].attrs["error"] == "ValueError"
+
+    def test_set_attr_reaches_the_open_span(self):
+        with obs.capture() as sess:
+            with obs.trace("work"):
+                obs.set_attr("engine", "array")
+        assert sess.roots[0].attrs == {"engine": "array"}
+
+
+class TestDisabledMode:
+    def test_everything_is_a_noop_without_a_session(self):
+        assert not obs.enabled()
+        assert obs.trace("anything") is obs.trace("other")  # shared noop
+        obs.add("test.ignored", 5)
+        obs.set_attr("ignored", 1)
+        assert metrics.snapshot() == {"counters": {}, "histograms": {}}
+        assert obs.current_span() is None
+
+    def test_results_identical_disabled_vs_enabled(self):
+        rankings = _profile_3x4()
+        disabled = pair_counts_matrix(rankings)
+        with obs.capture():
+            enabled_run = pair_counts_matrix(rankings)
+        assert (disabled.concordant == enabled_run.concordant).all()
+        assert (disabled.discordant == enabled_run.discordant).all()
+
+
+class TestCounterExactness:
+    def test_pair_counts_matrix_books_exact_pair_work(self):
+        # m=3 rankings over n=4 items: m * n(n-1)/2 = 3 * 6 = 18 item
+        # pairs compared, over m(m-1)/2 = 3 ranking pairs.
+        with obs.capture():
+            pair_counts_matrix(_profile_3x4())
+        counters = metrics.snapshot()["counters"]
+        assert counters["metrics.batch.pairs"] == 18
+        assert counters["metrics.batch.ranking_pairs"] == 3
+
+    def test_counter_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            metrics.counter("test.monotone").inc(-1)
+
+    def test_metric_names_are_validated(self):
+        with pytest.raises(ValueError):
+            metrics.counter("Not A Name")
+
+    def test_kernel_timer_observes_a_histogram(self):
+        with obs.capture():
+            with obs.kernel_timer("test_kernel"):
+                pass
+        histograms = metrics.snapshot()["histograms"]
+        assert histograms["kernel.test_kernel"]["count"] == 1
+
+
+def _traced_square(x: int) -> int:
+    with obs.trace("test.square", x=x):
+        obs.add("test.squares")
+        return x * x
+
+
+class TestWorkerPropagation:
+    def test_spans_cross_a_real_process_boundary(self):
+        items = list(range(8))
+        with obs.capture() as sess:
+            results = parallel_map(_traced_square, items, jobs=2)
+        assert results == [x * x for x in items]
+
+        assert [root.name for root in sess.roots] == ["parallel.map"]
+        pm = sess.roots[0]
+        assert pm.attrs["jobs"] == 2
+        workers = {child.worker for child in pm.children}
+        assert workers and workers <= {0, 1}
+        assert [child.name for child in pm.children].count("test.square") == 8
+        # every child ran in a worker process, not the parent
+        assert all(child.pid != os.getpid() for child in pm.children)
+        # worker counters are folded into the parent registry exactly
+        assert metrics.snapshot()["counters"]["test.squares"] == 8
+
+    def test_serial_fallback_still_traces(self):
+        with obs.capture() as sess:
+            parallel_map(_traced_square, [1, 2], jobs=1)
+        assert [root.name for root in sess.roots] == ["test.square", "test.square"]
+        assert metrics.snapshot()["counters"]["test.squares"] == 2
+
+
+class TestJsonlRoundTrip:
+    def test_session_writes_spans_and_metrics_lines(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        with obs.session(str(trace_path)):
+            with obs.trace("work", n=4):
+                obs.add("test.items", 18)
+        lines = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        kinds = [line["kind"] for line in lines]
+        assert kinds == ["span", "metrics"]
+        assert lines[0]["name"] == "work"
+        assert lines[0]["counters"] == {"test.items": 18}
+        assert lines[1]["counters"] == {"test.items": 18}
+        assert lines[1]["dropped_spans"] == 0
+
+        read_spans, snapshot = export.read_trace(str(trace_path))
+        assert [span.name for span in read_spans] == ["work"]
+        assert read_spans[0].attrs == {"n": 4}
+        assert snapshot["counters"] == {"test.items": 18}
+
+    def test_cli_summarize_round_trip(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        with obs.session(str(trace_path)):
+            for _ in range(3):
+                with obs.trace("metrics.pair_counts"):
+                    obs.add("metrics.pairs", 6)
+        assert obs_cli.main(["summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics.pair_counts" in out
+        assert "metrics.pairs" in out
+        assert "18" in out  # 3 spans x 6 pairs, exactly
+
+    def test_cli_summarize_json_merges_worker_rows(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        with obs.session(str(trace_path)):
+            with obs.trace("parallel.map"):
+                obs.attach_worker_spans(
+                    [{"name": "w", "start_ns": 0, "duration_ns": 10, "pid": 1}],
+                    worker=0,
+                )
+                obs.attach_worker_spans(
+                    [{"name": "w", "start_ns": 5, "duration_ns": 10, "pid": 2}],
+                    worker=1,
+                )
+        assert obs_cli.main(["summarize", str(trace_path), "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        rows = {row["name"]: row for row in summary["spans"]}
+        assert rows["w"]["calls"] == 2
+        assert rows["w"]["workers"] == [0, 1]
+
+    def test_cli_tree_renders_nesting(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        with obs.session(str(trace_path)):
+            with obs.trace("outer"):
+                with obs.trace("inner"):
+                    pass
+        assert obs_cli.main(["tree", str(trace_path)]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("outer")
+        assert out[1].startswith("  inner")
+
+    def test_truncated_trace_recovers_counters_from_spans(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        with obs.session(str(trace_path)):
+            with obs.trace("work"):
+                obs.add("test.items", 5)
+        # drop the closing metrics line, as if the process was killed
+        lines = trace_path.read_text().splitlines()
+        trace_path.write_text(lines[0] + "\n")
+        assert obs_cli.main(["summarize", str(trace_path)]) == 0
+        assert "test.items" in capsys.readouterr().out
+
+
+class TestEnvActivation:
+    def test_repro_trace_env_arms_a_fresh_interpreter(self, tmp_path):
+        trace_path = tmp_path / "env-trace.jsonl"
+        env = dict(os.environ)
+        env["REPRO_TRACE"] = str(trace_path)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        code = (
+            "from repro.metrics import pair_counts\n"
+            "from repro.core.partial_ranking import PartialRanking\n"
+            "a = PartialRanking.from_sequence(list('abcd'))\n"
+            "b = PartialRanking.from_sequence(list('dcba'))\n"
+            "pair_counts(a, b)\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code], env=env, check=True, cwd=REPO_ROOT
+        )
+        read_spans, snapshot = export.read_trace(str(trace_path))
+        assert [span.name for span in read_spans] == ["metrics.pair_counts"]
+        assert snapshot["counters"]["metrics.pairs"] == 6  # n=4 -> 6 pairs
+
+    def test_unset_env_writes_nothing(self, tmp_path):
+        trace_path = tmp_path / "absent.jsonl"
+        env = dict(os.environ)
+        env.pop("REPRO_TRACE", None)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        subprocess.run(
+            [sys.executable, "-c", "import repro.obs"], env=env, check=True,
+            cwd=REPO_ROOT,
+        )
+        assert not trace_path.exists()
+
+
+class TestPrometheusExport:
+    def test_counters_and_histograms_flatten(self):
+        with obs.capture():
+            obs.add("test.pairs", 7)
+            with obs.kernel_timer("probe"):
+                pass
+        text = export.prometheus_text()
+        assert "# TYPE repro_test_pairs counter" in text
+        assert "repro_test_pairs 7" in text
+        assert "repro_kernel_probe_count 1" in text

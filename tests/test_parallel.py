@@ -20,6 +20,14 @@ def _boom(x: int) -> int:
 
 
 class TestResolveJobs:
+    @pytest.fixture(autouse=True)
+    def _fresh_jobs_cache(self):
+        # resolve_jobs memoizes per raw env value; tests monkeypatch the
+        # environment, so start each one from an empty cache.
+        repro.parallel._reset_jobs_cache()
+        yield
+        repro.parallel._reset_jobs_cache()
+
     def test_default_is_serial(self, monkeypatch):
         monkeypatch.delenv(ENV_JOBS, raising=False)
         assert resolve_jobs() == 1
@@ -36,6 +44,28 @@ class TestResolveJobs:
         monkeypatch.setenv(ENV_JOBS, "many")
         with pytest.warns(RuntimeWarning, match=r"REPRO_JOBS='many'"):
             assert resolve_jobs() == 1
+
+    def test_malformed_env_warns_only_once_per_process(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "many")
+        with pytest.warns(RuntimeWarning, match=r"REPRO_JOBS='many'"):
+            assert resolve_jobs() == 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for _ in range(10):  # every later call site hits the cache
+                assert resolve_jobs() == 1
+
+    def test_changed_env_value_is_reparsed(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "3")
+        assert resolve_jobs() == 3
+        monkeypatch.setenv(ENV_JOBS, "5")
+        assert resolve_jobs() == 5
+        monkeypatch.setenv(ENV_JOBS, "bogus")
+        with pytest.warns(RuntimeWarning, match=r"REPRO_JOBS='bogus'"):
+            assert resolve_jobs() == 1
+        monkeypatch.setenv(ENV_JOBS, "3")  # earlier good value still cached
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_jobs() == 3
 
     def test_well_formed_env_does_not_warn(self, monkeypatch):
         monkeypatch.setenv(ENV_JOBS, "2")
