@@ -1,0 +1,193 @@
+"""Benchmarks + regression gate for the repro.analysis engine (PR 6).
+
+The engine's headline performance promise is the whole-run result cache:
+an unchanged tree must re-analyze from cache at least
+:data:`SPEEDUP_FLOOR` (5x) faster than a cold run, with byte-identical
+findings. Timings are taken **in-process** around the analysis calls —
+interpreter and import startup are deliberately excluded, since the
+claim is about analysis work, not Python boot time.
+
+Two modes:
+
+* ``PYTHONPATH=src python benchmarks/bench_analysis.py`` — regenerate
+  ``BENCH_ANALYSIS.json`` at the repo root with cold/warm timings over
+  ``src/repro``, the cache speedup, and the file-hashing cost.
+* ``PYTHONPATH=src python benchmarks/bench_analysis.py --check
+  BENCH_ANALYSIS.json`` — the acceptance gate: re-measure and exit
+  non-zero if the warm speedup drops below the floor or the warm
+  findings differ from the cold ones.
+
+``REPRO_BENCH_SMOKE=1`` restricts the analyzed tree to
+``src/repro/analysis`` so the CI gate stays fast; the speedup floor is
+the same in both modes (a cache hit skips *all* analysis work, so the
+floor holds at any tree size above trivial).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+#: The acceptance floor: warm (cached) run must be at least this many
+#: times faster than the cold run that populated the cache.
+SPEEDUP_FLOOR = 5.0
+
+_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_TARGET = REPO_ROOT / "src" / "repro" / ("analysis" if _SMOKE else "")
+
+
+def _fingerprint(result) -> str:
+    """Order-stable digest of every finding in ``result``."""
+    payload = json.dumps([f.to_dict() for f in result.findings], sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _timed_run(cache_dir: Path):
+    from repro.analysis.cli import _run_with_cache
+
+    start = time.perf_counter()
+    result = _run_with_cache(
+        [str(_TARGET)],
+        root=REPO_ROOT,
+        select=None,
+        jobs=None,
+        use_cache=True,
+        cache_dir=cache_dir,
+    )
+    return time.perf_counter() - start, result
+
+
+def _hashing_seconds() -> float:
+    """Cost of the warm run's unavoidable work: hashing every file."""
+    from repro.analysis.engine import _iter_python_files
+
+    start = time.perf_counter()
+    for path in _iter_python_files([_TARGET]):
+        hashlib.sha256(path.read_bytes()).digest()
+    return time.perf_counter() - start
+
+
+def _measure(cold_repeats: int = 2, warm_repeats: int = 5) -> dict:
+    """Best-of-N cold and warm timings with identity checking.
+
+    Each cold repeat starts from an empty cache directory; warm repeats
+    reuse the populated one. Minima are the noise-robust estimator —
+    scheduler spikes only ever slow a run down.
+    """
+    cold_s = float("inf")
+    warm_s = float("inf")
+    cold_result = warm_result = None
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = Path(tmp) / "cache"
+        for _ in range(cold_repeats):
+            for entry in cache_dir.glob("*.json") if cache_dir.is_dir() else ():
+                entry.unlink()
+            elapsed, cold_result = _timed_run(cache_dir)
+            cold_s = min(cold_s, elapsed)
+        for _ in range(warm_repeats):
+            elapsed, warm_result = _timed_run(cache_dir)
+            warm_s = min(warm_s, elapsed)
+    assert cold_result is not None and warm_result is not None
+    return {
+        "target": str(_TARGET.relative_to(REPO_ROOT)),
+        "files_checked": cold_result.files_checked,
+        "rules_run": len(cold_result.rules_run),
+        "findings": len(cold_result.findings),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "hash_s": round(_hashing_seconds(), 4),
+        "speedup": round(cold_s / warm_s, 1),
+        "identical": _fingerprint(cold_result) == _fingerprint(warm_result),
+    }
+
+
+def check_cache(fresh: dict, retries: int = 2) -> list[str]:
+    """Gate failures: warm/cold mismatch, or speedup below the floor.
+
+    A below-floor speedup on shared hardware can be a noise spike in the
+    (small) warm number, so it is re-measured before failing; identity
+    mismatches are never noise and fail immediately.
+    """
+    if not fresh["identical"]:
+        return ["cached warm run returned different findings than the cold run"]
+    best = fresh["speedup"]
+    for attempt in range(retries):
+        if best >= SPEEDUP_FLOOR:
+            break
+        retry = _measure()
+        if not retry["identical"]:
+            return ["cached warm run returned different findings than the cold run"]
+        print(
+            f"speedup {best:.1f}x below floor, re-measured at "
+            f"{retry['speedup']:.1f}x (retry {attempt + 1})"
+        )
+        best = max(best, retry["speedup"])
+    if best < SPEEDUP_FLOOR:
+        return [
+            f"cache speedup {best:.1f}x is below the {SPEEDUP_FLOOR:.0f}x floor "
+            f"(cold {fresh['cold_s']}s vs warm {fresh['warm_s']}s)"
+        ]
+    return []
+
+
+def _run_check(baseline_path: str) -> int:
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    fresh = _measure()
+    print(f"{'metric':<16}{'baseline':>12}{'fresh':>12}")
+    for name in ("cold_s", "warm_s", "speedup"):
+        print(f"{name:<16}{baseline[name]:>12}{fresh[name]:>12}")
+    print(f"hashing floor: {fresh['hash_s']}s of the warm run is file hashing")
+    failures = check_cache(fresh)
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        print("analysis cache gate: OK")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import platform
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="re-measure and fail if the cache speedup drops below the floor",
+    )
+    options = parser.parse_args(argv)
+    if options.check:
+        return _run_check(options.check)
+
+    measured = _measure(cold_repeats=3, warm_repeats=7)
+    payload = {
+        "pr": 6,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        **measured,
+    }
+    target = REPO_ROOT / "BENCH_ANALYSIS.json"
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {target}")
+    print(
+        f"cold {payload['cold_s']}s, warm {payload['warm_s']}s "
+        f"({payload['speedup']}x, floor {SPEEDUP_FLOOR:.0f}x), "
+        f"identical={payload['identical']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

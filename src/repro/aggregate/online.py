@@ -54,7 +54,7 @@ def _merge_sorted_row(
     m, n = sorted_rows.shape
     if m == 0:
         return row[None, :].astype(np.float64, copy=True)
-    insert_at = (sorted_rows <= row).sum(axis=0)
+    insert_at = (sorted_rows <= row).sum(axis=0, dtype=np.int64)
     rows = np.arange(m + 1)[:, None]
     source = np.minimum(rows - (rows > insert_at), m - 1)
     merged = np.take_along_axis(sorted_rows, source, axis=0)

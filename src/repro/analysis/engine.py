@@ -29,6 +29,10 @@ from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from enum import IntEnum
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.flow.fixpoint import FlowAnalysis
 
 __all__ = [
     "Severity",
@@ -41,6 +45,7 @@ __all__ = [
     "registered_rules",
     "analyze_paths",
     "analyze_source",
+    "display_path",
     "find_project_root",
 ]
 
@@ -73,6 +78,8 @@ class Finding:
     column: int
     message: str
     suppressed: bool = False
+    #: matched an entry in the committed baseline (deliberate exception)
+    baselined: bool = False
 
     @property
     def location(self) -> str:
@@ -87,7 +94,21 @@ class Finding:
             "column": self.column,
             "message": self.message,
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "Finding":
+        return cls(
+            rule=str(payload["rule"]),
+            severity=Severity.parse(str(payload["severity"])),
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            column=int(payload["column"]),  # type: ignore[arg-type]
+            message=str(payload["message"]),
+            suppressed=bool(payload.get("suppressed", False)),
+            baselined=bool(payload.get("baselined", False)),
+        )
 
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
@@ -174,6 +195,21 @@ class Project:
     root: Path
     files: list[SourceFile] = field(default_factory=list)
     _doc_cache: dict[str, str | None] = field(default_factory=dict)
+    _flow: object | None = None
+
+    def flow(self) -> "FlowAnalysis":
+        """The interprocedural flow analysis over this run's file set.
+
+        Built lazily on first use (the flow rules ask for it from their
+        ``finish`` hooks, after every file has been parsed) and shared by
+        every rule in the run.
+        """
+        from repro.analysis.flow.fixpoint import FlowAnalysis
+
+        if self._flow is None:
+            self._flow = FlowAnalysis.build(self)
+        assert isinstance(self._flow, FlowAnalysis)
+        return self._flow
 
     def read_doc(self, relative: str) -> str | None:
         """Read a project document (e.g. ``docs/THEORY.md``); ``None`` if absent."""
@@ -290,8 +326,12 @@ class AnalysisResult:
 
     @property
     def active(self) -> list[Finding]:
-        """Findings not silenced by a ``noqa`` comment."""
-        return [finding for finding in self.findings if not finding.suppressed]
+        """Findings not silenced by a ``noqa`` comment or the baseline."""
+        return [
+            finding
+            for finding in self.findings
+            if not finding.suppressed and not finding.baselined
+        ]
 
     def worst(self) -> Severity | None:
         severities = [finding.severity for finding in self.active + self.parse_errors]
@@ -334,34 +374,52 @@ def _select_rules(select: Sequence[str] | None) -> dict[str, Rule]:
     return {code: rules[code] for code in select}
 
 
-def analyze_paths(
-    paths: Sequence[Path | str],
-    *,
-    root: Path | None = None,
-    select: Sequence[str] | None = None,
-) -> AnalysisResult:
-    """Run the (selected) rules over every ``.py`` file under ``paths``."""
-    resolved_paths = [Path(p) for p in paths]
-    missing = [p for p in resolved_paths if not p.exists()]
-    if missing:
-        raise FileNotFoundError(f"no such path(s): {', '.join(map(str, missing))}")
-    if root is None:
-        root = find_project_root(resolved_paths[0]) if resolved_paths else Path.cwd()
-    rules = _select_rules(select)
+#: Codes that share one lazily built flow analysis; scheduling them into
+#: the same worker means the call graph is constructed once, not five times.
+_FLOW_CODES = ("RP012", "RP013", "RP014", "RP015", "RP016")
+
+
+def _rule_groups(codes: Sequence[str], jobs: int) -> list[tuple[str, ...]]:
+    """Partition rule codes into at most ``jobs`` deterministic groups,
+    keeping the flow rules together (they share ``Project.flow()``)."""
+    flow = tuple(code for code in codes if code in _FLOW_CODES)
+    rest = [code for code in codes if code not in _FLOW_CODES]
+    groups: list[tuple[str, ...]] = [flow] if flow else []
+    slots = max(1, jobs - len(groups))
+    if rest:
+        size = -(-len(rest) // slots)  # ceil division
+        groups.extend(tuple(rest[i : i + size]) for i in range(0, len(rest), size))
+    return groups
+
+
+def display_path(path: Path, root: Path) -> Path:
+    """The path a finding reports. Fingerprints (noqa audits, baseline
+    entries) must not depend on how the analyzed path was spelled on the
+    command line, so files under ``root`` are rebased relative to it."""
+    try:
+        return path.resolve().relative_to(root.resolve())
+    except ValueError:
+        return path
+
+
+def _run_rules(
+    files: Sequence[Path], root: Path, rules: dict[str, Rule]
+) -> tuple[list[Finding], list[Finding], int]:
+    """Parse ``files`` and run ``rules`` over them (one process's work)."""
     project = Project(root=root)
     findings: list[Finding] = []
     parse_errors: list[Finding] = []
-
-    for file_path in _iter_python_files(resolved_paths):
+    for file_path in files:
+        shown = display_path(file_path, root)
         try:
-            source = SourceFile.parse(file_path)
+            source = SourceFile.parse(shown, text=file_path.read_text(encoding="utf-8"))
         except (SyntaxError, UnicodeDecodeError) as exc:
             line = getattr(exc, "lineno", 1) or 1
             parse_errors.append(
                 Finding(
                     rule="RP000",
                     severity=Severity.ERROR,
-                    path=file_path.as_posix(),
+                    path=shown.as_posix(),
                     line=line,
                     column=1,
                     message=f"file could not be parsed: {exc}",
@@ -371,14 +429,67 @@ def analyze_paths(
         project.files.append(source)
         for rule in rules.values():
             findings.extend(rule.check_file(source, project))
-
     for rule in rules.values():
         findings.extend(rule.finish(project))
+    return findings, parse_errors, len(project.files)
+
+
+def _analyze_group(
+    payload: tuple[tuple[str, ...], tuple[str, ...], str],
+) -> tuple[list[Finding], list[Finding], int]:
+    """Picklable worker: run one rule group over the full file set.
+
+    Every group re-parses the files so each worker has complete
+    cross-file context; the parse cost is small next to the rules.
+    """
+    codes, file_names, root_name = payload
+    rules = _select_rules(codes)
+    return _run_rules([Path(name) for name in file_names], Path(root_name), rules)
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    *,
+    root: Path | None = None,
+    select: Sequence[str] | None = None,
+    jobs: int | None = None,
+) -> AnalysisResult:
+    """Run the (selected) rules over every ``.py`` file under ``paths``.
+
+    ``jobs=None`` (the default) runs everything in-process. Any other
+    value is handed to :func:`repro.parallel.parallel_map` after
+    splitting the rules into groups — results are merged and re-sorted,
+    so the findings are identical to a serial run.
+    """
+    resolved_paths = [Path(p) for p in paths]
+    missing = [p for p in resolved_paths if not p.exists()]
+    if missing:
+        raise FileNotFoundError(f"no such path(s): {', '.join(map(str, missing))}")
+    if root is None:
+        root = find_project_root(resolved_paths[0]) if resolved_paths else Path.cwd()
+    rules = _select_rules(select)
+    files = list(_iter_python_files(resolved_paths))
+
+    if jobs is None or jobs == 1 or len(rules) <= 1:
+        findings, parse_errors, files_checked = _run_rules(files, root, rules)
+    else:
+        from repro.parallel import parallel_map, resolve_jobs
+
+        n_jobs = resolve_jobs(jobs if jobs > 0 else None)
+        groups = _rule_groups(tuple(rules), n_jobs)
+        payloads = [
+            (group, tuple(str(path) for path in files), str(root)) for group in groups
+        ]
+        outcomes = parallel_map(_analyze_group, payloads, jobs=n_jobs)
+        findings = [finding for group_findings, _, _ in outcomes for finding in group_findings]
+        # every group parses the same files: take errors/count from the first
+        parse_errors = outcomes[0][1] if outcomes else []
+        files_checked = outcomes[0][2] if outcomes else 0
 
     findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
     return AnalysisResult(
         findings=findings,
-        files_checked=len(project.files),
+        files_checked=files_checked,
         rules_run=tuple(rules),
         parse_errors=parse_errors,
     )

@@ -1,0 +1,57 @@
+"""Interprocedural data-flow layer for :mod:`repro.analysis`.
+
+The per-file RP rules of PR 1 see one AST at a time; the whole-program
+rules (RP002, RP010) propagate a single boolean fact along a name-level
+call graph. This package generalizes both into a reusable flow engine
+that rules query:
+
+* :mod:`~repro.analysis.flow.callgraph` builds a **module-qualified call
+  graph** over every analyzed file — resolving aliased imports,
+  ``self.method()`` dispatch, nested functions and lambdas, plus the two
+  indirection patterns this codebase leans on: callables handed to
+  :func:`repro.parallel.parallel_map` / ``ProcessPoolExecutor`` (the
+  *parallel roots*) and callables registered in the verify
+  oracle/relation registry;
+* :mod:`~repro.analysis.flow.summaries` extracts one **effect summary**
+  per function: writes to module- or class-level mutable state,
+  ``os.environ`` reads, explicit ``raise`` sites, writes to ``self``,
+  and whether the return value is an unordered collection;
+* :mod:`~repro.analysis.flow.dtypes` is a small **numpy dtype lattice**
+  (int64 / narrow-int / float64 / bool) with an intraprocedural
+  inference pass used by the dtype-soundness rule;
+* :mod:`~repro.analysis.flow.fixpoint` propagates the summary facts to a
+  **fixpoint** over the call graph and exposes the
+  :class:`~repro.analysis.flow.fixpoint.FlowAnalysis` facade that the
+  RP012–RP016 rules consume via :meth:`Project.flow
+  <repro.analysis.engine.Project.flow>`.
+
+The layer is deliberately *syntactic*: it resolves names, not objects,
+and it prefers false negatives over false positives (an aliased write it
+cannot see is missed, never misreported). Every fact it derives is keyed
+by the function's module-qualified name, so findings can cite the full
+reachability chain (``parallel_map -> _classify_chunk -> obs.add``).
+"""
+
+from repro.analysis.flow.callgraph import CallGraph, FunctionNode, build_call_graph
+from repro.analysis.flow.dtypes import DType, DTypeScan, scan_function_dtypes
+from repro.analysis.flow.fixpoint import FlowAnalysis
+from repro.analysis.flow.summaries import (
+    EffectSummary,
+    EnvRead,
+    ModuleStateWrite,
+    summarize_function,
+)
+
+__all__ = [
+    "CallGraph",
+    "FunctionNode",
+    "build_call_graph",
+    "EffectSummary",
+    "EnvRead",
+    "ModuleStateWrite",
+    "summarize_function",
+    "DType",
+    "DTypeScan",
+    "scan_function_dtypes",
+    "FlowAnalysis",
+]

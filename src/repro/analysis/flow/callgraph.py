@@ -1,0 +1,461 @@
+"""Whole-program call-graph construction over the analyzed file set.
+
+Nodes are *module-qualified* function names (``repro.metrics.batch.
+_classify_chunk``, ``repro.aggregate.online.OnlineMedianAggregator.add``,
+``repro.parallel.parallel_map.<lambda@L12>``). Edges come from three
+sources:
+
+* **direct calls** — ``f()``, ``mod.f()``, ``self.m()`` — resolved
+  through the file's import aliases, module-level definitions, and the
+  enclosing class;
+* **function references** — a function-valued argument in any call
+  (``OracleEntry(reference=_pair(...))``, ``sorted(key=rank_of)``,
+  decorator application) adds a *ref edge* from the enclosing function,
+  so effects still propagate through registry indirection;
+* **parallel sinks** — the first argument of
+  :func:`repro.parallel.parallel_map` and any callable handed to
+  ``.map``/``.submit`` of a name bound from ``ProcessPoolExecutor(...)``
+  is recorded as a **parallel root**: the entry point of a worker
+  process. Lambdas and nested functions reaching a sink are recorded
+  too (they are unpicklable — RP012 reports them directly).
+
+The resolver is name-level and conservative: a call it cannot resolve
+becomes an *external* edge (kept for heuristics such as ``sorted``),
+never a wrong internal one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import Project, SourceFile
+
+__all__ = ["FunctionNode", "ModuleScope", "CallGraph", "build_call_graph", "own_statements"]
+
+#: Callables whose first positional argument runs inside a worker process.
+_PARALLEL_MAP_NAMES = frozenset({"repro.parallel.parallel_map", "parallel_map"})
+
+#: Constructors whose instances expose ``.map``/``.submit`` pool sinks.
+_EXECUTOR_NAMES = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "ProcessPoolExecutor",
+        "multiprocessing.Pool",
+    }
+)
+
+#: Registry constructors whose function-valued arguments are invoked later
+#: by the verify harness (oracle/relation indirection).
+_REGISTRY_NAMES = frozenset({"OracleEntry", "Relation"})
+
+#: Module-level bindings considered mutable containers when assigned one
+#: of these constructor calls (beyond display literals).
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "deque",
+        "WeakValueDictionary",
+        "WeakKeyDictionary",
+    }
+)
+
+
+@dataclass(slots=True)
+class FunctionNode:
+    """One function in the whole-program graph."""
+
+    qualname: str
+    module: str
+    name: str
+    source: SourceFile
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    cls: str | None = None
+    kind: str = "function"  # "function" | "method" | "nested" | "lambda"
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass(slots=True)
+class ModuleScope:
+    """Per-module name tables used during resolution."""
+
+    module: str
+    source: SourceFile
+    #: local alias -> dotted qualified name (import table)
+    imports: dict[str, str] = field(default_factory=dict)
+    #: module-level function / class names defined here
+    definitions: set[str] = field(default_factory=set)
+    #: class name -> method names
+    classes: dict[str, set[str]] = field(default_factory=dict)
+    #: module-level names bound to mutable containers (dict/list/set/...)
+    mutable_state: dict[str, int] = field(default_factory=dict)
+    #: module-level names bound to arbitrary instances (``_LOCAL = _Local()``)
+    instances: dict[str, int] = field(default_factory=dict)
+    #: class name -> class-level mutable attribute names
+    class_state: dict[str, dict[str, int]] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class CallGraph:
+    """The resolved whole-program graph plus its entry-point sets."""
+
+    functions: dict[str, FunctionNode] = field(default_factory=dict)
+    scopes: dict[str, ModuleScope] = field(default_factory=dict)
+    #: caller qualname -> resolved callee qualnames (analyzed set only)
+    calls: dict[str, set[str]] = field(default_factory=dict)
+    #: caller qualname -> unresolved dotted callee names
+    external_calls: dict[str, set[str]] = field(default_factory=dict)
+    #: qualname -> (sink description, line) for functions entering a pool
+    parallel_roots: dict[str, tuple[str, int]] = field(default_factory=dict)
+    #: functions registered as oracle/relation callables
+    registry_roots: set[str] = field(default_factory=set)
+
+    def callees(self, qualname: str) -> frozenset[str]:
+        return frozenset(self.calls.get(qualname, ()))
+
+
+def _is_mutable_literal(value: ast.expr) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(value, ast.Call):
+        callee = _dotted(value.func)
+        return callee is not None and callee.rsplit(".", 1)[-1] in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _is_instance_call(value: ast.expr) -> bool:
+    """``NAME = SomeClass()`` at module scope — a shared instance."""
+    if not isinstance(value, ast.Call):
+        return False
+    callee = _dotted(value.func)
+    if callee is None:
+        return False
+    leaf = callee.rsplit(".", 1)[-1]
+    # heuristic: CapWord constructor that is not a known immutable builtin
+    return leaf[:1].isupper() and leaf not in {"Path", "Severity"}
+
+
+def _dotted(expr: ast.expr) -> str | None:
+    """Flatten ``a.b.c`` / ``a`` to a dotted string; ``None`` otherwise."""
+    parts: list[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        parts.append(expr.id)
+        return ".".join(reversed(parts))
+    if isinstance(expr, ast.Call):
+        return _dotted(expr.func)
+    return None
+
+
+def _collect_scope(module: str, source: SourceFile) -> ModuleScope:
+    scope = ModuleScope(module=module, source=source)
+    for stmt in source.tree.body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                scope.imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(stmt, ast.ImportFrom):
+            base = stmt.module or ""
+            if stmt.level:  # relative import: anchor inside this package
+                package = module.rsplit(".", stmt.level)[0] if "." in module else module
+                base = f"{package}.{base}" if base else package
+            for alias in stmt.names:
+                scope.imports[alias.asname or alias.name] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope.definitions.add(stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            scope.definitions.add(stmt.name)
+            methods = {
+                inner.name
+                for inner in stmt.body
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            scope.classes[stmt.name] = methods
+            attrs: dict[str, int] = {}
+            for inner in stmt.body:
+                if isinstance(inner, ast.Assign):
+                    for target in inner.targets:
+                        if isinstance(target, ast.Name) and _is_mutable_literal(inner.value):
+                            attrs[target.id] = inner.lineno
+                elif isinstance(inner, ast.AnnAssign):
+                    if (
+                        isinstance(inner.target, ast.Name)
+                        and inner.value is not None
+                        and _is_mutable_literal(inner.value)
+                    ):
+                        attrs[inner.target.id] = inner.lineno
+            if attrs:
+                scope.class_state[stmt.name] = attrs
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else ([stmt.target] if stmt.value is not None else [])
+            )
+            value = stmt.value
+            if value is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if _is_mutable_literal(value):
+                    scope.mutable_state[target.id] = stmt.lineno
+                elif _is_instance_call(value):
+                    scope.instances[target.id] = stmt.lineno
+    return scope
+
+
+class _Resolver:
+    """Resolve call/reference expressions to module-qualified names."""
+
+    def __init__(self, graph: CallGraph, scope: ModuleScope, cls: str | None) -> None:
+        self.graph = graph
+        self.scope = scope
+        self.cls = cls
+
+    def resolve(self, expr: ast.expr) -> str | None:
+        """Qualified name of ``expr`` if it denotes an analyzed function."""
+        dotted = _dotted(expr)
+        if dotted is None:
+            return None
+        return self.resolve_dotted(dotted)
+
+    def resolve_dotted(self, dotted: str) -> str | None:
+        head, _, rest = dotted.partition(".")
+        scope = self.scope
+        if head == "self" and self.cls is not None and rest:
+            candidate = f"{scope.module}.{self.cls}.{rest}"
+            if candidate in self.graph.functions:
+                return candidate
+            return None
+        if head in scope.definitions:
+            candidate = f"{scope.module}.{dotted}"
+            if candidate in self.graph.functions:
+                return candidate
+            # ``Class(...)`` resolves to the constructor when analyzed
+            init = f"{scope.module}.{dotted}.__init__"
+            return init if init in self.graph.functions else None
+        if head in scope.imports:
+            qualified = scope.imports[head] + (f".{rest}" if rest else "")
+            if qualified in self.graph.functions:
+                return qualified
+            init = f"{qualified}.__init__"
+            return init if init in self.graph.functions else None
+        return None
+
+    def canonical(self, expr: ast.expr) -> str | None:
+        """Dotted name with the head resolved through the import table.
+
+        Unlike :meth:`resolve` this does not require the target to be an
+        analyzed function — it is how sinks (``parallel_map``,
+        ``ProcessPoolExecutor``) and external calls are recognized.
+        """
+        dotted = _dotted(expr)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.scope.imports:
+            head = self.scope.imports[head]
+        elif head in self.scope.definitions:
+            head = f"{self.scope.module}.{head}"
+        return f"{head}.{rest}" if rest else head
+
+
+def _function_nodes(
+    graph: CallGraph, module: str, source: SourceFile
+) -> list[FunctionNode]:
+    """Register every function/method/nested def/lambda in one file."""
+    nodes: list[FunctionNode] = []
+
+    def add(
+        node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+        qualname: str,
+        name: str,
+        cls: str | None,
+        kind: str,
+    ) -> None:
+        info = FunctionNode(
+            qualname=qualname,
+            module=module,
+            name=name,
+            source=source,
+            node=node,
+            cls=cls,
+            kind=kind,
+        )
+        graph.functions[qualname] = info
+        nodes.append(info)
+
+    def visit_body(
+        body: list[ast.stmt], prefix: str, cls: str | None, nested: bool
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{stmt.name}"
+                kind = "nested" if nested else ("method" if cls else "function")
+                add(stmt, qualname, stmt.name, cls, kind)
+                visit_body(stmt.body, qualname, cls, nested=True)
+                _register_lambdas(stmt, qualname, cls)
+            elif isinstance(stmt, ast.ClassDef) and not nested:
+                visit_body(stmt.body, f"{prefix}.{stmt.name}", stmt.name, nested=False)
+
+    def _register_lambdas(
+        owner: ast.FunctionDef | ast.AsyncFunctionDef, prefix: str, cls: str | None
+    ) -> None:
+        own_nested = {
+            inner
+            for stmt in owner.body
+            for inner in ast.walk(stmt)
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)) and inner is not owner
+        }
+        for stmt in owner.body:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, ast.Lambda) and not any(
+                    inner in set(ast.walk(nested_def)) for nested_def in own_nested
+                ):
+                    qualname = f"{prefix}.<lambda@L{inner.lineno}>"
+                    if qualname not in graph.functions:
+                        add(inner, qualname, "<lambda>", cls, "lambda")
+
+    visit_body(source.tree.body, module, cls=None, nested=False)
+    return nodes
+
+
+def _function_refs(call: ast.Call) -> list[ast.expr]:
+    """Every argument expression that may denote a callable, including
+    callables nested inside tuple/list literals (registry ``variants=``)."""
+    refs: list[ast.expr] = []
+
+    def collect(expr: ast.expr) -> None:
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            for element in expr.elts:
+                collect(element)
+        elif isinstance(expr, (ast.Name, ast.Attribute, ast.Lambda)):
+            refs.append(expr)
+
+    for arg in call.args:
+        collect(arg)
+    for keyword in call.keywords:
+        if keyword.value is not None:
+            collect(keyword.value)
+    return refs
+
+
+def _body_statements(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+) -> list[ast.stmt]:
+    if isinstance(node, ast.Lambda):
+        return [ast.Expr(value=node.body)]
+    return node.body
+
+
+def own_statements(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+) -> list[ast.AST]:
+    """AST nodes of a function's own body, excluding nested defs/lambdas
+    (those are separate graph nodes)."""
+    result: list[ast.AST] = []
+    stack: list[ast.AST] = list(_body_statements(node))
+    while stack:
+        current = stack.pop()
+        result.append(current)
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+    return result
+
+
+def _edges_for_function(graph: CallGraph, info: FunctionNode) -> None:
+    scope = graph.scopes[info.module]
+    resolver = _Resolver(graph, scope, info.cls)
+    calls = graph.calls.setdefault(info.qualname, set())
+    external = graph.external_calls.setdefault(info.qualname, set())
+
+    # names locally bound from ProcessPoolExecutor(...) — their .map/.submit
+    # arguments run in worker processes
+    executor_names: set[str] = set()
+    for stmt in own_statements(info.node):
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+            callee = resolver.canonical(stmt.value.func)
+            if callee in _EXECUTOR_NAMES:
+                executor_names.update(
+                    target.id for target in stmt.targets if isinstance(target, ast.Name)
+                )
+        elif isinstance(stmt, ast.withitem) and isinstance(stmt.context_expr, ast.Call):
+            callee = resolver.canonical(stmt.context_expr.func)
+            if callee in _EXECUTOR_NAMES and isinstance(stmt.optional_vars, ast.Name):
+                executor_names.add(stmt.optional_vars.id)
+
+    def note_root(expr: ast.expr, sink: str, line: int) -> None:
+        if isinstance(expr, ast.Lambda):
+            qualname = f"{info.qualname}.<lambda@L{expr.lineno}>"
+            if qualname in graph.functions:
+                graph.parallel_roots.setdefault(qualname, (sink, line))
+            return
+        target = resolver.resolve(expr)
+        if target is not None:
+            graph.parallel_roots.setdefault(target, (sink, line))
+
+    for node in own_statements(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        canonical = resolver.canonical(node.func)
+        resolved = resolver.resolve(node.func)
+        if resolved is not None:
+            calls.add(resolved)
+        elif canonical is not None:
+            external.add(canonical)
+
+        # ref edges: function-valued arguments keep effect propagation
+        # alive through registries, key=-style callbacks and decorators
+        leaf = canonical.rsplit(".", 1)[-1] if canonical else ""
+        for ref in _function_refs(node):
+            target = resolver.resolve(ref)
+            if target is not None:
+                calls.add(target)
+                if leaf in _REGISTRY_NAMES:
+                    graph.registry_roots.add(target)
+
+        # parallel sinks
+        if canonical in _PARALLEL_MAP_NAMES and node.args:
+            note_root(node.args[0], "parallel_map", node.lineno)
+        elif isinstance(node.func, ast.Attribute) and node.func.attr in ("map", "submit"):
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name) and receiver.id in executor_names and node.args:
+                note_root(node.args[0], f"pool.{node.func.attr}", node.lineno)
+
+    # lambdas defined directly inside this function are reachable from it
+    for qualname, other in graph.functions.items():
+        if other.kind in ("lambda", "nested") and qualname.startswith(info.qualname + "."):
+            remainder = qualname[len(info.qualname) + 1 :]
+            if "." not in remainder:
+                calls.add(qualname)
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """Build the whole-program graph over ``project.files``."""
+    graph = CallGraph()
+    modules: list[tuple[str, SourceFile]] = []
+    for source in project.files:
+        module = project.module_name(source)
+        modules.append((module, source))
+        graph.scopes[module] = _collect_scope(module, source)
+    for module, source in modules:
+        _function_nodes(graph, module, source)
+    for info in list(graph.functions.values()):
+        _edges_for_function(graph, info)
+    return graph

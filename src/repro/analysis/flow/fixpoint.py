@@ -1,0 +1,176 @@
+"""Fixpoint propagation over the call graph and the query facade.
+
+:class:`FlowAnalysis` is what rules actually touch: built once per
+analysis run (lazily, via :meth:`Project.flow
+<repro.analysis.engine.Project.flow>`), it composes the per-function
+effect summaries along the call graph to a fixpoint and answers the
+questions the RP012–RP016 rules ask:
+
+* ``parallel_chain(qualname)`` — the witness call path from a
+  :func:`~repro.parallel.parallel_map` / executor sink to the function
+  (``None`` when the function never runs in a worker);
+* ``returns_unordered`` — functions whose return value is a
+  ``set``/``frozenset``, seeded from annotations and returned displays
+  and propagated through ``return other_call()`` chains;
+* ``unordered_attrs`` — property/method *names* (``domain``, …) that
+  return unordered collections anywhere in the program, so an
+  ``obj.domain`` access is recognized as unordered without type
+  inference;
+* ``may_raise`` — functions containing an explicit ``raise`` or calling
+  one that does (transitively); RP016's ordering check treats a call to
+  such a helper as a validation site;
+* ``return_dtypes`` — annotated array return dtypes for the dtype pass.
+
+All propagation is a simple worklist to a fixpoint; graphs here are a
+few hundred nodes, so clarity beats asymptotics.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    FunctionNode,
+    _Resolver,
+    build_call_graph,
+)
+from repro.analysis.flow.dtypes import DType, annotation_dtype
+from repro.analysis.flow.summaries import EffectSummary, summarize_function
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import Project
+
+__all__ = ["FlowAnalysis"]
+
+
+@dataclass(slots=True)
+class FlowAnalysis:
+    """Whole-program facts derived from one analysis run's file set."""
+
+    graph: CallGraph
+    summaries: dict[str, EffectSummary] = field(default_factory=dict)
+    #: qualname -> immediate parent on a shortest path from a parallel sink
+    _parallel_parent: dict[str, str | None] = field(default_factory=dict)
+    returns_unordered: set[str] = field(default_factory=set)
+    unordered_attrs: set[str] = field(default_factory=set)
+    may_raise: set[str] = field(default_factory=set)
+    return_dtypes: dict[str, DType] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, project: "Project") -> "FlowAnalysis":
+        graph = build_call_graph(project)
+        flow = cls(graph=graph)
+        for qualname, info in graph.functions.items():
+            flow.summaries[qualname] = summarize_function(graph, info)
+            if not isinstance(info.node, ast.Lambda):
+                dtype = annotation_dtype(info.node.returns)
+                if dtype != DType.UNKNOWN:
+                    flow.return_dtypes[qualname] = dtype
+        flow._propagate_parallel_reachability()
+        flow._propagate_unordered_returns()
+        flow._propagate_may_raise()
+        return flow
+
+    def _propagate_parallel_reachability(self) -> None:
+        """BFS from the parallel roots, keeping parent pointers so every
+        finding can cite its witness chain."""
+        queue: list[str] = []
+        for root in sorted(self.graph.parallel_roots):
+            if root in self.graph.functions:
+                self._parallel_parent[root] = None
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            for callee in sorted(self.graph.callees(current)):
+                if callee not in self._parallel_parent:
+                    self._parallel_parent[callee] = current
+                    queue.append(callee)
+
+    def _propagate_unordered_returns(self) -> None:
+        for qualname, summary in self.summaries.items():
+            if summary.returns_unordered_seed:
+                self.returns_unordered.add(qualname)
+        changed = True
+        while changed:
+            changed = False
+            for qualname, summary in self.summaries.items():
+                if qualname in self.returns_unordered:
+                    continue
+                if any(callee in self.returns_unordered for callee in summary.returns_calls):
+                    self.returns_unordered.add(qualname)
+                    changed = True
+        # method/property names returning unordered collections: an
+        # ``obj.<name>`` attribute access is then treated as unordered
+        for qualname in self.returns_unordered:
+            info = self.graph.functions.get(qualname)
+            if info is not None and info.kind == "method":
+                self.unordered_attrs.add(info.name)
+
+    def _propagate_may_raise(self) -> None:
+        for qualname, summary in self.summaries.items():
+            if summary.raise_lines:
+                self.may_raise.add(qualname)
+        changed = True
+        while changed:
+            changed = False
+            for qualname in self.graph.functions:
+                if qualname in self.may_raise:
+                    continue
+                if any(callee in self.may_raise for callee in self.graph.callees(qualname)):
+                    self.may_raise.add(qualname)
+                    changed = True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def summary(self, qualname: str) -> EffectSummary | None:
+        return self.summaries.get(qualname)
+
+    def functions(self) -> dict[str, FunctionNode]:
+        return self.graph.functions
+
+    def parallel_reachable(self, qualname: str) -> bool:
+        return qualname in self._parallel_parent
+
+    def parallel_chain(self, qualname: str) -> list[str] | None:
+        """Witness path root -> ... -> qualname, or ``None``."""
+        if qualname not in self._parallel_parent:
+            return None
+        chain = [qualname]
+        seen = {qualname}
+        parent = self._parallel_parent[qualname]
+        while parent is not None and parent not in seen:
+            chain.append(parent)
+            seen.add(parent)
+            parent = self._parallel_parent[parent]
+        chain.reverse()
+        return chain
+
+    def parallel_sink(self, qualname: str) -> tuple[str, int] | None:
+        """The (sink description, line) that makes ``qualname``'s chain
+        enter a worker pool."""
+        chain = self.parallel_chain(qualname)
+        if not chain:
+            return None
+        return self.graph.parallel_roots.get(chain[0])
+
+    def resolver(self, info: FunctionNode) -> _Resolver:
+        """A name resolver scoped to ``info``'s module/class — rules use
+        it for their own targeted walks (dtype scan, unordered scan)."""
+        return _Resolver(self.graph, self.graph.scopes[info.module], info.cls)
+
+    def class_methods(self, module: str, cls: str) -> dict[str, FunctionNode]:
+        prefix = f"{module}.{cls}."
+        return {
+            info.name: info
+            for qualname, info in self.graph.functions.items()
+            if qualname.startswith(prefix) and info.kind == "method"
+        }

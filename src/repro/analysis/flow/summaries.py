@@ -1,0 +1,358 @@
+"""Per-function effect summaries.
+
+One AST pass per function extracts the facts the RP012–RP016 rules need:
+
+* **module/class-state writes** — ``global`` rebinds, subscript or
+  augmented stores into module-level mutable containers, mutating method
+  calls (``append``/``add``/``setdefault``/…) on them, and attribute
+  stores on module-level instances. Attribute chains rooted at an
+  imported module alias (``_spans._LOCAL.stack.clear()``) resolve into
+  the *target* module's state table, so cross-module writes are seen.
+* **environment reads** — ``os.environ[...]``, ``os.environ.get``,
+  ``os.getenv``, and ``in os.environ`` membership tests, with the
+  variable name when it is a literal or a resolvable module constant.
+* **raise/self-write positions** — line numbers of explicit ``raise``
+  statements (bare re-raises excluded) and of the first/every write to
+  ``self``, plus ``self.method()`` call sites; RP016 replays these in
+  statement order interprocedurally.
+* **unordered returns** — whether the function's return value is a
+  ``set``/``frozenset`` (from the return annotation, a returned set
+  display/constructor, or — after fixpoint — a returned call to another
+  unordered-returning function).
+
+Summaries are *syntactic over-approximations of nothing*: a write routed
+through a local alias (``cache = _CACHE; cache[k] = v``) is missed, a
+reported write is always real. The fixpoint layer composes them along
+the call graph.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    FunctionNode,
+    ModuleScope,
+    _dotted,
+    _Resolver,
+    own_statements,
+)
+
+__all__ = [
+    "ModuleStateWrite",
+    "EnvRead",
+    "EffectSummary",
+    "summarize_function",
+]
+
+#: Methods that mutate the builtin containers in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "sort",
+        "reverse",
+        "appendleft",
+        "popleft",
+    }
+)
+
+#: The *outer* type must be a set — ``tuple[frozenset[Item], ...]`` is
+#: ordered even though sets appear nested inside it.
+_UNORDERED_ANNOTATION_RE = re.compile(
+    r"^(?:typing\.)?(?:frozenset|set|Set|FrozenSet|AbstractSet)\b"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleStateWrite:
+    """One write to module- or class-level mutable state."""
+
+    target: str  # dotted description, e.g. "repro.obs.spans._SESSIONS"
+    line: int
+    via: str  # "global-rebind" | "store" | "call:append" | ...
+
+
+@dataclass(frozen=True, slots=True)
+class EnvRead:
+    """One ``os.environ`` consultation."""
+
+    variable: str | None
+    line: int
+
+
+@dataclass(slots=True)
+class EffectSummary:
+    """The per-function facts the flow rules consume."""
+
+    qualname: str
+    module_writes: tuple[ModuleStateWrite, ...] = ()
+    env_reads: tuple[EnvRead, ...] = ()
+    raise_lines: tuple[int, ...] = ()
+    self_write_lines: tuple[int, ...] = ()
+    #: ``self.method()`` call sites as (method name, line)
+    self_calls: tuple[tuple[str, int], ...] = ()
+    #: return annotation or returned display says set/frozenset
+    returns_unordered_seed: bool = False
+    #: qualnames whose return value this function returns unmodified
+    returns_calls: tuple[str, ...] = ()
+
+
+def _binding_names(target: ast.expr) -> set[str]:
+    """Names a store to ``target`` actually binds. ``x.y[k] = v`` binds
+    nothing — only plain names and tuple/list destructuring do."""
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, ast.Starred):
+        return _binding_names(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names.update(_binding_names(element))
+        return names
+    return set()
+
+
+def _local_bindings(node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> set[str]:
+    """Names bound locally (parameters + assignments): these shadow
+    module-level state inside the function."""
+    names: set[str] = set()
+    args = node.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    if isinstance(node, ast.Lambda):
+        return names
+    globals_declared: set[str] = set()
+    for stmt in own_statements(node):
+        if isinstance(stmt, ast.Global):
+            globals_declared.update(stmt.names)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                names.update(_binding_names(target))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            names.update(_binding_names(stmt.target))
+        elif isinstance(stmt, ast.withitem) and stmt.optional_vars is not None:
+            names.update(_binding_names(stmt.optional_vars))
+        elif isinstance(stmt, ast.comprehension):
+            names.update(_binding_names(stmt.target))
+    return names - globals_declared
+
+
+def _state_target(
+    expr: ast.expr,
+    graph: CallGraph,
+    scope: ModuleScope,
+    locals_: set[str],
+    cls: str | None,
+) -> str | None:
+    """Resolve an expression to a dotted module/class-state target.
+
+    Recognized roots: a module-level mutable container or instance of the
+    current module, the same through an imported module alias, and
+    ``ClassName.attr`` for class-level mutable attributes. Locally bound
+    names shadow everything.
+    """
+    chain: list[str] = []
+    inner = expr
+    while isinstance(inner, ast.Subscript):
+        inner = inner.value
+    while isinstance(inner, ast.Attribute):
+        chain.append(inner.attr)
+        inner = inner.value
+        while isinstance(inner, ast.Subscript):
+            inner = inner.value
+    if not isinstance(inner, ast.Name):
+        return None
+    head = inner.id
+    chain.reverse()
+    if head in locals_ or head == "self":
+        return None
+
+    def lookup(target_scope: ModuleScope, name: str, rest: list[str]) -> str | None:
+        if name in target_scope.mutable_state:
+            return ".".join([target_scope.module, name, *rest])
+        if name in target_scope.instances and rest:
+            # attribute state on a module-level instance (_LOCAL.stack)
+            return ".".join([target_scope.module, name, *rest])
+        if name in target_scope.class_state and rest:
+            if rest[0] in target_scope.class_state[name]:
+                return ".".join([target_scope.module, name, *rest])
+        return None
+
+    found = lookup(scope, head, chain)
+    if found is not None:
+        return found
+    if head in scope.imports:
+        imported = scope.imports[head]
+        target_scope = graph.scopes.get(imported)
+        if target_scope is not None and chain:
+            return lookup(target_scope, chain[0], chain[1:])
+        # ``from mod import _CACHE`` binds the container directly
+        owner, _, leaf = imported.rpartition(".")
+        owner_scope = graph.scopes.get(owner)
+        if owner_scope is not None:
+            return lookup(owner_scope, leaf, chain)
+    return None
+
+
+def _returns_unordered_annotation(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+) -> bool:
+    if isinstance(node, ast.Lambda) or node.returns is None:
+        return False
+    return bool(_UNORDERED_ANNOTATION_RE.search(ast.unparse(node.returns)))
+
+
+def _is_unordered_display(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        dotted = _dotted(expr.func)
+        return dotted in ("set", "frozenset")
+    return False
+
+
+def _env_read(node: ast.AST) -> EnvRead | None:
+    """Match the ``os.environ`` access idioms on one AST node."""
+
+    def is_environ(expr: ast.expr) -> bool:
+        return _dotted(expr) in ("os.environ", "environ")
+
+    def variable_of(expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return expr.value
+        dotted = _dotted(expr)
+        return dotted  # module constant like ENV_JOBS — keep the name
+
+    if isinstance(node, ast.Subscript) and is_environ(node.value):
+        return EnvRead(variable_of(node.slice), node.lineno)
+    if isinstance(node, ast.Call):
+        dotted = _dotted(node.func)
+        if dotted in ("os.getenv", "getenv") and node.args:
+            return EnvRead(variable_of(node.args[0]), node.lineno)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and is_environ(node.func.value)
+            and node.args
+        ):
+            return EnvRead(variable_of(node.args[0]), node.lineno)
+    if isinstance(node, ast.Compare) and any(
+        isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+    ):
+        for comparator in node.comparators:
+            if is_environ(comparator):
+                return EnvRead(None, node.lineno)
+    return None
+
+
+def summarize_function(graph: CallGraph, info: FunctionNode) -> EffectSummary:
+    """One-pass effect extraction over the function's own body."""
+    scope = graph.scopes[info.module]
+    resolver = _Resolver(graph, scope, info.cls)
+    locals_ = _local_bindings(info.node)
+    globals_declared: set[str] = set()
+
+    module_writes: list[ModuleStateWrite] = []
+    env_reads: list[EnvRead] = []
+    raise_lines: list[int] = []
+    self_write_lines: list[int] = []
+    self_calls: list[tuple[str, int]] = []
+    returns_calls: list[str] = []
+    returns_unordered_seed = _returns_unordered_annotation(info.node)
+
+    def note_write(target: str | None, line: int, via: str) -> None:
+        if target is not None:
+            module_writes.append(ModuleStateWrite(target=target, line=line, via=via))
+
+    def is_self_rooted(expr: ast.expr) -> bool:
+        inner = expr
+        while isinstance(inner, (ast.Attribute, ast.Subscript)):
+            inner = inner.value if isinstance(inner, ast.Attribute) else inner.value
+        return isinstance(inner, ast.Name) and inner.id == "self"
+
+    body = own_statements(info.node)
+    for node in body:
+        if isinstance(node, ast.Global):
+            globals_declared.update(node.names)
+
+    for node in body:
+        # --- raises (bare ``raise`` re-raises excluded) ---------------
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            raise_lines.append(node.lineno)
+
+        # --- env reads -------------------------------------------------
+        read = _env_read(node)
+        if read is not None:
+            env_reads.append(read)
+
+        # --- stores ----------------------------------------------------
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in globals_declared:
+                    note_write(f"{info.module}.{target.id}", node.lineno, "global-rebind")
+                elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                    if is_self_rooted(target):
+                        if info.cls is not None:
+                            self_write_lines.append(node.lineno)
+                        continue
+                    note_write(
+                        _state_target(target, graph, scope, locals_, info.cls),
+                        node.lineno,
+                        "store",
+                    )
+
+        # --- mutating method calls, self calls -------------------------
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                self_calls.append((attr, node.lineno))
+            elif is_self_rooted(receiver):
+                if attr in _MUTATING_METHODS and info.cls is not None:
+                    self_write_lines.append(node.lineno)
+            elif attr in _MUTATING_METHODS:
+                note_write(
+                    _state_target(receiver, graph, scope, locals_, info.cls),
+                    node.lineno,
+                    f"call:{attr}",
+                )
+
+        # --- returns ---------------------------------------------------
+        if isinstance(node, ast.Return) and node.value is not None:
+            value = node.value
+            if _is_unordered_display(value):
+                returns_unordered_seed = True
+            elif isinstance(value, ast.Call):
+                resolved = resolver.resolve(value.func)
+                if resolved is not None:
+                    returns_calls.append(resolved)
+
+    return EffectSummary(
+        qualname=info.qualname,
+        module_writes=tuple(module_writes),
+        env_reads=tuple(env_reads),
+        raise_lines=tuple(raise_lines),
+        self_write_lines=tuple(self_write_lines),
+        self_calls=tuple(self_calls),
+        returns_unordered_seed=returns_unordered_seed,
+        returns_calls=tuple(returns_calls),
+    )

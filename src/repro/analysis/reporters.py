@@ -1,13 +1,14 @@
 """Reporters turning an :class:`~repro.analysis.engine.AnalysisResult`
-into text for humans or JSON for machines (CI annotations, dashboards)."""
+into text for humans, JSON for machines, or SARIF 2.1.0 for code-scanning
+services (GitHub code scanning ingests the SARIF form directly)."""
 
 from __future__ import annotations
 
 import json
 
-from repro.analysis.engine import AnalysisResult, Severity
+from repro.analysis.engine import AnalysisResult, Finding, Severity, registered_rules
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(result: AnalysisResult, *, show_suppressed: bool = False) -> str:
@@ -20,7 +21,11 @@ def render_text(result: AnalysisResult, *, show_suppressed: bool = False) -> str
         )
     shown = result.findings if show_suppressed else result.active
     for finding in shown:
-        suffix = "  [suppressed]" if finding.suppressed else ""
+        suffix = ""
+        if finding.suppressed:
+            suffix = "  [suppressed]"
+        elif finding.baselined:
+            suffix = "  [baselined]"
         lines.append(
             f"{finding.location}: {finding.severity} {finding.rule} "
             f"{finding.message}{suffix}"
@@ -28,12 +33,15 @@ def render_text(result: AnalysisResult, *, show_suppressed: bool = False) -> str
     active = result.active
     errors = sum(1 for f in active if f.severity >= Severity.ERROR)
     warnings = sum(1 for f in active if f.severity == Severity.WARNING)
-    suppressed = len(result.findings) - len(active)
+    suppressed = sum(1 for f in result.findings if f.suppressed)
+    baselined = sum(1 for f in result.findings if f.baselined)
     summary = (
         f"{result.files_checked} file(s) checked, "
         f"{len(result.rules_run)} rule(s): "
         f"{errors} error(s), {warnings} warning(s), {suppressed} suppressed"
     )
+    if baselined:
+        summary += f", {baselined} baselined"
     if result.parse_errors:
         summary += f", {len(result.parse_errors)} unparseable file(s)"
     lines.append(summary)
@@ -52,3 +60,73 @@ def render_json(result: AnalysisResult) -> str:
         "parse_errors": [finding.to_dict() for finding in result.parse_errors],
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+_SARIF_LEVELS = {Severity.WARNING: "warning", Severity.ERROR: "error"}
+
+
+def _sarif_result(finding: Finding) -> dict[str, object]:
+    entry: dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": _SARIF_LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": max(1, finding.column),
+                    },
+                }
+            }
+        ],
+    }
+    suppressions: list[dict[str, str]] = []
+    if finding.suppressed:
+        suppressions.append({"kind": "inSource", "justification": "repro: noqa comment"})
+    if finding.baselined:
+        suppressions.append({"kind": "external", "justification": "analysis-baseline entry"})
+    if suppressions:
+        entry["suppressions"] = suppressions
+    return entry
+
+
+def render_sarif(result: AnalysisResult) -> str:
+    """A SARIF 2.1.0 log with one run; noqa'd and baselined findings are
+    carried as suppressed results so scanners show them as dismissed
+    rather than resurfacing them as new."""
+    rules_meta = [
+        {
+            "id": code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS.get(rule.severity, "error")
+            },
+        }
+        for code, rule in sorted(registered_rules().items())
+        if code in result.rules_run
+    ]
+    sarif = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": [
+                    _sarif_result(finding)
+                    for finding in (*result.parse_errors, *result.findings)
+                ],
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2)

@@ -1,0 +1,139 @@
+"""RP015/RP016 — configuration hygiene and exception-safe mutation.
+
+**RP015 (env-var hygiene).** Environment variables are ambient global
+state: a library that consults them in arbitrary places cannot be
+reasoned about from its call sites, and worker processes may see a
+different environment than the parent. All ``os.environ`` access is
+therefore confined to three sanctioned modules — :mod:`repro.parallel`
+(``REPRO_JOBS`` via ``resolve_jobs``), :mod:`repro.analysis.contracts`
+(``REPRO_DEBUG``), and :mod:`repro.obs.spans` (``REPRO_TRACE``) — which
+expose the result through ordinary function parameters. A read anywhere
+else is a finding; deliberate exceptions go in the committed baseline
+with a reason, not a noqa, so they stay visible in one place.
+
+**RP016 (validate-before-mutate).** Public mutating methods on the
+aggregator and db classes must be exception-safe in the simplest
+possible way: every ``raise`` (including calls to raising helpers such
+as ``_encode``) happens *before* the first write to ``self``. A raise
+after a partial write leaves the object in a half-updated state that the
+caller can still reach — the online aggregator's count/rows/cache
+invariants are exactly the kind of thing this corrupts. The rule replays
+each method's raise positions, self-writes, and same-class helper calls
+(helpers contribute their own raises/writes at the call line) in line
+order and reports any raise that follows a write.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, Project, Rule, Severity, register
+
+__all__ = ["EnvHygieneRule", "ValidateBeforeMutateRule"]
+
+#: Modules allowed to read the environment (each owns one variable).
+_SANCTIONED_ENV_MODULES = frozenset(
+    {
+        "repro.parallel",
+        "repro.analysis.contracts",
+        "repro.obs.spans",
+    }
+)
+
+#: Module prefixes whose classes carry the validate-before-mutate contract.
+_STATEFUL_PREFIXES = ("repro.aggregate.", "repro.db.")
+
+
+@register
+class EnvHygieneRule(Rule):
+    """RP015 — environment read outside the sanctioned modules."""
+
+    code = "RP015"
+    name = "env-read-outside-sanctioned"
+    severity = Severity.ERROR
+    description = (
+        "os.environ is consulted outside the sanctioned configuration "
+        "sites (repro.parallel / repro.analysis.contracts / "
+        "repro.obs.spans); ambient reads make behaviour depend on where "
+        "a function runs. Thread the value through a parameter, or add "
+        "the site to the committed baseline with a reason."
+    )
+
+    def finish(self, project: Project) -> Iterator[Finding]:
+        flow = project.flow()
+        for qualname in sorted(flow.summaries):
+            summary = flow.summaries[qualname]
+            if not summary.env_reads:
+                continue
+            info = flow.graph.functions[qualname]
+            if info.module in _SANCTIONED_ENV_MODULES:
+                continue
+            if info.module.startswith("repro.analysis.flow"):
+                continue  # the analyzer's own env-idiom matchers
+            for read in summary.env_reads:
+                variable = read.variable or "<dynamic>"
+                yield self.finding(
+                    info.source,
+                    read.line,
+                    f"environment variable {variable} read outside the "
+                    "sanctioned configuration modules; pass the value in "
+                    "explicitly instead",
+                )
+
+
+@register
+class ValidateBeforeMutateRule(Rule):
+    """RP016 — a raise can interrupt a half-applied state mutation."""
+
+    code = "RP016"
+    name = "mutate-before-validate"
+    severity = Severity.ERROR
+    description = (
+        "A public mutating method on an aggregator/db class raises (or "
+        "calls a raising helper) after its first write to self; an "
+        "exception there leaves the object half-updated but reachable. "
+        "Complete all validation before the first self-write."
+    )
+
+    def finish(self, project: Project) -> Iterator[Finding]:
+        flow = project.flow()
+        for qualname in sorted(flow.graph.functions):
+            info = flow.graph.functions[qualname]
+            if info.kind != "method" or info.cls is None:
+                continue
+            if not info.module.startswith(_STATEFUL_PREFIXES):
+                continue
+            if info.name.startswith("_"):
+                continue  # private helpers are validated at their call sites
+            summary = flow.summary(qualname)
+            if summary is None:
+                continue
+
+            methods = flow.class_methods(info.module, info.cls)
+            raise_positions: list[tuple[int, str]] = [
+                (line, "raise statement") for line in summary.raise_lines
+            ]
+            write_positions: list[int] = list(summary.self_write_lines)
+            for called, line in summary.self_calls:
+                callee = methods.get(called)
+                if callee is None:
+                    continue
+                if callee.qualname in flow.may_raise:
+                    raise_positions.append((line, f"call to raising helper self.{called}()"))
+                callee_summary = flow.summary(callee.qualname)
+                if callee_summary is not None and callee_summary.self_write_lines:
+                    write_positions.append(line)
+
+            if not write_positions or not raise_positions:
+                continue
+            first_write = min(write_positions)
+            for line, what in sorted(raise_positions):
+                if line > first_write:
+                    yield self.finding(
+                        info.source,
+                        line,
+                        f"{what} at line {line} follows the first self-write "
+                        f"(line {first_write}) in {info.cls}.{info.name}(); "
+                        "an exception here leaves the instance half-mutated "
+                        "— hoist validation above the first write",
+                    )

@@ -1,0 +1,362 @@
+"""RP012/RP013 — parallel-safety and determinism, on the flow engine.
+
+**RP012 (parallel-safety).** Every code path that can execute inside a
+``parallel_map`` / ``ProcessPoolExecutor`` worker must be free of
+module- and class-level state mutation: a worker's copy of module state
+is thrown away with the process, so such writes either silently vanish
+(fork) or silently diverge (spawn), and the library's bit-for-bit
+``jobs``-invariance promise dies with them. The rule walks the
+whole-program call graph from every parallel sink and reports each
+module-state write reachable from one, citing the witness chain.
+Lambdas and nested functions handed to a sink are reported too — they
+are unpicklable under the spawn start method. Deliberate sites
+(lock-guarded interning, per-process capture sessions whose results are
+shipped back) take a **reasoned** ``# repro: noqa[RP012] — why`` on the
+write line; a bare noqa is itself a finding, mirroring RP011.
+
+**RP013 (determinism).** Iterating a ``set``/``frozenset`` in an
+order-sensitive position — materializing it into a list/tuple, feeding
+``.join``/``enumerate``/``zip``, or accumulating over it — makes output
+depend on hash-seed iteration order. The rule tracks unordered values
+interprocedurally (annotated returns, returned set displays, ``.domain``
+-style properties) and flags order-sensitive uses with no intervening
+``sorted()``. Order-insensitive consumers (``sum``/``min``/``max``/
+``len``/``any``/``all``/membership/set algebra) are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, Project, Rule, Severity, SourceFile, register
+from repro.analysis.flow.callgraph import FunctionNode
+from repro.analysis.flow.fixpoint import FlowAnalysis
+
+__all__ = ["ParallelSafetyRule", "UnorderedIterationRule"]
+
+
+def _statements_in_order(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.stmt]:
+    """The function's own statements, recursively, in source order —
+    nested function bodies excluded (they are separate graph nodes)."""
+    ordered: list[ast.stmt] = []
+
+    def visit(body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            ordered.append(stmt)
+            for attr in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, attr, None)
+                if isinstance(inner, list):
+                    visit(inner)
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    visit(handler.body)
+
+    visit(node.body)
+    return ordered
+
+
+def _noqa_reason_present(source: SourceFile, line: int, code: str) -> bool:
+    """A suppression for ``code`` on ``line`` carrying a written reason."""
+    text_lines = source.text.splitlines()
+    if not 1 <= line <= len(text_lines):
+        return False
+    raw = text_lines[line - 1]
+    marker = f"noqa[{code}" if f"noqa[{code}" in raw else "repro: noqa"
+    index = raw.find(marker)
+    if index < 0:
+        return False
+    tail = raw[index + len(marker) :]
+    tail = tail.split("]", 1)[-1] if "]" in tail else tail
+    return any(char.isalpha() for char in tail)
+
+
+@register
+class ParallelSafetyRule(Rule):
+    """RP012 — worker-reachable code mutates shared module/class state."""
+
+    code = "RP012"
+    name = "parallel-unsafe-state"
+    severity = Severity.ERROR
+    description = (
+        "Function reachable from a parallel_map/ProcessPoolExecutor entry "
+        "point mutates module- or class-level state (lost or divergent in "
+        "worker processes), or an unpicklable lambda/nested function is "
+        "handed to a pool. Deliberate sites need a reasoned "
+        "'# repro: noqa[RP012] — why'."
+    )
+
+    def finish(self, project: Project) -> Iterator[Finding]:
+        flow = project.flow()
+        for qualname in sorted(flow.graph.functions):
+            info = flow.graph.functions[qualname]
+            chain = flow.parallel_chain(qualname)
+            if chain is None:
+                continue
+
+            # unpicklable callables handed directly to a pool sink
+            if info.kind in ("lambda", "nested") and qualname in flow.graph.parallel_roots:
+                sink, line = flow.graph.parallel_roots[qualname]
+                yield self.finding(
+                    info.source,
+                    info.node,
+                    f"{info.kind} passed to {sink}() at line {line} is not "
+                    "picklable under the spawn start method; hoist it to a "
+                    "module-level function",
+                )
+                continue
+
+            summary = flow.summary(qualname)
+            if summary is None:
+                continue
+            via = " -> ".join(part.rsplit(".", 2)[-1] for part in chain)
+            for write in summary.module_writes:
+                finding = self.finding(
+                    info.source,
+                    write.line,
+                    f"{write.target} is mutated ({write.via}) on a "
+                    f"worker-reachable path [{via}]; module state written in "
+                    "a pool worker is lost with the process",
+                )
+                if finding.suppressed and not _noqa_reason_present(
+                    info.source, write.line, self.code
+                ):
+                    yield Finding(
+                        rule=self.code,
+                        severity=self.severity,
+                        path=finding.path,
+                        line=finding.line,
+                        column=finding.column,
+                        message=(
+                            "suppressing RP012 requires a reason: "
+                            "'# repro: noqa[RP012] — why this worker-side "
+                            "write is safe'"
+                        ),
+                    )
+                else:
+                    yield finding
+
+
+#: Call targets that consume an iterable without depending on its order.
+_ORDER_INSENSITIVE = frozenset(
+    {
+        "sorted",
+        "sum",
+        "min",
+        "max",
+        "len",
+        "any",
+        "all",
+        "set",
+        "frozenset",
+        "Counter",
+        "bool",
+        "dict",
+        "product",
+        "combinations",
+        "permutations",
+        "union",
+        "intersection",
+        "difference",
+        "symmetric_difference",
+        "update",
+        "intersection_update",
+        "difference_update",
+        "issubset",
+        "issuperset",
+        "isdisjoint",
+        "count",
+        "index",
+        "sample",
+        "choice",
+    }
+)
+
+#: Call targets that materialize their argument in iteration order.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "join", "enumerate", "zip", "next", "iter"})
+
+#: Methods that keep a set unordered (set algebra returns sets).
+_SET_ALGEBRA = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy", "__or__", "__and__"}
+)
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """RP013 — set iteration order leaks into an order-sensitive result."""
+
+    code = "RP013"
+    name = "unordered-iteration"
+    severity = Severity.ERROR
+    description = (
+        "A set/frozenset is iterated in an order-sensitive position "
+        "(list/tuple/join/enumerate materialization, ordered accumulation, "
+        "or a returned comprehension) without an intervening sorted(); "
+        "iteration order varies with the hash seed, so outputs become "
+        "nondeterministic."
+    )
+
+    def finish(self, project: Project) -> Iterator[Finding]:
+        flow = project.flow()
+        for qualname in sorted(flow.graph.functions):
+            info = flow.graph.functions[qualname]
+            if isinstance(info.node, ast.Lambda):
+                continue
+            yield from self._scan(flow, info)
+
+    # ------------------------------------------------------------------
+
+    def _scan(self, flow: FlowAnalysis, info: FunctionNode) -> Iterator[Finding]:
+        resolver = flow.resolver(info)
+        returns_unordered = flow.returns_unordered
+        unordered_attrs = flow.unordered_attrs
+        tainted: set[str] = set()
+
+        def leaf_name(expr: ast.expr) -> str | None:
+            if isinstance(expr, ast.Attribute):
+                return expr.attr
+            if isinstance(expr, ast.Name):
+                return expr.id
+            return None
+
+        def is_unordered(expr: ast.expr) -> bool:
+            if isinstance(expr, (ast.Set, ast.SetComp)):
+                return True
+            if isinstance(expr, ast.Name):
+                return expr.id in tainted
+            if isinstance(expr, ast.Attribute):
+                return expr.attr in unordered_attrs
+            if isinstance(expr, ast.BinOp) and isinstance(
+                expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+            ):
+                return is_unordered(expr.left) or is_unordered(expr.right)
+            if isinstance(expr, ast.Call):
+                leaf = leaf_name(expr.func)
+                if leaf in ("set", "frozenset"):
+                    return True
+                if leaf in _SET_ALGEBRA and isinstance(expr.func, ast.Attribute):
+                    return is_unordered(expr.func.value)
+                resolved = resolver.resolve(expr.func)
+                return resolved is not None and resolved in returns_unordered
+            return False
+
+        def comp_unordered(comp: ast.ListComp | ast.GeneratorExp | ast.SetComp) -> bool:
+            return any(is_unordered(generator.iter) for generator in comp.generators)
+
+        findings: list[Finding] = []
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(
+                self.finding(
+                    info.source,
+                    node,
+                    f"{what} depends on set iteration order; wrap the "
+                    "iterable in sorted(...) (or consume it "
+                    "order-insensitively)",
+                )
+            )
+
+        def scan_expr(expr: ast.expr, sensitive: bool) -> None:
+            if isinstance(expr, ast.Call):
+                leaf = leaf_name(expr.func)
+                if leaf in _ORDER_INSENSITIVE:
+                    for arg in expr.args:
+                        scan_expr(arg, sensitive=False)
+                    for keyword in expr.keywords:
+                        if keyword.value is not None:
+                            scan_expr(keyword.value, sensitive=False)
+                    return
+                if leaf in _ORDER_SENSITIVE_CALLS:
+                    for arg in expr.args:
+                        if is_unordered(arg):
+                            flag(expr, f"{leaf}() over an unordered collection")
+                        elif isinstance(
+                            arg, (ast.ListComp, ast.GeneratorExp)
+                        ) and comp_unordered(arg):
+                            flag(arg, "comprehension over an unordered collection")
+                        else:
+                            scan_expr(arg, sensitive=True)
+                    return
+                scan_expr(expr.func, sensitive=False)
+                for arg in expr.args:
+                    scan_expr(arg, sensitive)
+                for keyword in expr.keywords:
+                    if keyword.value is not None:
+                        scan_expr(keyword.value, sensitive)
+                return
+            if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+                if sensitive and comp_unordered(expr):
+                    flag(expr, "comprehension over an unordered collection")
+                    return
+                for generator in expr.generators:
+                    scan_expr(generator.iter, sensitive=False)
+                scan_expr(expr.elt, sensitive=False)
+                return
+            if isinstance(expr, (ast.SetComp, ast.DictComp)):
+                # result is itself unordered / keyed — order-insensitive
+                for generator in expr.generators:
+                    scan_expr(generator.iter, sensitive=False)
+                return
+            if isinstance(expr, ast.Starred):
+                if is_unordered(expr.value):
+                    flag(expr, "star-unpacking an unordered collection")
+                return
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr):
+                    scan_expr(child, sensitive)
+
+        def accumulates(body: list[ast.stmt]) -> bool:
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                        continue
+                    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                        if node.func.attr in ("append", "extend", "insert", "write"):
+                            return True
+                    if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                        return True
+                    if isinstance(node, ast.AugAssign):
+                        return True
+                    # keyed stores (``positions[item] = pos``) are
+                    # deliberately NOT treated as accumulation: a dict
+                    # write per element is order-insensitive
+            return False
+
+        # statement-order pass: taint locals, check loops and expressions
+        assert not isinstance(info.node, ast.Lambda)
+        for stmt in _statements_in_order(info.node):
+            if isinstance(stmt, ast.Assign):
+                unordered_value = is_unordered(stmt.value)
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        if unordered_value:
+                            tainted.add(target.id)
+                        else:
+                            tainted.discard(target.id)
+                scan_expr(stmt.value, sensitive=False)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    if is_unordered(stmt.value):
+                        tainted.add(stmt.target.id)
+                    else:
+                        tainted.discard(stmt.target.id)
+                scan_expr(stmt.value, sensitive=False)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                if is_unordered(stmt.iter) and accumulates(stmt.body):
+                    flag(
+                        stmt.iter,
+                        "loop accumulating over an unordered collection",
+                    )
+                else:
+                    scan_expr(stmt.iter, sensitive=False)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                scan_expr(stmt.value, sensitive=True)
+            elif isinstance(stmt, ast.Expr):
+                sensitive = isinstance(stmt.value, (ast.Yield, ast.YieldFrom))
+                scan_expr(stmt.value, sensitive=sensitive)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                scan_expr(stmt.test, sensitive=False)
+
+        yield from findings

@@ -171,4 +171,4 @@ def _load_all() -> None:
         e16_robustness,
     )
 
-    _LOADED = True
+    _LOADED = True  # repro: noqa[RP012] — idempotent lazy-import latch; each worker re-runs the imports once and the flag never crosses processes

@@ -133,7 +133,7 @@ def nested_elements(
     """All base-domain elements nested with respect to ``pi``."""
     sigma_pi = reflected_refinement(sigma, pi)
     tau_pi = reflected_refinement(tau, pi)
-    return [d for d in sigma.domain if is_nested(d, sigma_pi, tau_pi)]
+    return [d for d in sorted(sigma.domain, key=repr) if is_nested(d, sigma_pi, tau_pi)]
 
 
 def nesting_free_permutation(

@@ -276,12 +276,12 @@ class TraceSession:
 
 
 def _push(sess: TraceSession) -> None:
-    _SESSIONS.append(sess)
+    _SESSIONS.append(sess)  # repro: noqa[RP012] — worker capture() opens a per-process session whose spans are returned to the parent, not shared
 
 
 def _pop(sess: TraceSession) -> None:
     if sess in _SESSIONS:
-        _SESSIONS.remove(sess)
+        _SESSIONS.remove(sess)  # repro: noqa[RP012] — closes the same per-process session _push opened inside the worker
     sess.close()
 
 

@@ -38,6 +38,11 @@ ALL_CODES = (
     "RP009",
     "RP010",
     "RP011",
+    "RP012",
+    "RP013",
+    "RP014",
+    "RP015",
+    "RP016",
 )
 
 
@@ -818,8 +823,9 @@ def _run_cli(*argv: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess:
 
 class TestCommandLine:
     def test_shipped_tree_is_clean(self):
-        """Acceptance criterion: ``python -m repro.analysis src/`` exits 0."""
-        completed = _run_cli("src")
+        """Acceptance criterion: the shipped tree has zero unbaselined
+        findings under every rule (RP001–RP016)."""
+        completed = _run_cli("src", "--baseline", "analysis-baseline.json", "--no-cache")
         assert completed.returncode == 0, completed.stdout + completed.stderr
         assert "0 error(s)" in completed.stdout
 
