@@ -22,7 +22,6 @@ Three modes:
 from __future__ import annotations
 
 import os
-import sys
 
 from repro.aggregate.batch import median_scores_batch, median_top_k_batch
 from repro.aggregate.kemeny import pair_cost_matrix
@@ -132,15 +131,9 @@ class TestKemenyCosting:
 
 
 def _best_of(fn, *args, repeats=3, **kwargs):
-    import time
+    from conftest import best_of
 
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn(*args, **kwargs)
-        best = min(best, time.perf_counter() - start)
-    return best, result
+    return best_of(fn, *args, repeats=repeats, **kwargs)
 
 
 def _median_comparison(n, m, repeats=3):
@@ -294,11 +287,9 @@ def check_against_baseline(baseline: dict, fresh: dict) -> list[str]:
     return failures
 
 
-def _run_check(baseline_path: str) -> int:
-    import json
+def _run_check(baseline: dict) -> int:
+    from conftest import report_failures
 
-    with open(baseline_path, encoding="utf-8") as handle:
-        baseline = json.load(handle)
     fresh = _smoke_measurements()
     print(f"{'kernel':<28}{'baseline':>12}{'fresh':>12}")
     for name in sorted(fresh["timings"]):
@@ -311,55 +302,40 @@ def _run_check(baseline_path: str) -> int:
             f"{name + ' speedup':<28}{baseline['smoke']['speedups'][name]:>11.1f}x"
             f"{fresh['speedups'][name]:>11.1f}x"
         )
-    failures = check_against_baseline(baseline, fresh)
-    for failure in failures:
-        print(f"REGRESSION: {failure}", file=sys.stderr)
-    if not failures:
-        print("perf gate: OK")
-    return 1 if failures else 0
+    return report_failures(check_against_baseline(baseline, fresh), "perf gate")
 
 
-def main(argv: list[str] | None = None) -> int:
-    import argparse
-    import json
-    import platform
-    from pathlib import Path
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--check",
-        metavar="BASELINE",
-        help="re-measure smoke sizes and fail on regression vs this JSON",
-    )
-    options = parser.parse_args(argv)
-    if options.check:
-        return _run_check(options.check)
-
-    import numpy as np
+def _regenerate() -> int:
+    from conftest import machine_info, write_baseline
 
     payload = {
         "pr": 4,
-        "machine": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-        },
+        "machine": machine_info(),
         "median_80x10000": _median_comparison(10_000, 80),
         "online_2000x80": _online_comparison(),
         "kemeny_cost_150x40": _kemeny_timing(),
         "engine_crossover": _engine_crossover(),
         "smoke": _smoke_measurements(),
     }
-    target = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
-    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_baseline("BENCH_PR4.json", payload)
     median = payload["median_80x10000"]
-    print(f"wrote {target}")
     for key in ("median_scores", "median_scores_weighted", "median_top_k"):
         print(f"{key} 80x10000: {median[key]['speedup']}x")
     print(f"online 2000x80: {payload['online_2000x80']['speedup']}x")
     print(f"engine crossover: {payload['engine_crossover']['crossover_cells']} cells")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    from conftest import gate_main
+
+    return gate_main(
+        argv,
+        description=__doc__,
+        check_help="re-measure smoke sizes and fail on regression vs this JSON",
+        check=_run_check,
+        regenerate=_regenerate,
+    )
 
 
 if __name__ == "__main__":

@@ -28,7 +28,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import sys
 import tempfile
 import time
 from pathlib import Path
@@ -137,56 +136,46 @@ def check_cache(fresh: dict, retries: int = 2) -> list[str]:
     return []
 
 
-def _run_check(baseline_path: str) -> int:
-    with open(baseline_path, encoding="utf-8") as handle:
-        baseline = json.load(handle)
+def _run_check(baseline: dict) -> int:
+    from conftest import report_failures
+
     fresh = _measure()
     print(f"{'metric':<16}{'baseline':>12}{'fresh':>12}")
     for name in ("cold_s", "warm_s", "speedup"):
         print(f"{name:<16}{baseline[name]:>12}{fresh[name]:>12}")
     print(f"hashing floor: {fresh['hash_s']}s of the warm run is file hashing")
-    failures = check_cache(fresh)
-    for failure in failures:
-        print(f"REGRESSION: {failure}", file=sys.stderr)
-    if not failures:
-        print("analysis cache gate: OK")
-    return 1 if failures else 0
+    return report_failures(check_cache(fresh), "analysis cache gate")
 
 
-def main(argv: list[str] | None = None) -> int:
-    import argparse
-    import platform
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--check",
-        metavar="BASELINE",
-        help="re-measure and fail if the cache speedup drops below the floor",
-    )
-    options = parser.parse_args(argv)
-    if options.check:
-        return _run_check(options.check)
+def _regenerate() -> int:
+    from conftest import machine_info, write_baseline
 
     measured = _measure(cold_repeats=3, warm_repeats=7)
     payload = {
         "pr": 6,
         "speedup_floor": SPEEDUP_FLOOR,
-        "machine": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-        },
+        "machine": machine_info(),
         **measured,
     }
-    target = REPO_ROOT / "BENCH_ANALYSIS.json"
-    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {target}")
+    write_baseline("BENCH_ANALYSIS.json", payload)
     print(
         f"cold {payload['cold_s']}s, warm {payload['warm_s']}s "
         f"({payload['speedup']}x, floor {SPEEDUP_FLOOR:.0f}x), "
         f"identical={payload['identical']}"
     )
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    from conftest import gate_main
+
+    return gate_main(
+        argv,
+        description=__doc__,
+        check_help="re-measure and fail if the cache speedup drops below the floor",
+        check=_run_check,
+        regenerate=_regenerate,
+    )
 
 
 if __name__ == "__main__":

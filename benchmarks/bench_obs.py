@@ -23,9 +23,6 @@ Three modes:
 from __future__ import annotations
 
 import os
-import sys
-
-import numpy as np
 
 from repro import obs
 from repro.aggregate.batch import _median_scores_array_impl, median_scores_array
@@ -246,11 +243,9 @@ def check_overheads(fresh: dict, measurers: dict | None = None) -> list[str]:
     return failures
 
 
-def _run_check(baseline_path: str) -> int:
-    import json
+def _run_check(baseline: dict) -> int:
+    from conftest import report_failures
 
-    with open(baseline_path, encoding="utf-8") as handle:
-        baseline = json.load(handle)
     measurers = _kernel_measurers()
     fresh = _measurements()
     print(f"{'kernel':<24}{'baseline':>12}{'fresh':>12}{'budget':>10}")
@@ -262,29 +257,11 @@ def _run_check(baseline_path: str) -> int:
         "span cost (enabled): "
         f"{fresh['enabled_cost']['span_cost_ns_per_call']} ns/call"
     )
-    failures = check_overheads(fresh, measurers)
-    for failure in failures:
-        print(f"REGRESSION: {failure}", file=sys.stderr)
-    if not failures:
-        print("obs overhead gate: OK")
-    return 1 if failures else 0
+    return report_failures(check_overheads(fresh, measurers), "obs overhead gate")
 
 
-def main(argv: list[str] | None = None) -> int:
-    import argparse
-    import json
-    import platform
-    from pathlib import Path
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--check",
-        metavar="BASELINE",
-        help="re-measure and fail if disabled-mode overhead exceeds 2%%",
-    )
-    options = parser.parse_args(argv)
-    if options.check:
-        return _run_check(options.check)
+def _regenerate() -> int:
+    from conftest import machine_info, write_baseline
 
     measured = _measurements()
     # the committed baseline should hold converged minima, not a noise
@@ -301,17 +278,10 @@ def main(argv: list[str] | None = None) -> int:
     payload = {
         "pr": 5,
         "overhead_budget": OVERHEAD_BUDGET,
-        "machine": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-        },
+        "machine": machine_info(),
         **measured,
     }
-    target = Path(__file__).resolve().parent.parent / "BENCH_OBS.json"
-    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {target}")
+    write_baseline("BENCH_OBS.json", payload)
     for name, data in sorted(payload["disabled_overhead"].items()):
         print(f"{name}: disabled overhead {data['overhead']:.2%}")
     print(
@@ -319,6 +289,18 @@ def main(argv: list[str] | None = None) -> int:
         f"{payload['enabled_cost']['span_cost_ns_per_call']} ns/call"
     )
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    from conftest import gate_main
+
+    return gate_main(
+        argv,
+        description=__doc__,
+        check_help="re-measure and fail if disabled-mode overhead exceeds 2%%",
+        check=_run_check,
+        regenerate=_regenerate,
+    )
 
 
 if __name__ == "__main__":

@@ -39,7 +39,13 @@ from repro.aggregate.median import (
     median_scores,
     median_top_k,
 )
-from repro.aggregate.medrank import AccessLog, medrank, nra_median
+from repro.aggregate.medrank import (
+    AccessLog,
+    SlotMedrankResult,
+    medrank,
+    medrank_out_of_core,
+    nra_median,
+)
 from repro.aggregate.objective import total_distance
 from repro.aggregate.online import OnlineMedianAggregator
 from repro.aggregate.tournament import (
@@ -67,8 +73,10 @@ __all__ = [
     "optimal_partial_ranking",
     "bucketing_cost",
     "medrank",
+    "medrank_out_of_core",
     "nra_median",
     "AccessLog",
+    "SlotMedrankResult",
     "optimal_footrule_aggregation",
     "kemeny_optimal",
     "kemeny_lower_bound",

@@ -47,10 +47,11 @@ from repro import obs
 from repro.aggregate.dp import optimal_bucketing
 from repro.aggregate.median import MedianTie, _check_tie, _validated_weights
 from repro.aggregate.objective import validate_profile
+from repro.core.arena import ProfileArena
 from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
-from repro.metrics.batch import position_matrix
+from repro.metrics.batch import Profile, position_matrix
 
 __all__ = [
     "median_scores_array",
@@ -203,9 +204,24 @@ def _top_k_slots(scores: npt.NDArray[np.float64], k: int) -> npt.NDArray[np.intp
 
 
 def _encoded_profile(
-    rankings: Sequence[PartialRanking],
+    rankings: Profile,
 ) -> tuple[DomainCodec, npt.NDArray[np.float64]]:
-    """Validate the profile and encode it once as an (m, n) matrix."""
+    """Validate the profile and encode it once as an (m, n) matrix.
+
+    A :class:`~repro.core.arena.ProfileArena` is already encoded — its
+    cached float64 decode is the identical matrix (``half · 0.5`` is
+    exact), so arena-backed aggregation is bit-for-bit the object path.
+    Only owner-side arenas carry the codec needed to name items; a
+    handle-attached arena is rejected with a pointed error.
+    """
+    if isinstance(rankings, ProfileArena):
+        codec = rankings.codec
+        if codec is None:
+            raise AggregationError(
+                "handle-attached arena carries no codec; aggregate in the "
+                "owning process (or rebuild the arena from the rankings)"
+            )
+        return codec, rankings.positions
     domain = validate_profile(rankings)
     codec = DomainCodec.for_domain(domain)
     return codec, position_matrix(rankings, codec)
@@ -219,7 +235,7 @@ def _scores_dict(
 
 
 def median_scores_batch(
-    rankings: Sequence[PartialRanking],
+    rankings: Profile,
     tie: MedianTie = "mid",
     weights: Sequence[float] | None = None,
 ) -> dict[Item, float]:
@@ -234,7 +250,7 @@ def median_scores_batch(
 
 
 def median_top_k_batch(
-    rankings: Sequence[PartialRanking],
+    rankings: Profile,
     k: int,
     tie: MedianTie = "mid",
     weights: Sequence[float] | None = None,
@@ -248,7 +264,7 @@ def median_top_k_batch(
 
 
 def median_full_ranking_batch(
-    rankings: Sequence[PartialRanking],
+    rankings: Profile,
     tie: MedianTie = "mid",
     weights: Sequence[float] | None = None,
 ) -> PartialRanking:
@@ -262,7 +278,7 @@ def median_full_ranking_batch(
 
 
 def median_partial_ranking_batch(
-    rankings: Sequence[PartialRanking],
+    rankings: Profile,
     tie: MedianTie = "mid",
     weights: Sequence[float] | None = None,
 ) -> PartialRanking:
@@ -292,7 +308,7 @@ def _partial_ranking_from_scores(
 
 
 def median_fixed_type_batch(
-    rankings: Sequence[PartialRanking],
+    rankings: Profile,
     bucket_type: Sequence[int],
     tie: MedianTie = "mid",
 ) -> PartialRanking:

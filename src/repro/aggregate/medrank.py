@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,7 +38,17 @@ from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
 from repro.metrics.batch import bucket_index_matrix, position_matrix
 
-__all__ = ["AccessLog", "MedrankResult", "medrank", "nra_median"]
+if TYPE_CHECKING:
+    from repro.db.mmap_lists import SortedListStore
+
+__all__ = [
+    "AccessLog",
+    "MedrankResult",
+    "SlotMedrankResult",
+    "medrank",
+    "medrank_out_of_core",
+    "nra_median",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -135,6 +146,86 @@ def medrank(
     log = AccessLog(depth=depth, num_lists=m, domain_size=n)
     obs.add("aggregate.medrank.accesses", log.total_accesses)
     return MedrankResult(winners=tuple(selected), ranking=ranking, access_log=log)
+
+
+@dataclass(frozen=True, slots=True)
+class SlotMedrankResult:
+    """Output of an out-of-core MEDRANK run, in codec slot space.
+
+    Million-item stores carry no item objects — only slots. Map
+    ``winner_slots`` through the owning codec's :attr:`items
+    <repro.core.codec.DomainCodec.items>` to recover the items; the
+    oracle does exactly that to compare against :func:`medrank`.
+    """
+
+    winner_slots: tuple[int, ...]
+    access_log: AccessLog
+
+
+def medrank_out_of_core(
+    store: "SortedListStore",
+    k: int = 1,
+    quota: float = 0.5,
+) -> SlotMedrankResult:
+    """MEDRANK over memory-mapped sorted lists (the database-scale run).
+
+    The same majority-stopping round-robin as :func:`medrank`, driven
+    through :class:`~repro.db.mmap_lists.MmapSortedCursor` sorted
+    accesses instead of materialized ``items_in_order()`` lists: at
+    n ≈ 10⁶ the store faults in only the page-prefix of each list the
+    algorithm actually reads — the paper's instance-optimal
+    sequential-access economy, observable in RSS.
+
+    Exactness contract: the store's rows are the slot-space
+    ``items_in_order()`` of each list, and the canonical within-depth
+    tie-break (richer count first, then canonical item order) *is*
+    ``(-count, slot)`` because slot order is the canonical order. The
+    run therefore reads the same (list, depth) coordinates, selects the
+    same winners, stops at the same depth, and books the same
+    ``aggregate.medrank.accesses`` counter as the in-memory algorithm —
+    ``oracle:medrank-out-of-core`` asserts all of it.
+    """
+    m, n = store.num_lists, store.domain_size
+    if m == 0:
+        raise AggregationError("medrank of an empty profile is undefined")
+    if not 0 < k <= n:
+        raise AggregationError(f"k={k} out of range for domain of size {n}")
+    if not 0.0 < quota < 1.0:
+        raise AggregationError(f"quota={quota} must lie strictly between 0 and 1")
+
+    cursors = store.cursors()
+    threshold = quota * m
+    counts = np.zeros(n, dtype=np.int64)
+    selected: list[int] = []
+    selected_mask = np.zeros(n, dtype=bool)
+    depth = 0
+
+    while len(selected) < k and depth < n:
+        depth += 1
+        round_slots = np.fromiter(
+            (cursor.next_slot() for cursor in cursors), dtype=np.int64, count=m
+        )
+        np.add.at(counts, round_slots, 1)
+        # slots crossing the quota at this depth, richer count first and
+        # canonical (= slot) order within a count — the tie-break of
+        # medrank(), which sorts by end-of-round counts too. Only slots
+        # touched this round can newly cross, so the check is O(m) per
+        # depth level, not an O(n) scan (the n=10⁶ runs would otherwise
+        # spend their time scanning counts, not accessing lists).
+        touched = np.unique(round_slots)
+        newly = touched[(counts[touched] > threshold) & ~selected_mask[touched]]
+        if newly.size:
+            selected_mask[newly] = True
+            for slot in newly[np.lexsort((newly, -counts[newly]))]:
+                if len(selected) < k:
+                    selected.append(int(slot))
+
+    if len(selected) < k:  # pragma: no cover - depth n always selects everything
+        raise AggregationError("medrank exhausted all lists before selecting k items")
+
+    log = AccessLog(depth=depth, num_lists=m, domain_size=n)
+    obs.add("aggregate.medrank.accesses", log.total_accesses)
+    return SlotMedrankResult(winner_slots=tuple(selected), access_log=log)
 
 
 def nra_median(

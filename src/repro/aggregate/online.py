@@ -38,6 +38,7 @@ from repro.aggregate.batch import (
     median_scores_array,
 )
 from repro.aggregate.median import MedianTie, _check_tie
+from repro.core.arena import ProfileArena
 from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
@@ -129,6 +130,39 @@ class OnlineMedianAggregator:
         obs.add("aggregate.online.adds")
         if self._sorted is not None:
             self._sorted = _merge_sorted_row(self._sorted, positions)
+
+    def add_arena(self, arena: ProfileArena) -> None:
+        """Bulk-ingest every row of an arena-backed profile. O(m·n).
+
+        Equivalent to adding the arena's rankings one by one — the same
+        rows land in the same order (the arena's float64 decode is exact),
+        so every subsequent query returns bit-identical results; only the
+        per-row sorted-cache merges are skipped in favor of one columnwise
+        re-sort at the next query. The arena must be owner-side (carry a
+        codec) over exactly this aggregator's domain.
+        """
+        codec = arena.codec
+        if codec is None:
+            raise AggregationError(
+                "handle-attached arena carries no codec; bulk-add in the owning process"
+            )
+        if codec.domain != self._codec.domain:
+            raise AggregationError("arena domain differs from the aggregator's domain")
+        positions = arena.positions
+        m = positions.shape[0]
+        needed = self._count + m
+        if needed > self._rows.shape[0]:
+            capacity = self._rows.shape[0]
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, self._rows.shape[1]), dtype=np.float64)
+            grown[: self._count] = self._rows[: self._count]
+            self._rows = grown
+        self._rows[self._count : needed] = positions
+        self._count = needed
+        obs.add("aggregate.online.adds", m)
+        # one columnwise sort at the next query beats m row merges
+        self._sorted = None
 
     def discard(self, ranking: PartialRanking) -> None:
         """Remove one previously added ranking (a criterion toggled off).

@@ -118,9 +118,21 @@ _ROUNDING = frozenset({"rint", "round", "floor", "ceil", "trunc", "around", "flo
 #: functions returning int64 regardless of input.
 _INT_RETURNING = frozenset({"bincount", "argsort", "lexsort", "argmax", "argmin", "searchsorted", "count_nonzero"})
 
+#: The arena's fit-check guards (:func:`repro.core.arena.int32_fits` /
+#: :func:`~repro.core.arena.storage_dtype`). A function that consults one
+#: of these is performing *sanctioned storage narrowing*: int32 is legal
+#: for stored ranks because the guard proved ``2n < 2³¹``. Narrowing
+#: issues are suppressed in such functions; default-accumulator issues
+#: are not — totals must stay int64 no matter how the storage fits.
+_FIT_GUARDS = frozenset({"int32_fits", "storage_dtype"})
+
 
 def dtype_of_text(text: str) -> DType:
     """Classify a dtype expression's source text."""
+    if "storage_dtype" in text:
+        # the arena's guard-selected dtype *may* be int32: treat the
+        # result as narrow so reductions over it still demand dtype=
+        return DType.NARROW_INT
     if _NARROW_RE.search(text):
         return DType.NARROW_INT
     if _BOOL_RE.search(text):
@@ -182,10 +194,13 @@ class _Inference:
         env: dict[str, DType],
         return_dtypes: dict[str, DType],
         resolve: Callable[[ast.expr], str | None] | None,
+        *,
+        fit_guarded: bool = False,
     ) -> None:
         self.env = env
         self.return_dtypes = return_dtypes
         self.resolve = resolve
+        self.fit_guarded = fit_guarded
         self.issues: list[DTypeIssue] = []
 
     def _issue(self, node: ast.AST, kind: str, message: str) -> None:
@@ -257,12 +272,14 @@ class _Inference:
             target = (
                 dtype_of_text(ast.unparse(call.args[0])) if call.args else DType.UNKNOWN
             )
-            if target == DType.NARROW_INT:
+            if target == DType.NARROW_INT and not self.fit_guarded:
                 self._issue(
                     call,
                     "narrowing",
                     "astype() narrows out of the int64 lattice; pair counts "
-                    "overflow int32 past ~65k items — keep counts in np.int64",
+                    "overflow int32 past ~65k items — keep counts in np.int64 "
+                    "(int32 *storage* is sanctioned only in functions that "
+                    "consult the arena's int32_fits()/storage_dtype() guard)",
                 )
             if (
                 target == DType.INT64
@@ -281,13 +298,15 @@ class _Inference:
 
         if leaf in _REDUCTIONS:
             if explicit is None and operand_dtype in (DType.BOOL, DType.NARROW_INT):
+                # never sanctioned: the arena guard legalizes narrow
+                # *storage*, but totals must still accumulate in int64
                 self._issue(
                     call,
                     "default-accumulator",
                     f"{leaf}() on a {operand_dtype.value} array without an "
                     "explicit dtype=; the accumulator defaults to the "
-                    "platform integer (int32 on Windows) — pass "
-                    "dtype=np.int64",
+                    "operand/platform integer — pass dtype=np.int64 "
+                    "(accumulators stay int64 even for guarded int32 storage)",
                 )
             if explicit is not None:
                 return explicit
@@ -296,12 +315,14 @@ class _Inference:
             return operand_dtype
 
         if explicit is not None:
-            if explicit == DType.NARROW_INT:
+            if explicit == DType.NARROW_INT and not self.fit_guarded:
                 self._issue(
                     call,
                     "narrowing",
                     f"{leaf}(dtype=...) allocates a narrow integer array; "
-                    "exact-integer kernels stay in np.int64",
+                    "exact-integer kernels stay in np.int64 (int32 storage "
+                    "is sanctioned only under the arena's int32_fits()/"
+                    "storage_dtype() guard)",
                 )
             return explicit
 
@@ -311,6 +332,8 @@ class _Inference:
             return DType.INT64
         if leaf in _FLOAT_DEFAULT_CTORS:
             return DType.FLOAT64
+        if leaf == "int32_fits":
+            return DType.BOOL
         if leaf in ("sign",):
             return operand_dtype
         if leaf == "arange":
@@ -348,7 +371,15 @@ def scan_function_dtypes(
         if dtype != DType.UNKNOWN:
             env[arg.arg] = dtype
 
-    inference = _Inference(env, return_dtypes or {}, resolve)
+    # sanctioned storage narrowing: a function that consults the arena's
+    # fit guard anywhere in its body may narrow to int32 (the guard
+    # proved the values fit); accumulator hazards stay in force
+    fit_guarded = any(
+        isinstance(inner, ast.Call) and _leaf(inner.func) in _FIT_GUARDS
+        for inner in ast.walk(node)
+    )
+
+    inference = _Inference(env, return_dtypes or {}, resolve, fit_guarded=fit_guarded)
     return_dtype = annotation_dtype(node.returns)
 
     # source-order walk of the own body (nested defs excluded)

@@ -13,6 +13,10 @@ buckets. This package provides:
   and run an aggregation;
 * :class:`SortedCursor` — the sorted-access-only cursor of the paper's
   access model, with exact access accounting;
+* :class:`SortedListStore` / :class:`MmapSortedCursor` — the out-of-core
+  variant: sorted-access orders persisted as one memory-mapped ``.npy``
+  per profile, so million-item MEDRANK runs fault in only the list
+  prefixes they actually read;
 * :mod:`repro.db.similarity` — "find records like this one" via rank
   aggregation of per-attribute closeness rankings (the [11] application);
 * :mod:`repro.db.sources` — deterministic synthetic restaurant, flight,
@@ -20,6 +24,7 @@ buckets. This package provides:
 """
 
 from repro.db.cursor import SortedCursor
+from repro.db.mmap_lists import MmapSortedCursor, SortedListStore
 from repro.db.query import AttributePreference, PreferenceQuery, QueryResult
 from repro.db.relation import Relation
 from repro.db.similarity import SimilarityResult, similarity_rankings, similarity_search
@@ -31,6 +36,8 @@ __all__ = [
     "PreferenceQuery",
     "QueryResult",
     "SortedCursor",
+    "SortedListStore",
+    "MmapSortedCursor",
     "similarity_search",
     "similarity_rankings",
     "SimilarityResult",

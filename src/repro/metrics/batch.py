@@ -34,18 +34,27 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import Any, Union
 
 import numpy as np
 import numpy.typing as npt
 
 from repro import obs
 from repro._util import pairs
+from repro.core.arena import ProfileArena
 from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import PartialRanking
 from repro.errors import InvalidRankingError
 from repro.metrics.fast import count_inversions_array
 from repro.metrics.kendall import PairCounts
-from repro.parallel import parallel_map, resolve_jobs
+from repro.parallel import parallel_map, parallel_map_arena, resolve_jobs
+
+#: A batch-layer profile: either the object layer (a sequence of
+#: rankings, encoded on the fly) or a shared-memory
+#: :class:`~repro.core.arena.ProfileArena` (already encoded, zero-copy
+#: across the pool boundary). Every kernel here accepts both and is
+#: required to produce bit-identical results for them.
+Profile = Union[Sequence[PartialRanking], ProfileArena]
 
 __all__ = [
     "PairCountsMatrix",
@@ -73,6 +82,11 @@ METRIC_ALIASES = {
 #: Dense pair-classification is used when m·n² stays below this many
 #: tensor elements (three float64 tensors of that size are materialized).
 _DENSE_BUDGET = 1 << 23
+
+#: The tiled GEMM strategy extends the dense math to m·n² this large by
+#: streaming item tiles whose sign tensors stay within ``_DENSE_BUDGET``
+#: elements; beyond it, ``auto`` falls back to the per-pair kernel.
+_TILED_BUDGET = 1 << 27
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,12 +155,37 @@ def position_matrix(
     return np.stack([ranking.dense_arrays(codec)[1] for ranking in rankings])
 
 
+def _profile_bucket_rows(profile: Profile) -> npt.NDArray[np.signedinteger[Any]]:
+    """The ``(m, n)`` bucket-index matrix of either profile representation.
+
+    Arena-backed profiles return their shared-memory view (storage dtype,
+    possibly int32 — every consumer accumulates in int64); object-layer
+    profiles encode through the codec as before.
+    """
+    if isinstance(profile, ProfileArena):
+        return profile.bucket_rows
+    return bucket_index_matrix(profile)
+
+
+def _profile_position_rows(profile: Profile) -> npt.NDArray[np.float64]:
+    """The ``(m, n)`` float64 position matrix of either representation.
+
+    The arena decode (``half · 0.5``) is exact, so both branches return
+    bit-identical matrices for the same profile.
+    """
+    if isinstance(profile, ProfileArena):
+        return profile.positions
+    return position_matrix(profile, DomainCodec.for_profile(profile))
+
+
 # ----------------------------------------------------------------------
 # Pair classification
 # ----------------------------------------------------------------------
 
 
-def sign_tensor(bucket_rows: npt.NDArray[np.int64]) -> npt.NDArray[np.float64]:
+def sign_tensor(
+    bucket_rows: npt.NDArray[np.signedinteger[Any]],
+) -> npt.NDArray[np.float64]:
     """Flattened per-ranking pair-sign tensors, shape ``(m, n·n)``.
 
     ``S[r, i·n + j] = sign(bucket_r(i) − bucket_r(j))`` — +1 when ranking
@@ -162,7 +201,9 @@ def sign_tensor(bucket_rows: npt.NDArray[np.int64]) -> npt.NDArray[np.float64]:
     return sign.astype(np.float64)
 
 
-def _tied_per_ranking(bucket_rows: npt.NDArray[np.int64]) -> npt.NDArray[np.int64]:
+def _tied_per_ranking(
+    bucket_rows: npt.NDArray[np.signedinteger[Any]],
+) -> npt.NDArray[np.int64]:
     """Per ranking: the number of item pairs tied in that ranking."""
     m = bucket_rows.shape[0]
     tied = np.empty(m, dtype=np.int64)
@@ -172,7 +213,9 @@ def _tied_per_ranking(bucket_rows: npt.NDArray[np.int64]) -> npt.NDArray[np.int6
     return tied
 
 
-def _classify_rows(x: npt.NDArray[np.int64], y: npt.NDArray[np.int64]) -> tuple[int, int]:
+def _classify_rows(
+    x: npt.NDArray[np.signedinteger[Any]], y: npt.NDArray[np.signedinteger[Any]]
+) -> tuple[int, int]:
     """(discordant, tied_both) between two bucket-index rows.
 
     Same lexsort/run-length/merge derivation as
@@ -208,7 +251,9 @@ def _chunk(items: list[tuple[int, int]], n_chunks: int) -> list[list[tuple[int, 
     return [items[k : k + step] for k in range(0, len(items), step)]
 
 
-def _pair_counts_dense(bucket_rows: npt.NDArray[np.int64]) -> PairCountsMatrix:
+def _pair_counts_dense(
+    bucket_rows: npt.NDArray[np.signedinteger[Any]],
+) -> PairCountsMatrix:
     """Classify all pairs at once via four sign-tensor matrix products.
 
     Per ranking ``r`` build the flattened n×n sign tensor
@@ -241,18 +286,83 @@ def _pair_counts_dense(bucket_rows: npt.NDArray[np.int64]) -> PairCountsMatrix:
     )
 
 
-def _pair_counts_pairs(
-    bucket_rows: npt.NDArray[np.int64], jobs: int | None
+def _pair_counts_dense_tiled(
+    bucket_rows: npt.NDArray[np.signedinteger[Any]],
 ) -> PairCountsMatrix:
-    """Classify all pairs with the per-pair O(n log n) kernel."""
+    """The dense classifier, cache-blocked over item tiles.
+
+    Identical math to :func:`_pair_counts_dense`, but the ``(m, n·n)``
+    sign tensor is never materialized: item indices ``i`` are processed in
+    tiles sized so each partial tensor stays within ``_DENSE_BUDGET``
+    elements, and the four gram matrices accumulate per-tile products.
+    Each partial product is an exact integer in float64 and integer
+    addition in float64 is exact below 2⁵³, so the accumulated grams —
+    and therefore the final counts — are **bit-identical** to the untiled
+    strategy at any tile size (``relation:tiled-gemm-agreement`` and the
+    pair-counts oracle assert this).
+    """
+    m, n = bucket_rows.shape
+    tile = max(1, _DENSE_BUDGET // max(1, m * n))
+    g_ss = np.zeros((m, m), dtype=np.float64)
+    g_aa = np.zeros((m, m), dtype=np.float64)
+    g_za = np.zeros((m, m), dtype=np.float64)
+    g_zz = np.zeros((m, m), dtype=np.float64)
+    for start in range(0, n, tile):
+        block = bucket_rows[:, start : start + tile]
+        width = block.shape[1]
+        sign = (
+            np.sign(block[:, :, None] - bucket_rows[:, None, :])
+            .reshape(m, width * n)
+            .astype(np.float64)
+        )
+        strict = np.abs(sign)
+        tied = 1.0 - strict
+        g_ss += sign @ sign.T
+        g_aa += strict @ strict.T
+        g_za += tied @ strict.T
+        g_zz += tied @ tied.T
+        obs.add("metrics.batch.tiles")
+    discordant = np.rint((g_aa - g_ss) / 4.0).astype(np.int64)
+    concordant = np.rint((g_aa + g_ss) / 4.0).astype(np.int64)
+    tied_first_only = np.rint(g_za / 2.0).astype(np.int64)
+    tied_both = np.rint((g_zz - n) / 2.0).astype(np.int64)
+    return PairCountsMatrix(
+        discordant=discordant,
+        tied_first_only=tied_first_only,
+        tied_both=tied_both,
+        concordant=concordant,
+    )
+
+
+def _classify_chunk_arena(
+    arena: ProfileArena, index_pairs: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Arena worker twin of :func:`_classify_chunk`: rows come from shm."""
+    rows = arena.bucket_rows
+    return [_classify_rows(rows[i], rows[j]) for i, j in index_pairs]
+
+
+def _pair_counts_pairs(
+    bucket_rows: npt.NDArray[np.signedinteger[Any]],
+    jobs: int | None,
+    arena: ProfileArena | None = None,
+) -> PairCountsMatrix:
+    """Classify all pairs with the per-pair O(n log n) kernel.
+
+    With an arena, pool tasks carry only the handle and index pairs —
+    workers map the bucket matrix instead of unpickling it.
+    """
     m, n = bucket_rows.shape
     total = pairs(n)
     tied = _tied_per_ranking(bucket_rows)
     index_pairs = _upper_triangle(m)
     chunks = _chunk(index_pairs, resolve_jobs(jobs))
-    results = parallel_map(
-        _classify_chunk, [(bucket_rows, chunk) for chunk in chunks], jobs=jobs
-    )
+    if arena is not None:
+        results = parallel_map_arena(_classify_chunk_arena, chunks, arena, jobs=jobs)
+    else:
+        results = parallel_map(
+            _classify_chunk, [(bucket_rows, chunk) for chunk in chunks], jobs=jobs
+        )
 
     discordant = np.zeros((m, m), dtype=np.int64)
     tied_first_only = np.zeros((m, m), dtype=np.int64)
@@ -279,7 +389,7 @@ def _pair_counts_pairs(
 
 
 def pair_counts_matrix(
-    rankings: Sequence[PartialRanking],
+    rankings: Profile,
     *,
     strategy: str = "auto",
     jobs: int | None = None,
@@ -287,20 +397,35 @@ def pair_counts_matrix(
     """All-pairs pair-category counts for a profile.
 
     ``strategy='dense'`` forces the sign-tensor gemm path (O(m·n²) memory),
-    ``'pairs'`` the per-pair lexsort/merge path, ``'auto'`` picks dense
-    while the tensor stays below the budget. Both strategies produce
-    identical matrices; the test suite asserts it.
+    ``'tiled'`` the cache-blocked gemm path (O(m·n) memory per tile, same
+    math), ``'pairs'`` the per-pair lexsort/merge path. ``'auto'`` picks
+    dense below ``_DENSE_BUDGET`` tensor elements, tiled up to
+    ``_TILED_BUDGET``, pairs beyond. All strategies produce identical
+    matrices — bit for bit; the test suite and
+    ``relation:tiled-gemm-agreement`` assert it. ``rankings`` may be a
+    sequence of rankings or a :class:`~repro.core.arena.ProfileArena`.
     """
-    bucket_rows = bucket_index_matrix(rankings)
+    arena = rankings if isinstance(rankings, ProfileArena) else None
+    bucket_rows = _profile_bucket_rows(rankings)
     m, n = bucket_rows.shape
     if strategy == "auto":
-        strategy = "dense" if m * n * n <= _DENSE_BUDGET else "pairs"
-    if strategy not in ("dense", "pairs"):
-        raise ValueError(f"unknown strategy {strategy!r}; expected 'auto', 'dense' or 'pairs'")
+        work = m * n * n
+        if work <= _DENSE_BUDGET:
+            strategy = "dense"
+        elif work <= _TILED_BUDGET:
+            strategy = "tiled"
+        else:
+            strategy = "pairs"
+    if strategy not in ("dense", "tiled", "pairs"):
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected 'auto', 'dense', 'tiled' or 'pairs'"
+        )
     if not obs.enabled():
         if strategy == "dense":
             return _pair_counts_dense(bucket_rows)
-        return _pair_counts_pairs(bucket_rows, jobs)
+        if strategy == "tiled":
+            return _pair_counts_dense_tiled(bucket_rows)
+        return _pair_counts_pairs(bucket_rows, jobs, arena)
     with obs.trace("metrics.batch.pair_counts_matrix", m=m, n=n, strategy=strategy):
         # every strategy classifies all n-choose-2 item pairs of each of
         # the m rankings' pairings, i.e. m·n(n−1)/2 pair slots per role
@@ -308,7 +433,9 @@ def pair_counts_matrix(
         obs.add("metrics.batch.ranking_pairs", pairs(m))
         if strategy == "dense":
             return _pair_counts_dense(bucket_rows)
-        return _pair_counts_pairs(bucket_rows, jobs)
+        if strategy == "tiled":
+            return _pair_counts_dense_tiled(bucket_rows)
+        return _pair_counts_pairs(bucket_rows, jobs, arena)
 
 
 # ----------------------------------------------------------------------
@@ -326,7 +453,9 @@ def _footrule_chunk(
     ]
 
 
-def _fhaus_rows(x: npt.NDArray[np.int64], y: npt.NDArray[np.int64]) -> float:
+def _fhaus_rows(
+    x: npt.NDArray[np.signedinteger[Any]], y: npt.NDArray[np.signedinteger[Any]]
+) -> float:
     """``F_Haus`` between two bucket-index rows via array Theorem 5 witnesses.
 
     ``np.lexsort`` is stable, so residual ties break by slot index — i.e.
@@ -355,6 +484,33 @@ def _fhaus_chunk(
     return [_fhaus_rows(bucket_rows[i], bucket_rows[j]) for i, j in index_pairs]
 
 
+def _footrule_chunk_arena(
+    arena: ProfileArena, index_pairs: list[tuple[int, int]]
+) -> list[float]:
+    """Arena worker: F_prof over the integer half-position fast path.
+
+    ``|pos_i − pos_j| = ½·|half_i − half_j|``: the differences are taken
+    in int64 (the storage may be int32 — accumulating there could
+    overflow, and RP014 would rightly flag it) and halved once at the
+    end. Every float64 sum of half-integers in the object path is exact,
+    so the two paths agree bit for bit.
+    """
+    half = arena.half_position_rows
+    out: list[float] = []
+    for i, j in index_pairs:
+        diff = half[i].astype(np.int64) - half[j].astype(np.int64)
+        out.append(float(np.abs(diff).sum()) * 0.5)
+    return out
+
+
+def _fhaus_chunk_arena(
+    arena: ProfileArena, index_pairs: list[tuple[int, int]]
+) -> list[float]:
+    """Arena worker twin of :func:`_fhaus_chunk`."""
+    rows = arena.bucket_rows
+    return [_fhaus_rows(rows[i], rows[j]) for i, j in index_pairs]
+
+
 def _symmetric_from_chunks(
     m: int,
     chunks: list[list[tuple[int, int]]],
@@ -373,7 +529,7 @@ def _symmetric_from_chunks(
 
 
 def pairwise_distance_matrix(
-    rankings: Sequence[PartialRanking],
+    rankings: Profile,
     metric: str = "kendall",
     *,
     p: float = 0.5,
@@ -388,6 +544,9 @@ def pairwise_distance_matrix(
     Kendall metric only; ``strategy`` to the Kendall-family pair
     classification (see :func:`pair_counts_matrix`); ``jobs`` spreads the
     per-pair code paths over a process pool (:mod:`repro.parallel`).
+    ``rankings`` may be a sequence of rankings or a
+    :class:`~repro.core.arena.ProfileArena`, in which case pooled workers
+    map the profile zero-copy instead of unpickling rows.
 
     Entries are bit-for-bit equal to the two-ranking metrics; the matrix
     is symmetric with a zero diagonal.
@@ -416,7 +575,7 @@ def pairwise_distance_matrix(
 
 
 def _pairwise_distance_matrix_impl(
-    rankings: Sequence[PartialRanking],
+    rankings: Profile,
     canonical: str,
     *,
     p: float,
@@ -430,18 +589,26 @@ def _pairwise_distance_matrix_impl(
         counts = pair_counts_matrix(rankings, strategy=strategy, jobs=jobs)
         return counts.kendall_hausdorff().astype(np.float64)
 
-    codec = DomainCodec.for_profile(rankings)
+    arena = rankings if isinstance(rankings, ProfileArena) else None
     m = len(rankings)
     index_pairs = _upper_triangle(m)
     chunks = _chunk(index_pairs, resolve_jobs(jobs))
     if canonical == "footrule":
-        position_rows = position_matrix(rankings, codec)
-        results = parallel_map(
-            _footrule_chunk, [(position_rows, chunk) for chunk in chunks], jobs=jobs
-        )
+        if arena is not None:
+            results = parallel_map_arena(_footrule_chunk_arena, chunks, arena, jobs=jobs)
+        else:
+            position_rows = _profile_position_rows(rankings)
+            results = parallel_map(
+                _footrule_chunk, [(position_rows, chunk) for chunk in chunks], jobs=jobs
+            )
     else:  # footrule_hausdorff
-        bucket_rows = bucket_index_matrix(rankings, codec)
-        results = parallel_map(
-            _fhaus_chunk, [(bucket_rows, chunk) for chunk in chunks], jobs=jobs
-        )
+        if arena is not None:
+            results = parallel_map_arena(_fhaus_chunk_arena, chunks, arena, jobs=jobs)
+        else:
+            bucket_rows = bucket_index_matrix(
+                rankings, DomainCodec.for_profile(rankings)
+            )
+            results = parallel_map(
+                _fhaus_chunk, [(bucket_rows, chunk) for chunk in chunks], jobs=jobs
+            )
     return _symmetric_from_chunks(m, chunks, results)

@@ -30,11 +30,14 @@ import os
 import warnings
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, TypeVar
+from typing import TYPE_CHECKING, Any, TypeVar
 
 from repro.obs import spans as _spans
 
-__all__ = ["ENV_JOBS", "resolve_jobs", "parallel_map"]
+if TYPE_CHECKING:
+    from repro.core.arena import ArenaHandle, ProfileArena
+
+__all__ = ["ENV_JOBS", "resolve_jobs", "parallel_map", "parallel_map_arena"]
 
 ENV_JOBS = "REPRO_JOBS"
 
@@ -137,12 +140,95 @@ def parallel_map(
             shipped = list(
                 pool.map(_traced_worker, payloads, chunksize=max(1, chunksize))
             )
-        pid_to_worker: dict[int, int] = {}
-        results: list[_R] = []
-        for result, span_dicts in shipped:
-            if span_dicts:
-                pid = int(span_dicts[0].get("pid", 0))
-                worker = pid_to_worker.setdefault(pid, len(pid_to_worker))
-                _spans.attach_worker_spans(span_dicts, worker)
-            results.append(result)
-        return results
+        return _graft_worker_spans(shipped)
+
+
+def _graft_worker_spans(shipped: list[tuple[_R, list[dict[str, Any]]]]) -> list[_R]:
+    """Re-attach pickled worker spans under the live ``parallel.map`` span.
+
+    Worker pids are mapped to stable 0-based worker ids in order of first
+    appearance, so trace output is deterministic across pool scheduling.
+    """
+    pid_to_worker: dict[int, int] = {}
+    results: list[_R] = []
+    for result, span_dicts in shipped:
+        if span_dicts:
+            pid = int(span_dicts[0].get("pid", 0))
+            worker = pid_to_worker.setdefault(pid, len(pid_to_worker))
+            _spans.attach_worker_spans(span_dicts, worker)
+        results.append(result)
+    return results
+
+
+#: Arenas this worker process has mapped, held strongly for the life of
+#: the pool so every task against the same arena reuses one mapping
+#: (attach is memoized per segment; the OS reclaims mappings at worker
+#: exit, and only the creating process ever unlinks).
+_WORKER_ARENAS: dict[str, "ProfileArena"] = {}
+
+
+def _worker_arena(handle: "ArenaHandle") -> "ProfileArena":
+    arena = _WORKER_ARENAS.get(handle.name)
+    if arena is None or not arena.attached:
+        from repro.core.arena import ProfileArena
+
+        arena = ProfileArena.attach(handle)
+        _WORKER_ARENAS[handle.name] = arena  # repro: noqa[RP012] — worker-local mmap cache; the mapping must outlive the task, and dying with the worker is its intended lifetime
+    return arena
+
+
+def _arena_worker(
+    payload: tuple["ArenaHandle", Callable[["ProfileArena", _T], _R], _T],
+) -> _R:
+    handle, fn, item = payload
+    return fn(_worker_arena(handle), item)
+
+
+def _traced_arena_worker(
+    payload: tuple["ArenaHandle", Callable[["ProfileArena", _T], _R], _T],
+) -> tuple[_R, list[dict[str, Any]]]:
+    """Arena variant of :func:`_traced_worker`: same span capture protocol."""
+    handle, fn, item = payload
+    _spans._LOCAL.stack.clear()
+    with _spans.capture() as sess:
+        result = fn(_worker_arena(handle), item)
+    return result, [span.to_dict() for span in sess.roots]
+
+
+def parallel_map_arena(
+    fn: Callable[["ProfileArena", _T], _R],
+    items: Iterable[_T],
+    arena: "ProfileArena",
+    *,
+    jobs: int | None = None,
+    chunksize: int = 1,
+) -> list[_R]:
+    """``[fn(arena, x) for x in items]`` with zero-copy worker dispatch.
+
+    The arena-aware twin of :func:`parallel_map`: instead of pickling
+    profile rows into every task, each task ships only the
+    :class:`~repro.core.arena.ArenaHandle` (a segment name and a shape)
+    and the worker maps the shared-memory matrices in place — first task
+    pays one ``mmap``, later tasks reuse it. ``fn`` receives the
+    process-local arena as its first argument and must treat it as
+    read-only. Results come back in input order; the serial path calls
+    ``fn`` with the caller's own arena, so ``jobs`` levels are required
+    (and tested) to agree bit for bit.
+    """
+    work: Sequence[_T] = items if isinstance(items, Sequence) else list(items)
+    n_jobs = min(resolve_jobs(jobs), len(work)) if work else 1
+    if n_jobs <= 1:
+        return [fn(arena, item) for item in work]
+    handle = arena.handle()
+    payloads = [(handle, fn, item) for item in work]
+    if not _spans.enabled():
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            return list(pool.map(_arena_worker, payloads, chunksize=max(1, chunksize)))
+    with _spans.trace(
+        "parallel.map_arena", jobs=n_jobs, items=len(work), arena_bytes=handle.nbytes
+    ):
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            shipped = list(
+                pool.map(_traced_arena_worker, payloads, chunksize=max(1, chunksize))
+            )
+        return _graft_worker_spans(shipped)

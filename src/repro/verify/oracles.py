@@ -21,8 +21,10 @@ can actually catch a bug; they never run in normal fuzzing.
 from __future__ import annotations
 
 import pickle
+import tempfile
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -35,6 +37,7 @@ from repro.aggregate.batch import (
 )
 from repro.aggregate.kemeny import kemeny_optimal
 from repro.aggregate.matching import optimal_footrule_aggregation
+from repro.aggregate.medrank import medrank, medrank_out_of_core
 from repro.aggregate.median import (
     median_fixed_type,
     median_full_ranking,
@@ -43,9 +46,11 @@ from repro.aggregate.median import (
     median_top_k,
 )
 from repro.aggregate.online import OnlineMedianAggregator
+from repro.core.arena import ProfileArena
 from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import PartialRanking
 from repro.core.refine import common_full_ranking, star
+from repro.db.mmap_lists import SortedListStore
 from repro.metrics.batch import pair_counts_matrix, pairwise_distance_matrix
 from repro.metrics.fast import (
     count_inversions_array,
@@ -304,6 +309,34 @@ def _profile_matrix_variant(metric: str, strategy: str, jobs: int | None) -> _Or
     return call
 
 
+#: The four distance entry points exercised by the arena-vs-object check.
+_ALL_BATCH_METRICS = ("kendall", "footrule", "kendall_hausdorff", "footrule_hausdorff")
+
+
+def _all_metric_matrices(use_arena: bool, jobs: int | None) -> _OracleFn:
+    """All four pairwise matrices from either profile representation.
+
+    The arena path encodes the profile into a fresh shared-memory segment,
+    computes every matrix from the zero-copy position data, and detaches
+    (unlinking the segment) before returning — a leak here would fail the
+    arena lifecycle tests, not just this oracle.
+    """
+
+    def call(rankings: Rankings) -> object:
+        if use_arena:
+            with ProfileArena.from_profile(rankings) as arena:
+                return tuple(
+                    pairwise_distance_matrix(arena, metric, jobs=jobs)
+                    for metric in _ALL_BATCH_METRICS
+                )
+        return tuple(
+            pairwise_distance_matrix(rankings, metric, jobs=jobs)
+            for metric in _ALL_BATCH_METRICS
+        )
+
+    return call
+
+
 def _matching_variant(jobs: int | None) -> _OracleFn:
     def call(rankings: Rankings) -> object:
         return optimal_footrule_aggregation(rankings, jobs=jobs)
@@ -345,13 +378,26 @@ def _median_scores_engine(engine: str, weighted: bool) -> _OracleFn:
 
 
 def _median_outputs_engine(engine: str) -> _OracleFn:
-    """Theorem 9/10/11 + Corollary 30 outputs under one engine."""
+    """Theorem 9/10/11 + Corollary 30 outputs under one engine.
+
+    ``engine="arena"`` runs the array kernels but feeds them the profile
+    through a shared-memory :class:`~repro.core.arena.ProfileArena`
+    instead of the object sequence.
+    """
 
     def call(rankings: Rankings) -> object:
         n = len(rankings[0])
         k = (n + 1) // 2
         head = (n + 1) // 2
         bucket_type = (head, n - head) if n > head else (n,)
+        if engine == "arena":
+            with ProfileArena.from_profile(rankings) as arena:
+                return (
+                    median_top_k_batch(arena, k),
+                    median_full_ranking_batch(arena),
+                    median_partial_ranking_batch(arena),
+                    median_fixed_type_batch(arena, bucket_type),
+                )
         if engine == "array":
             return (
                 median_top_k_batch(rankings, k),
@@ -369,6 +415,20 @@ def _median_outputs_engine(engine: str) -> _OracleFn:
     return call
 
 
+def _median_scores_arena(weighted: bool) -> _OracleFn:
+    """Arena-backed twin of the ``array`` engine in :func:`_median_scores_engine`."""
+
+    def call(rankings: Rankings) -> object:
+        weights = _deterministic_weights(len(rankings)) if weighted else None
+        with ProfileArena.from_profile(rankings) as arena:
+            return tuple(
+                median_scores_batch(arena, tie=tie, weights=weights)
+                for tie in _MEDIAN_TIES
+            )
+
+    return call
+
+
 def _online_reference(rankings: Rankings) -> object:
     """Offline dict-engine scores after every prefix, then one discard."""
     snapshots = [
@@ -378,6 +438,58 @@ def _online_reference(rankings: Rankings) -> object:
     if len(rankings) > 1:
         snapshots.append(median_scores(rankings[1:], engine="dict"))
     return tuple(snapshots)
+
+
+def _online_bulk(use_arena: bool) -> _OracleFn:
+    """Final scores after ingesting the whole profile (then one discard).
+
+    The arena path uses :meth:`OnlineMedianAggregator.add_arena` — one
+    vectorized bulk append — and must land in exactly the state the
+    per-ranking ``add`` loop reaches, including after a later object-level
+    ``discard`` interleaves with it.
+    """
+
+    def call(rankings: Rankings) -> object:
+        aggregator = OnlineMedianAggregator(rankings[0].domain)
+        if use_arena:
+            with ProfileArena.from_profile(rankings) as arena:
+                aggregator.add_arena(arena)
+        else:
+            for sigma in rankings:
+                aggregator.add(sigma)
+        snapshots = [aggregator.scores()]
+        if len(rankings) > 1:
+            aggregator.discard(rankings[0])
+            snapshots.append(aggregator.scores())
+        return tuple(snapshots)
+
+    return call
+
+
+def _medrank_k(rankings: Rankings) -> int:
+    """A deterministic k for the MEDRANK differential pair."""
+    return min(2, len(rankings[0]))
+
+
+def _medrank_in_memory(rankings: Rankings) -> object:
+    result = medrank(rankings, k=_medrank_k(rankings))
+    return (result.winners, result.access_log)
+
+
+def _medrank_via_store(rankings: Rankings) -> object:
+    """Out-of-core MEDRANK over a freshly built memory-mapped store.
+
+    Winner slots map back to items through the codec (slot order IS the
+    canonical item order), and the access log must match the in-memory
+    run exactly — same stopping depth, same bookkeeping.
+    """
+    codec = DomainCodec.for_profile(rankings)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SortedListStore.build(Path(tmp) / "lists", rankings)
+        result = medrank_out_of_core(store, k=_medrank_k(rankings))
+    items = codec.items
+    winners = tuple(items[slot] for slot in result.winner_slots)
+    return (winners, result.access_log)
 
 
 def _online_variant(through_pickle: bool) -> _OracleFn:
@@ -414,6 +526,7 @@ def _build_entries() -> tuple[OracleEntry, ...]:
                 ("fenwick", _pair(pair_counts)),
                 ("array", _pair(pair_counts_large)),
                 ("matrix-dense", _matrix_entry_pair_counts("dense")),
+                ("matrix-tiled", _matrix_entry_pair_counts("tiled")),
                 ("matrix-pairs", _matrix_entry_pair_counts("pairs")),
             ),
         ),
@@ -547,6 +660,7 @@ def _build_entries() -> tuple[OracleEntry, ...]:
             variants=(
                 ("auto", _profile_matrix_variant("kendall", "auto", None)),
                 ("dense", _profile_matrix_variant("kendall", "dense", None)),
+                ("tiled", _profile_matrix_variant("kendall", "tiled", None)),
                 ("pairs", _profile_matrix_variant("kendall", "pairs", None)),
                 ("pairs-jobs2", _profile_matrix_variant("kendall", "pairs", 2)),
             ),
@@ -588,6 +702,18 @@ def _build_entries() -> tuple[OracleEntry, ...]:
             expensive=frozenset({"jobs2"}),
         ),
         OracleEntry(
+            name="batch-arena",
+            kind="profile",
+            citation="zero-copy shared-memory profiles vs object profiles",
+            covers=("pairwise_distance_matrix", "pair_counts_matrix"),
+            reference=_all_metric_matrices(use_arena=False, jobs=None),
+            variants=(
+                ("arena-serial", _all_metric_matrices(use_arena=True, jobs=None)),
+                ("arena-jobs2", _all_metric_matrices(use_arena=True, jobs=2)),
+            ),
+            expensive=frozenset({"arena-jobs2"}),
+        ),
+        OracleEntry(
             name="aggregate-footrule-matching",
             kind="profile",
             citation="optimal footrule aggregation: serial vs pooled cost matrix",
@@ -620,7 +746,10 @@ def _build_entries() -> tuple[OracleEntry, ...]:
             citation="Lemma 8W weighted-voter medians, all tie rules",
             covers=("median_scores_batch",),
             reference=_median_scores_engine("dict", weighted=True),
-            variants=(("array", _median_scores_engine("array", weighted=True)),),
+            variants=(
+                ("array", _median_scores_engine("array", weighted=True)),
+                ("arena", _median_scores_arena(weighted=True)),
+            ),
         ),
         OracleEntry(
             name="aggregate-median-outputs",
@@ -633,7 +762,10 @@ def _build_entries() -> tuple[OracleEntry, ...]:
                 "median_fixed_type_batch",
             ),
             reference=_median_outputs_engine("dict"),
-            variants=(("array", _median_outputs_engine("array")),),
+            variants=(
+                ("array", _median_outputs_engine("array")),
+                ("arena", _median_outputs_engine("arena")),
+            ),
         ),
         OracleEntry(
             name="aggregate-online-median",
@@ -645,6 +777,22 @@ def _build_entries() -> tuple[OracleEntry, ...]:
                 ("online", _online_variant(through_pickle=False)),
                 ("online-pickled", _online_variant(through_pickle=True)),
             ),
+        ),
+        OracleEntry(
+            name="aggregate-online-arena",
+            kind="profile",
+            citation="bulk arena ingestion vs per-ranking adds, then a discard",
+            covers=(),
+            reference=_online_bulk(use_arena=False),
+            variants=(("add-arena", _online_bulk(use_arena=True)),),
+        ),
+        OracleEntry(
+            name="medrank-out-of-core",
+            kind="profile",
+            citation="MEDRANK over memory-mapped sorted lists vs the in-memory loop",
+            covers=(),
+            reference=_medrank_in_memory,
+            variants=(("mmap-store", _medrank_via_store),),
         ),
         OracleEntry(
             name="selftest-kendall-flipped-tie",

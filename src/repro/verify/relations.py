@@ -41,6 +41,7 @@ from repro.metrics.hausdorff import (
     hausdorff_witnesses,
     kendall_hausdorff_counts,
 )
+from repro.metrics.batch import pair_counts_matrix
 from repro.metrics.kendall import kendall, kendall_full, pair_counts
 from repro.verify.oracles import Rankings
 
@@ -277,6 +278,37 @@ def _check_weighted_uniform_median(rankings: Rankings) -> str | None:
     return None
 
 
+def _check_tiled_gemm_agreement(rankings: Rankings) -> str | None:
+    """The cache-blocked GEMM, the one-shot dense GEMM, and the per-pair
+    kernels classify every pair of rankings identically.
+
+    All three strategies are forced on the small instance (where each is
+    affordable), and the classifications are additionally checked against
+    the object-level :func:`pair_counts` — integer quantities throughout,
+    so every comparison is exact."""
+    matrices = {
+        strategy: pair_counts_matrix(rankings, strategy=strategy)
+        for strategy in ("dense", "tiled", "pairs")
+    }
+    for i in range(len(rankings)):
+        for j in range(i + 1, len(rankings)):
+            dense = matrices["dense"].pair_counts(i, j)
+            for strategy in ("tiled", "pairs"):
+                other = matrices[strategy].pair_counts(i, j)
+                if other != dense:
+                    return (
+                        f"pair ({i},{j}): {strategy} strategy classifies "
+                        f"{other}, dense GEMM classifies {dense}"
+                    )
+            objectwise = pair_counts(rankings[i], rankings[j])
+            if dense != objectwise:
+                return (
+                    f"pair ({i},{j}): dense GEMM classifies {dense}, the "
+                    f"object metric {objectwise}"
+                )
+    return None
+
+
 _RELATIONS: tuple[Relation, ...] = (
     Relation("symmetry", 2, "metric axiom (Proposition 13)", _check_symmetry),
     Relation("regularity", 1, "metric axiom: d(x, x) = 0", _check_regularity),
@@ -290,6 +322,12 @@ _RELATIONS: tuple[Relation, ...] = (
     Relation("penalty-monotonicity", 2, "K^(p) linear in p", _check_penalty_monotone),
     Relation(
         "refinement-monotonicity", 2, "Lemma 3 / Lemma 4", _check_refinement_distance_drop
+    ),
+    Relation(
+        "tiled-gemm-agreement",
+        0,
+        "Proposition 6 pair categories: blocked GEMM == dense GEMM == per-pair",
+        _check_tiled_gemm_agreement,
     ),
     Relation(
         "median-weighted-uniform",

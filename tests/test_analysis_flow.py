@@ -531,6 +531,112 @@ class TestRP014DtypeSoundness:
         assert codes(result) == []
 
 
+RP014_ARENA_FILE = "src/repro/core/arena.py"
+
+RP014_GUARDED_NARROWING = (
+    "import numpy as np\n"
+    "import numpy.typing as npt\n"
+    "from repro.core.arena import int32_fits\n"
+    "def store(a: npt.NDArray[np.int64], n: int):\n"
+    "    if int32_fits(n):\n"
+    "        return a.astype(np.int32)\n"
+    "    return a\n"
+)
+
+RP014_GUARDED_REDUCTION = (
+    "import numpy as np\n"
+    "import numpy.typing as npt\n"
+    "from repro.core.arena import int32_fits\n"
+    "def total(a: npt.NDArray[np.int64], n: int):\n"
+    "    if int32_fits(n):\n"
+    "        narrow = a.astype(np.int32)\n"
+    "        return narrow.sum()\n"
+    "    return a.sum()\n"
+)
+
+
+class TestRP014SanctionedArenaNarrowing:
+    """The int32 arena storage mode: guarded narrowing is legal,
+    unguarded narrowing and narrow accumulators stay hazards."""
+
+    def test_arena_module_is_scanned(self):
+        result = analyze_source(
+            RP014_FLAGGING, filename=RP014_ARENA_FILE, select=["RP014"]
+        )
+        assert codes(result) == ["RP014"]
+
+    def test_mmap_lists_module_is_scanned(self):
+        result = analyze_source(
+            RP014_FLAGGING, filename="src/repro/db/mmap_lists.py", select=["RP014"]
+        )
+        assert codes(result) == ["RP014"]
+
+    def test_unguarded_narrowing_flags_and_names_the_guard(self):
+        result = analyze_source(
+            "import numpy as np\n"
+            "import numpy.typing as npt\n"
+            "def store(a: npt.NDArray[np.int64]):\n"
+            "    return a.astype(np.int32)\n",
+            filename=RP014_ARENA_FILE,
+            select=["RP014"],
+        )
+        assert codes(result) == ["RP014"]
+        assert "int32_fits" in result.active[0].message
+
+    def test_fit_guarded_narrowing_is_sanctioned(self):
+        result = analyze_source(
+            RP014_GUARDED_NARROWING, filename=RP014_ARENA_FILE, select=["RP014"]
+        )
+        assert codes(result) == []
+
+    def test_storage_dtype_call_counts_as_guard(self):
+        result = analyze_source(
+            "import numpy as np\n"
+            "from repro.core.arena import storage_dtype\n"
+            "def allocate(m: int, n: int):\n"
+            "    return np.zeros((m, n), dtype=storage_dtype(n))\n",
+            filename=RP014_ARENA_FILE,
+            select=["RP014"],
+        )
+        assert codes(result) == []
+
+    def test_guarded_narrow_reduction_still_flags_accumulator(self):
+        result = analyze_source(
+            RP014_GUARDED_REDUCTION, filename=RP014_ARENA_FILE, select=["RP014"]
+        )
+        assert codes(result) == ["RP014"]
+        assert "default-accumulator" in result.active[0].message
+        assert "accumulators stay int64" in result.active[0].message
+
+    def test_guarded_reduction_with_int64_accumulator_is_clean(self):
+        text = RP014_GUARDED_REDUCTION.replace(
+            "narrow.sum()", "narrow.sum(dtype=np.int64)"
+        ).replace("return a.sum()", "return a.sum(dtype=np.int64)")
+        assert codes(analyze_source(text, filename=RP014_ARENA_FILE, select=["RP014"])) == []
+
+    def test_storage_dtype_result_demands_explicit_accumulator(self):
+        # arrays allocated via storage_dtype(n) may be int32: summing
+        # them without dtype= is the overflow hazard the rule exists for
+        result = analyze_source(
+            "import numpy as np\n"
+            "from repro.core.arena import storage_dtype\n"
+            "def total(m: int, n: int):\n"
+            "    rows = np.zeros((m, n), dtype=storage_dtype(n))\n"
+            "    return rows.sum()\n",
+            filename=RP014_ARENA_FILE,
+            select=["RP014"],
+        )
+        assert codes(result) == ["RP014"]
+        assert "default-accumulator" in result.active[0].message
+
+    def test_noqa_suppresses_guarded_reduction(self):
+        text = RP014_GUARDED_REDUCTION.replace(
+            "        return narrow.sum()\n",
+            "        return narrow.sum()  # repro: noqa[RP014] — test fixture\n",
+        )
+        assert codes(analyze_source(text, filename=RP014_ARENA_FILE, select=["RP014"])) == []
+
+
 RP015_FLAGGING = (
     "import os\n"
     "def limit():\n"

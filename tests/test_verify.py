@@ -45,8 +45,8 @@ class TestRegistry:
     def test_check_census(self):
         checks = all_checks()
         kinds = [info.kind for info in checks]
-        assert kinds.count("oracle") == 22
-        assert kinds.count("relation") == 12
+        assert kinds.count("oracle") == 25
+        assert kinds.count("relation") == 13
         assert not any(info.selftest_only for info in checks)
 
     def test_selftest_check_hidden_by_default(self):
