@@ -15,17 +15,26 @@ cached and *merged* with each update (one vectorized insertion/removal
 per column via ``take_along_axis``) rather than re-sorted from scratch,
 so a burst of queries between updates pays the columnwise sort once.
 
+Beyond anonymous ``add``/``discard`` (removal by value), rankings can be
+keyed by *voter*: :meth:`~OnlineMedianAggregator.update` inserts or
+**replaces** the ranking a voter contributed (one discard plus one add
+when the voter was already present), and
+:meth:`~OnlineMedianAggregator.forget` drops a voter entirely. This is
+the churn shape a live serving layer sees — users re-rank, they do not
+append — and :mod:`repro.serve` drives the shard aggregators exclusively
+through it.
+
 The offline and online paths are interchangeable by construction: scores
 come from the same :func:`repro.aggregate.batch.median_scores_array`
 kernel the batch path uses, and the tests assert the online snapshots
 equal the batch results (bit for bit) after every update. Instances
-pickle to a compact ``(items, tie, active rows)`` tuple and rebuild on
-the receiving side of a process boundary.
+pickle to a compact ``(items, tie, active rows, voter rows)`` tuple and
+rebuild on the receiving side of a process boundary.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Hashable, Iterable
 
 import numpy as np
 import numpy.typing as npt
@@ -100,6 +109,9 @@ class OnlineMedianAggregator:
         )
         self._count = 0
         self._sorted: npt.NDArray[np.float64] | None = None
+        # voter -> the (read-only) position row that voter currently
+        # contributes; update()/forget() keep this in sync with _rows
+        self._voters: dict[Hashable, npt.NDArray[np.float64]] = {}
 
     # ------------------------------------------------------------------
 
@@ -116,9 +128,8 @@ class OnlineMedianAggregator:
             raise AggregationError("ranking domain differs from the aggregator's domain")
         return ranking.dense_arrays(self._codec)[1]
 
-    def add(self, ranking: PartialRanking) -> None:
-        """Ingest one input ranking. O(n) amortized."""
-        positions = self._encode(ranking)
+    def _append_positions(self, positions: npt.NDArray[np.float64]) -> None:
+        """Append one position row (no validation; callers encode first)."""
         if self._count == self._rows.shape[0]:
             grown = np.empty(
                 (2 * self._rows.shape[0], self._rows.shape[1]), dtype=np.float64
@@ -130,6 +141,11 @@ class OnlineMedianAggregator:
         obs.add("aggregate.online.adds")
         if self._sorted is not None:
             self._sorted = _merge_sorted_row(self._sorted, positions)
+
+    def add(self, ranking: PartialRanking) -> None:
+        """Ingest one input ranking. O(n) amortized."""
+        positions = self._encode(ranking)
+        self._append_positions(positions)
 
     def add_arena(self, arena: ProfileArena) -> None:
         """Bulk-ingest every row of an arena-backed profile. O(m·n).
@@ -164,13 +180,8 @@ class OnlineMedianAggregator:
         # one columnwise sort at the next query beats m row merges
         self._sorted = None
 
-    def discard(self, ranking: PartialRanking) -> None:
-        """Remove one previously added ranking (a criterion toggled off).
-
-        Raises if the ranking's positions were never added — removal is by
-        value, so adding a ranking twice requires discarding it twice.
-        """
-        positions = self._encode(ranking)
+    def _discard_positions(self, positions: npt.NDArray[np.float64]) -> None:
+        """Remove one row matching ``positions`` (validates before mutating)."""
         if self._count == 0:
             raise AggregationError("no rankings to discard")
         # validate fully before mutating, so a failed discard is a no-op
@@ -191,6 +202,53 @@ class OnlineMedianAggregator:
         obs.add("aggregate.online.discards")
         if self._sorted is not None:
             self._sorted = _remove_sorted_row(self._sorted, positions)
+
+    def discard(self, ranking: PartialRanking) -> None:
+        """Remove one previously added ranking (a criterion toggled off).
+
+        Raises if the ranking's positions were never added — removal is by
+        value, so adding a ranking twice requires discarding it twice.
+        """
+        positions = self._encode(ranking)
+        self._discard_positions(positions)
+
+    # ------------------------------------------------------------------
+    # Voter-keyed churn (replace semantics)
+    # ------------------------------------------------------------------
+
+    @property
+    def voters(self) -> frozenset[Hashable]:
+        """The voters currently contributing a keyed ranking."""
+        return frozenset(self._voters)
+
+    def update(self, voter: Hashable, ranking: PartialRanking) -> bool:
+        """Insert or **replace** the ranking keyed by ``voter``. O(m·n).
+
+        Returns ``True`` when the voter was already present (their previous
+        ranking is discarded first), ``False`` on first contribution. The
+        multiset of aggregated rows after ``update`` equals the one reached
+        by ``discard(old); add(new)``, so every query stays bit-for-bit
+        equal to the offline batch path. Validation (domain check in the
+        encode, presence check for the replaced row) completes before the
+        first mutation, so a failed update is a no-op.
+        """
+        positions = self._encode(ranking)
+        previous = self._voters.get(voter)
+        if previous is not None:
+            self._discard_positions(previous)
+        self._append_positions(positions)
+        self._voters[voter] = positions
+        obs.add("aggregate.online.updates")
+        return previous is not None
+
+    def forget(self, voter: Hashable) -> None:
+        """Remove the ranking keyed by ``voter`` (raises if unknown)."""
+        previous = self._voters.get(voter)
+        if previous is None:
+            raise AggregationError(f"voter {voter!r} has no ranking to forget")
+        self._discard_positions(previous)
+        del self._voters[voter]
+        obs.add("aggregate.online.forgets")
 
     # ------------------------------------------------------------------
 
@@ -241,20 +299,40 @@ class OnlineMedianAggregator:
 
     def __reduce__(
         self,
-    ) -> tuple[object, tuple[tuple[Item, ...], MedianTie, npt.NDArray[np.float64]]]:
-        """Pickle as (items, tie, active rows); the codec re-interns on load."""
+    ) -> tuple[
+        object,
+        tuple[
+            tuple[Item, ...],
+            MedianTie,
+            npt.NDArray[np.float64],
+            tuple[tuple[Hashable, npt.NDArray[np.float64]], ...],
+        ],
+    ]:
+        """Pickle as (items, tie, active rows, voter rows); the codec re-interns on load."""
         return (
             _rebuild_online,
-            (tuple(self._codec.items), self._tie, self._rows[: self._count].copy()),
+            (
+                tuple(self._codec.items),
+                self._tie,
+                self._rows[: self._count].copy(),
+                tuple(self._voters.items()),
+            ),
         )
 
 
 def _rebuild_online(
-    items: tuple[Item, ...], tie: MedianTie, rows: npt.NDArray[np.float64]
+    items: tuple[Item, ...],
+    tie: MedianTie,
+    rows: npt.NDArray[np.float64],
+    voters: tuple[tuple[Hashable, npt.NDArray[np.float64]], ...] = (),
 ) -> OnlineMedianAggregator:
     aggregator = OnlineMedianAggregator(items, tie=tie)
     count = int(rows.shape[0])
     if count:
         aggregator._rows = np.array(rows, dtype=np.float64)
         aggregator._count = count
+    for voter, positions in voters:
+        row = np.asarray(positions, dtype=np.float64)
+        row.setflags(write=False)
+        aggregator._voters[voter] = row
     return aggregator

@@ -37,6 +37,7 @@ _SANCTIONED_ENV_MODULES = frozenset(
         "repro.parallel",
         "repro.analysis.contracts",
         "repro.obs.spans",
+        "repro.serve.config",
     }
 )
 

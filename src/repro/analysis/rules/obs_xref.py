@@ -41,7 +41,9 @@ __all__ = ["ObsInstrumentationRule", "obs_evidence", "OBS_API_NAMES"]
 OBS_API_NAMES = frozenset({"trace", "traced", "add", "set_attr", "kernel_timer"})
 
 #: Modules the instrumentation-coverage check applies to.
-_KERNEL_MODULE_RE = re.compile(r"repro/(metrics|aggregate|db)/(?!__init__\.py$)[^/]+\.py$")
+_KERNEL_MODULE_RE = re.compile(
+    r"repro/(metrics|aggregate|db|serve)/(?!__init__\.py$)[^/]+\.py$"
+)
 
 #: Module basenames allowed to write to stdout.
 _PRINT_EXEMPT = frozenset({"cli.py", "__main__.py", "reporters.py"})

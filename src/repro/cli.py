@@ -9,6 +9,7 @@
     python -m repro experiments e03
     python -m repro verify --rounds 50 --seed 0
     python -m repro obs summarize trace.jsonl
+    python -m repro serve --port 8321
 
 Ranking files are JSON (single ranking or profile) or long-format CSV —
 see :mod:`repro.io` for the formats.
@@ -150,6 +151,15 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return obs_main(forwarded)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.cli import main as serve_main
+
+    forwarded = list(args.serve_args)
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return serve_main(forwarded)
+
+
 def _delegate_remainder(argv: list[str] | None) -> list[str] | None:
     """Rewrite ``verify --flag ...`` / ``obs --flag ...`` for REMAINDER.
 
@@ -160,7 +170,7 @@ def _delegate_remainder(argv: list[str] | None) -> list[str] | None:
     """
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] in ("verify", "obs") and "--" not in argv:
+    if argv and argv[0] in ("verify", "obs", "serve") and "--" not in argv:
         return [argv[0], "--", *argv[1:]]
     return argv
 
@@ -227,6 +237,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to python -m repro.obs",
     )
     obs.set_defaults(handler=_cmd_obs)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the ranking HTTP/JSON service (see python -m repro.serve)",
+    )
+    serve.add_argument(
+        "serve_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.serve",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -565,6 +565,9 @@ def pairwise_distance_matrix(
     with obs.trace(
         "metrics.batch.pairwise_distance_matrix", metric=canonical, m=len(rankings)
     ):
+        # exact invocation count: the serving layer's coalescing tests
+        # assert "N requests, one matrix call" against this counter
+        obs.add("metrics.batch.matrix_calls")
         if canonical in ("footrule", "footrule_hausdorff"):
             # the Kendall family counts its ranking pairs inside
             # pair_counts_matrix; counting here too would double-book

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — the serving CLI entry point."""
+
+import sys
+
+from repro.serve.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

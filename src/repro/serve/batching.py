@@ -1,0 +1,144 @@
+"""Request coalescing: many concurrent distance calls, one batch kernel.
+
+Under concurrent load, distance requests over the same domain arrive
+faster than the per-pair Python path can answer them one by one. The
+:class:`DistanceBatcher` holds each request for at most ``window``
+seconds; every request for the same ``(codec, metric, p)`` group that
+arrives inside the window joins the same *batch*. On flush the batch's
+distinct rankings (deduplicated by value — ranking hashes are cached on
+the objects) become one profile, a **single**
+:func:`repro.metrics.batch.pairwise_distance_matrix` call classifies all
+pairs at once, and each waiter receives its matrix entry.
+
+Because the batch kernels are bit-for-bit equal to the two-ranking
+metrics, a coalesced answer is *identical* to the per-call answer — the
+concurrency tests assert ``==`` on floats, and the
+``serve.batch.coalesced`` / ``serve.batch.flushes`` counters make the
+"N requests, one kernel call" claim observable.
+
+``window=0`` still coalesces: the flush task is scheduled behind every
+task already runnable on the current event-loop tick, so an
+``asyncio.gather`` of N requests lands in one batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Hashable
+
+from repro import obs
+from repro.core.codec import DomainCodec
+from repro.core.partial_ranking import PartialRanking
+from repro.metrics.batch import pairwise_distance_matrix
+
+__all__ = ["DistanceBatcher"]
+
+
+class _Batch:
+    """One open coalescing window for a ``(codec, metric, p)`` group."""
+
+    __slots__ = ("rankings", "index", "waiters", "task")
+
+    def __init__(self) -> None:
+        self.rankings: list[PartialRanking] = []
+        self.index: dict[PartialRanking, int] = {}
+        self.waiters: list[tuple[int, int, asyncio.Future[float]]] = []
+        self.task: asyncio.Task[None] | None = None
+
+    def enlist(self, ranking: PartialRanking) -> int:
+        slot = self.index.get(ranking)
+        if slot is None:
+            slot = len(self.rankings)
+            self.index[ranking] = slot
+            self.rankings.append(ranking)
+        return slot
+
+
+class DistanceBatcher:
+    """Coalesces concurrent distance requests into batch kernel calls.
+
+    One instance per service; requests are grouped by the interned codec
+    (domain identity), the canonical metric name, and the Kendall
+    penalty ``p``, so every flush is a well-formed single-domain profile.
+    """
+
+    __slots__ = ("_window", "_jobs", "_pending")
+
+    def __init__(self, window: float = 0.0, jobs: int | None = None) -> None:
+        if window < 0:
+            raise ValueError(f"batch window must be >= 0 (got {window})")
+        self._window = window
+        self._jobs = jobs
+        self._pending: dict[Hashable, _Batch] = {}
+
+    @property
+    def window(self) -> float:
+        return self._window
+
+    async def distance(
+        self,
+        codec: DomainCodec,
+        sigma: PartialRanking,
+        tau: PartialRanking,
+        metric: str,
+        p: float,
+    ) -> float:
+        """Await the distance, coalescing with concurrent same-group calls."""
+        group = (codec, metric, p)
+        batch = self._pending.get(group)
+        if batch is None:
+            batch = _Batch()
+            self._pending[group] = batch
+            batch.task = asyncio.ensure_future(self._flush_later(group, batch))
+        i = batch.enlist(sigma)
+        j = batch.enlist(tau)
+        future: asyncio.Future[float] = asyncio.get_running_loop().create_future()
+        batch.waiters.append((i, j, future))
+        obs.add("serve.batch.enqueued")
+        return await future
+
+    async def _flush_later(self, group: Hashable, batch: _Batch) -> None:
+        await asyncio.sleep(self._window)
+        # close the window: later arrivals start a fresh batch
+        if self._pending.get(group) is batch:
+            del self._pending[group]
+        _, metric, p = group
+        try:
+            if len(batch.rankings) == 1:
+                # every waiter asked for d(sigma, sigma); the metrics are
+                # metrics, so the answer is exactly 0.0 — no kernel needed
+                values = {(0, 0): 0.0}
+            else:
+                with obs.trace(
+                    "serve.batch.flush",
+                    metric=metric,
+                    rankings=len(batch.rankings),
+                    requests=len(batch.waiters),
+                ):
+                    matrix = pairwise_distance_matrix(
+                        batch.rankings, metric, p=p, jobs=self._jobs
+                    )
+                values = {
+                    (i, j): float(matrix[i, j])
+                    for i, j, _ in batch.waiters
+                }
+        except Exception as exc:  # repro: noqa[RP007] — every waiting request must receive the failure; swallowing here would hang clients forever
+            for _, _, future in batch.waiters:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        obs.add("serve.batch.flushes")
+        obs.add("serve.batch.coalesced", len(batch.waiters))
+        for i, j, future in batch.waiters:
+            if not future.done():
+                future.set_result(values[i, j])
+
+    def pending_groups(self) -> int:
+        """Open coalescing windows right now (introspection for stats)."""
+        return len(self._pending)
+
+    async def drain(self) -> None:
+        """Await every open batch (used by tests and orderly shutdown)."""
+        tasks = [b.task for b in list(self._pending.values()) if b.task is not None]
+        for task in tasks:
+            await task

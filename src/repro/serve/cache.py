@@ -1,0 +1,126 @@
+"""The serving layer's LRU result cache, scoped for exact invalidation.
+
+Cache entries are keyed twice over:
+
+* a **scope** — the interned :class:`~repro.core.codec.DomainCodec` of
+  the shard the result was computed against (codec *identity* is domain
+  identity, so one ``invalidate(codec)`` drops every answer a shard
+  mutation could have changed and nothing else);
+* a **key** — the request fingerprint inside the scope. Distance
+  entries key on ``(metric, p, frozenset({sigma, tau}))`` — the rankings
+  themselves, whose hashes are cached on the objects — so equal queries
+  hit regardless of argument order and a cached value can never be stale
+  (it depends only on the two immutable rankings). Consensus entries key
+  on ``(kind, k)`` and are exactly what shard invalidation exists for.
+
+Hits, misses, evictions and invalidations are reported both through
+``repro.obs`` counters (``serve.cache.*``) and as exact local integers
+(:attr:`ResultCache.stats`), so the stateful test harness can assert
+cache behaviour without arming a trace session.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro import obs
+
+__all__ = ["ResultCache"]
+
+_MISSING = object()
+
+
+class ResultCache:
+    """A scope-aware LRU cache of serving results.
+
+    ``capacity`` bounds the total entry count across scopes; least
+    recently *used* entries evict first. ``capacity=0`` disables the
+    cache (every ``get`` misses, ``put`` is a no-op), which the test
+    harness uses to diff cached against uncached behaviour bit for bit.
+    """
+
+    __slots__ = (
+        "_capacity", "_entries", "_scope_keys",
+        "hits", "misses", "evictions", "invalidations",
+    )
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0 (got {capacity})")
+        self._capacity = capacity
+        self._entries: OrderedDict[tuple[Hashable, Hashable], object] = OrderedDict()
+        self._scope_keys: dict[Hashable, set[Hashable]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def get(self, scope: Hashable, key: Hashable) -> object:
+        """The cached value, or ``None`` on a miss (values are never None)."""
+        value = self._entries.get((scope, key), _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            obs.add("serve.cache.misses")
+            return None
+        self._entries.move_to_end((scope, key))
+        self.hits += 1
+        obs.add("serve.cache.hits")
+        return value
+
+    def put(self, scope: Hashable, key: Hashable, value: object) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries over capacity."""
+        if self._capacity == 0:
+            return
+        full = (scope, key)
+        self._entries[full] = value
+        self._entries.move_to_end(full)
+        self._scope_keys.setdefault(scope, set()).add(key)
+        while len(self._entries) > self._capacity:
+            (old_scope, old_key), _ = self._entries.popitem(last=False)
+            self._forget_scope_key(old_scope, old_key)
+            self.evictions += 1
+            obs.add("serve.cache.evictions")
+
+    def invalidate(self, scope: Hashable) -> int:
+        """Drop every entry computed under ``scope``; returns the count."""
+        keys = self._scope_keys.pop(scope, None)
+        if not keys:
+            return 0
+        for key in keys:
+            self._entries.pop((scope, key), None)
+        dropped = len(keys)
+        self.invalidations += dropped
+        obs.add("serve.cache.invalidations", dropped)
+        return dropped
+
+    def clear(self) -> None:
+        """Drop everything (used on whole-service restore)."""
+        self._entries.clear()
+        self._scope_keys.clear()
+
+    def _forget_scope_key(self, scope: Hashable, key: Hashable) -> None:
+        keys = self._scope_keys.get(scope)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._scope_keys[scope]
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Exact local counters (independent of obs sessions)."""
+        return {
+            "size": len(self._entries),
+            "capacity": self._capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

@@ -509,6 +509,47 @@ def _online_variant(through_pickle: bool) -> _OracleFn:
     return call
 
 
+def _update_voter_keys(count: int) -> list[str]:
+    """Voter ids cycling over roughly half the profile, forcing replaces."""
+    span = max(1, (count + 1) // 2)
+    return [f"v{index % span}" for index in range(count)]
+
+
+def _online_update_reference(rankings: Rankings) -> object:
+    """Offline medians of the voter map after every keyed update.
+
+    Models the serving churn shape: voters re-rank (replace) rather than
+    append, then one voter is forgotten. The ground truth is simply the
+    offline median over whatever each voter currently contributes.
+    """
+    voters: dict[str, PartialRanking] = {}
+    snapshots = []
+    for key, sigma in zip(_update_voter_keys(len(rankings)), rankings):
+        voters[key] = sigma
+        snapshots.append(median_scores(list(voters.values()), engine="dict"))
+    if len(voters) > 1:
+        del voters["v0"]
+        snapshots.append(median_scores(list(voters.values()), engine="dict"))
+    return tuple(snapshots)
+
+
+def _online_update_variant(through_pickle: bool) -> _OracleFn:
+    def call(rankings: Rankings) -> object:
+        aggregator = OnlineMedianAggregator(rankings[0].domain)
+        snapshots = []
+        for key, sigma in zip(_update_voter_keys(len(rankings)), rankings):
+            if through_pickle:
+                aggregator = pickle.loads(pickle.dumps(aggregator))
+            aggregator.update(key, sigma)
+            snapshots.append(aggregator.scores())
+        if len(aggregator.voters) > 1:
+            aggregator.forget("v0")
+            snapshots.append(aggregator.scores())
+        return tuple(snapshots)
+
+    return call
+
+
 # ----------------------------------------------------------------------
 # The registry
 # ----------------------------------------------------------------------
@@ -776,6 +817,17 @@ def _build_entries() -> tuple[OracleEntry, ...]:
             variants=(
                 ("online", _online_variant(through_pickle=False)),
                 ("online-pickled", _online_variant(through_pickle=True)),
+            ),
+        ),
+        OracleEntry(
+            name="aggregate-online-update",
+            kind="profile",
+            citation="voter-keyed replace churn vs offline medians of the voter map",
+            covers=(),
+            reference=_online_update_reference,
+            variants=(
+                ("update", _online_update_variant(through_pickle=False)),
+                ("update-pickled", _online_update_variant(through_pickle=True)),
             ),
         ),
         OracleEntry(

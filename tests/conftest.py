@@ -15,6 +15,18 @@ settings.register_profile(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
+
+# the CI `serve` job runs the stateful serving harness under this fixed
+# profile: derandomized so every CI run replays the identical operation
+# sequences (a red run is reproducible locally with
+# `--hypothesis-profile=serve-ci`), deadline disabled because a stateful
+# step's cost depends on the accumulated shard state, not the step
+settings.register_profile(
+    "serve-ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
 settings.load_profile("repro")
 
 

@@ -946,3 +946,35 @@ class TestSelfApplication:
         for code, (text, filename) in planted.items():
             result = analyze_source(text, filename=filename, select=[code])
             assert codes(result) == [code], code
+
+
+class TestRP015ServeCoverage:
+    """PR 8: only repro.serve.config may read REPRO_SERVE_* variables."""
+
+    _PLANTED = (
+        "import os\n"
+        "def window():\n"
+        "    return os.environ.get('REPRO_SERVE_BATCH_WINDOW', '')\n"
+    )
+
+    def test_env_read_in_non_config_serve_module_flagged(self):
+        result = analyze_source(
+            self._PLANTED, filename="src/repro/serve/batching.py", select=["RP015"]
+        )
+        assert codes(result) == ["RP015"]
+        assert "REPRO_SERVE_BATCH_WINDOW" in result.active[0].message
+
+    def test_env_read_in_serve_config_sanctioned(self):
+        result = analyze_source(
+            self._PLANTED, filename="src/repro/serve/config.py", select=["RP015"]
+        )
+        assert codes(result) == []
+
+    def test_shipped_serve_config_is_the_only_env_reader(self):
+        """Grep-level check on the real package: os.environ appears only
+        in config.py (the RP015-sanctioned module)."""
+        offenders = []
+        for path in sorted((SRC / "repro" / "serve").glob("*.py")):
+            if "os.environ" in path.read_text(encoding="utf-8") and path.name != "config.py":
+                offenders.append(path.name)
+        assert offenders == []

@@ -875,3 +875,38 @@ class TestUnparseableFiles:
         result = analyze_paths([bad], root=tmp_path)
         assert result.parse_errors
         assert result.exit_code() == 1
+
+
+class TestRP011ServeCoverage:
+    """PR 8: repro.serve counts as a kernel package for RP011."""
+
+    _PLANTED = "__all__ = ['handle']\n\n\ndef handle(x):\n    return x\n"
+
+    def test_planted_uninstrumented_serve_module_flagged(self):
+        result = analyze_source(
+            self._PLANTED, filename="src/repro/serve/planted.py", select=["RP011"]
+        )
+        assert codes(result) == ["RP011"]
+        assert "handle" in result.active[0].message
+
+    def test_instrumented_serve_module_clean(self):
+        result = analyze_source(
+            "from repro import obs\n"
+            "__all__ = ['handle']\n"
+            "def handle(x):\n"
+            "    obs.add('serve.handled')\n"
+            "    return x\n",
+            filename="src/repro/serve/planted.py",
+            select=["RP011"],
+        )
+        assert codes(result) == []
+
+    def test_shipped_serve_modules_instrumented_or_reasoned(self):
+        """The checked-in serving package passes its own coverage rule."""
+        for path in sorted((REPO_ROOT / "src" / "repro" / "serve").glob("*.py")):
+            result = analyze_source(
+                path.read_text(encoding="utf-8"),
+                filename=path.relative_to(REPO_ROOT).as_posix(),
+                select=["RP011"],
+            )
+            assert codes(result) == [], path

@@ -118,3 +118,85 @@ class TestInteractiveScenario:
             aggregator.top_k(0)
         with pytest.raises(AggregationError):
             aggregator.top_k(4)
+
+
+class TestVoterKeyedUpdates:
+    """Replace semantics: voters re-rank, they do not append."""
+
+    def test_update_inserts_then_replaces(self):
+        aggregator = OnlineMedianAggregator("abc")
+        first = PartialRanking.from_sequence("abc")
+        second = PartialRanking.from_sequence("cba")
+        assert aggregator.update("alice", first) is False
+        assert len(aggregator) == 1
+        assert aggregator.update("alice", second) is True
+        assert len(aggregator) == 1
+        assert aggregator.scores() == median_scores([second])
+        assert aggregator.voters == frozenset({"alice"})
+
+    def test_update_equals_offline_median_of_voter_map(self):
+        rng = resolve_rng(11)
+        n = 9
+        aggregator = OnlineMedianAggregator(range(n))
+        voters: dict[str, PartialRanking] = {}
+        for step in range(30):
+            key = f"v{step % 7}"
+            ranking = random_bucket_order(n, rng, tie_bias=0.4)
+            replaced = aggregator.update(key, ranking)
+            assert replaced == (key in voters)
+            voters[key] = ranking
+            assert aggregator.scores() == median_scores(list(voters.values()))
+            assert len(aggregator) == len(voters)
+
+    def test_failed_update_is_a_noop(self):
+        aggregator = OnlineMedianAggregator("abc")
+        aggregator.update("alice", PartialRanking.from_sequence("abc"))
+        before = aggregator.scores()
+        with pytest.raises(AggregationError):
+            aggregator.update("alice", PartialRanking([["x", "y", "z"]]))
+        assert aggregator.scores() == before
+        assert len(aggregator) == 1
+        assert aggregator.voters == frozenset({"alice"})
+
+    def test_forget_drops_the_voter(self):
+        aggregator = OnlineMedianAggregator("ab")
+        sigma = PartialRanking.from_sequence("ab")
+        tau = PartialRanking.from_sequence("ba")
+        aggregator.update("alice", sigma)
+        aggregator.update("bob", tau)
+        aggregator.forget("alice")
+        assert len(aggregator) == 1
+        assert aggregator.voters == frozenset({"bob"})
+        assert aggregator.scores() == median_scores([tau])
+
+    def test_forget_unknown_voter_rejected(self):
+        aggregator = OnlineMedianAggregator("ab")
+        aggregator.add(PartialRanking.from_sequence("ab"))
+        with pytest.raises(AggregationError):
+            aggregator.forget("nobody")
+        assert len(aggregator) == 1
+
+    def test_voter_map_survives_pickle(self):
+        import pickle
+
+        aggregator = OnlineMedianAggregator("abc")
+        aggregator.update("alice", PartialRanking.from_sequence("abc"))
+        aggregator.update("bob", PartialRanking.from_sequence("bca"))
+        clone = pickle.loads(pickle.dumps(aggregator))
+        assert clone.voters == aggregator.voters
+        assert clone.scores() == aggregator.scores()
+        assert clone.update("alice", PartialRanking.from_sequence("cab")) is True
+        assert clone.scores() == median_scores(
+            [PartialRanking.from_sequence("cab"), PartialRanking.from_sequence("bca")]
+        )
+
+    def test_updates_and_anonymous_adds_coexist(self):
+        aggregator = OnlineMedianAggregator("abc")
+        anonymous = PartialRanking.from_sequence("abc")
+        keyed = PartialRanking.from_sequence("cba")
+        aggregator.add(anonymous)
+        aggregator.update("alice", keyed)
+        assert len(aggregator) == 2
+        assert aggregator.scores() == median_scores([anonymous, keyed])
+        aggregator.forget("alice")
+        assert aggregator.scores() == median_scores([anonymous])

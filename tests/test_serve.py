@@ -1,0 +1,596 @@
+"""Concurrency, batching, caching and transport tests for repro.serve.
+
+The claims under test, in the order the module proves them:
+
+* **Coalescing**: N concurrent distance requests over one domain produce
+  exactly one ``pairwise_distance_matrix`` invocation — observable via
+  the ``serve.batch.coalesced`` / ``serve.batch.flushes`` and
+  ``metrics.batch.matrix_calls`` counters — and every response is
+  bit-for-bit equal to the direct two-ranking metric.
+* **Order independence**: the same queries submitted in a different
+  arrival order produce identical bits.
+* **Freshness**: a mutation arriving mid-batch never causes a stale
+  response — voter references resolve when the request is accepted, the
+  distance cache is content-addressed, and consensus entries are
+  invalidated by the mutation.
+* **Transport**: the HTTP/JSON layer round-trips every route, maps
+  errors to 400/404/409, and keeps connections alive.
+* **Snapshot portability**: a snapshot restored in a *different process*
+  answers consensus queries bit-for-bit identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+import pytest
+
+from repro import obs
+from repro.aggregate.median import median_scores
+from repro.core.partial_ranking import PartialRanking
+from repro.errors import AggregationError
+from repro.generators.random import random_bucket_order, resolve_rng
+from repro.metrics.footrule import footrule
+from repro.metrics.kendall import kendall
+from repro.obs import metrics, spans
+from repro.serve import (
+    RankingService,
+    ReproServer,
+    ResultCache,
+    ServeConfig,
+    SnapshotError,
+    config_from_env,
+)
+from repro.serve.cli import build_parser, resolve_config
+
+DOMAIN = frozenset(range(5))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    """Detach ambient obs sessions and reset counters around every test."""
+    saved = spans._SESSIONS[:]
+    spans._SESSIONS.clear()
+    spans._LOCAL.stack.clear()
+    metrics.reset()
+    yield
+    spans._SESSIONS[:] = saved
+    spans._LOCAL.stack.clear()
+    metrics.reset()
+
+
+def _rankings(count: int, seed: int = 7) -> list[PartialRanking]:
+    """Distinct bucket orders over DOMAIN."""
+    rng = resolve_rng(seed)
+    seen: list[PartialRanking] = []
+    while len(seen) < count:
+        candidate = random_bucket_order(len(DOMAIN), rng, tie_bias=0.4)
+        if candidate not in seen:
+            seen.append(candidate)
+    return seen
+
+
+def run(coro: Any) -> Any:
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# Coalescing
+# ----------------------------------------------------------------------
+
+
+class TestCoalescing:
+    def test_concurrent_requests_one_matrix_call(self):
+        """Nine concurrent queries -> one flush, one kernel call, exact bits."""
+        service = RankingService(ServeConfig(batch_window=0.0, cache_capacity=0))
+        rankings = _rankings(6)
+        pairs = [(rankings[i], rankings[(i + 1) % 6]) for i in range(6)]
+        pairs += [
+            (rankings[0], rankings[3]),
+            (rankings[1], rankings[4]),
+            (rankings[2], rankings[5]),
+        ]
+
+        async def fire() -> list[float]:
+            return await asyncio.gather(
+                *(service.distance(DOMAIN, s, t) for s, t in pairs)
+            )
+
+        with obs.capture():
+            values = run(fire())
+        counters = obs.snapshot()["counters"]
+        assert counters["serve.batch.flushes"] == 1
+        assert counters["serve.batch.coalesced"] == len(pairs)
+        assert counters["metrics.batch.matrix_calls"] == 1
+        assert counters["serve.requests.distance"] == len(pairs)
+        for value, (sigma, tau) in zip(values, pairs):
+            assert value == kendall(sigma, tau, 0.5)
+
+    def test_duplicate_queries_coalesce_and_dedup(self):
+        """The same pair asked twice joins one batch of two distinct rankings."""
+        service = RankingService(ServeConfig(batch_window=0.0, cache_capacity=0))
+        sigma, tau = _rankings(2)
+
+        async def fire() -> list[float]:
+            return await asyncio.gather(
+                service.distance(DOMAIN, sigma, tau),
+                service.distance(DOMAIN, sigma, tau),
+                service.distance(DOMAIN, tau, sigma),
+            )
+
+        with obs.capture():
+            first, second, flipped = run(fire())
+        counters = obs.snapshot()["counters"]
+        assert counters["serve.batch.flushes"] == 1
+        assert counters["serve.batch.coalesced"] == 3
+        assert counters["metrics.batch.matrix_calls"] == 1
+        assert first == second == flipped == kendall(sigma, tau, 0.5)
+
+    def test_distinct_metric_groups_flush_separately(self):
+        service = RankingService(ServeConfig(batch_window=0.0, cache_capacity=0))
+        sigma, tau = _rankings(2)
+
+        async def fire() -> list[float]:
+            return await asyncio.gather(
+                service.distance(DOMAIN, sigma, tau, metric="kendall"),
+                service.distance(DOMAIN, sigma, tau, metric="footrule"),
+            )
+
+        with obs.capture():
+            k_value, f_value = run(fire())
+        counters = obs.snapshot()["counters"]
+        assert counters["serve.batch.flushes"] == 2
+        assert k_value == kendall(sigma, tau, 0.5)
+        assert f_value == footrule(sigma, tau)
+
+    def test_metric_aliases_share_a_batch(self):
+        """k_prof and kendall are the same canonical group."""
+        service = RankingService(ServeConfig(batch_window=0.0, cache_capacity=0))
+        sigma, tau = _rankings(2)
+
+        async def fire() -> list[float]:
+            return await asyncio.gather(
+                service.distance(DOMAIN, sigma, tau, metric="kendall"),
+                service.distance(DOMAIN, sigma, tau, metric="k_prof"),
+            )
+
+        with obs.capture():
+            values = run(fire())
+        counters = obs.snapshot()["counters"]
+        assert counters["serve.batch.flushes"] == 1
+        assert values[0] == values[1] == kendall(sigma, tau, 0.5)
+
+    def test_order_independence_bit_for_bit(self):
+        rankings = _rankings(5)
+        pairs = [(rankings[i], rankings[j]) for i in range(5) for j in range(i + 1, 5)]
+
+        async def fire(service: RankingService, ordering: list[int]) -> dict:
+            values = await asyncio.gather(
+                *(service.distance(DOMAIN, *pairs[index]) for index in ordering)
+            )
+            return {ordering[pos]: value for pos, value in enumerate(values)}
+
+        forward = run(fire(RankingService(ServeConfig(batch_window=0.0)), list(range(len(pairs)))))
+        backward = run(
+            fire(RankingService(ServeConfig(batch_window=0.0)), list(reversed(range(len(pairs)))))
+        )
+        assert forward == backward
+        for index, (sigma, tau) in enumerate(pairs):
+            assert forward[index] == kendall(sigma, tau, 0.5)
+
+    def test_unknown_metric_rejected(self):
+        service = RankingService(ServeConfig(batch_window=0.0))
+        sigma, tau = _rankings(2)
+        with pytest.raises(AggregationError):
+            run(service.distance(DOMAIN, sigma, tau, metric="spearman"))
+
+    def test_single_ranking_batch_answers_zero_without_kernel(self):
+        service = RankingService(ServeConfig(batch_window=0.0, cache_capacity=0))
+        (sigma,) = _rankings(1)
+
+        with obs.capture():
+            value = run(service.distance(DOMAIN, sigma, sigma))
+        counters = obs.snapshot()["counters"]
+        assert value == 0.0
+        assert "metrics.batch.matrix_calls" not in counters
+
+
+# ----------------------------------------------------------------------
+# Freshness under mutation
+# ----------------------------------------------------------------------
+
+
+class TestFreshness:
+    def test_mid_batch_mutation_uses_accept_time_snapshot(self):
+        """A voter reference resolves when accepted, not when flushed."""
+        old, new, probe = _rankings(3)
+
+        async def scenario() -> tuple[float, float]:
+            service = RankingService(ServeConfig(batch_window=0.02))
+            await service.update(DOMAIN, "alice", old)
+            task = asyncio.ensure_future(service.distance(DOMAIN, "alice", probe))
+            await asyncio.sleep(0)  # the query is accepted, the window is open
+            await service.update(DOMAIN, "alice", new)  # mid-window mutation
+            accepted = await task
+            fresh = await service.distance(DOMAIN, "alice", probe)
+            await service.drain()
+            return accepted, fresh
+
+        accepted, fresh = run(scenario())
+        assert accepted == kendall(old, probe, 0.5)
+        assert fresh == kendall(new, probe, 0.5)
+
+    def test_mutation_invalidates_consensus_cache(self):
+        r1, r2 = _rankings(2)
+
+        async def scenario() -> tuple[dict, dict, int]:
+            service = RankingService(ServeConfig(batch_window=0.0))
+            await service.update(DOMAIN, "alice", r1)
+            first = await service.consensus(DOMAIN, kind="scores")
+            again = await service.consensus(DOMAIN, kind="scores")
+            assert again == first
+            hits_before_mutation = service.cache.hits
+            await service.update(DOMAIN, "bob", r2)
+            after = await service.consensus(DOMAIN, kind="scores")
+            return first, after, hits_before_mutation
+
+        first, after, hits = run(scenario())
+        assert hits >= 1  # the repeat was served from cache...
+        assert first == median_scores([r1])
+        assert after == median_scores([r1, r2])  # ...and the mutation dropped it
+
+    def test_distance_cache_is_content_addressed(self):
+        """Cached distances key on the rankings, so churn cannot stale them."""
+        old, new, probe = _rankings(3)
+
+        async def scenario() -> tuple[float, float, float]:
+            service = RankingService(ServeConfig(batch_window=0.0))
+            await service.update(DOMAIN, "alice", old)
+            by_ref_old = await service.distance(DOMAIN, "alice", probe)
+            await service.update(DOMAIN, "alice", new)
+            by_ref_new = await service.distance(DOMAIN, "alice", probe)
+            old_pair_still = await service.distance(DOMAIN, old, probe)
+            return by_ref_old, by_ref_new, old_pair_still
+
+        by_ref_old, by_ref_new, old_pair_still = run(scenario())
+        assert by_ref_old == kendall(old, probe, 0.5)
+        assert by_ref_new == kendall(new, probe, 0.5)
+        assert old_pair_still == by_ref_old
+
+    def test_voter_reference_without_shard_rejected(self):
+        service = RankingService(ServeConfig(batch_window=0.0))
+        (probe,) = _rankings(1)
+        with pytest.raises(AggregationError):
+            run(service.distance(DOMAIN, "nobody", probe))
+
+    def test_restore_drops_every_cached_answer(self):
+        r1, r2 = _rankings(2)
+
+        async def scenario() -> tuple[dict, dict]:
+            service = RankingService(ServeConfig(batch_window=0.0))
+            await service.update(DOMAIN, "alice", r1)
+            blob = service.snapshot()
+            await service.update(DOMAIN, "bob", r2)
+            await service.consensus(DOMAIN, kind="scores")  # cached under 2 voters
+            service.restore(blob)
+            restored = await service.consensus(DOMAIN, kind="scores")
+            return restored, median_scores([r1])
+
+        restored, expected = run(scenario())
+        assert restored == expected
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+
+
+def _literal(ranking: PartialRanking) -> dict:
+    """The JSON bucket-literal form of a ranking."""
+    return {"buckets": [list(bucket) for bucket in ranking.buckets]}
+
+
+async def _post(port: int, path: str, payload: dict) -> tuple[int, dict]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        return await _request_on(reader, writer, "POST", path, payload)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def _request_on(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    method: str,
+    path: str,
+    payload: dict | None,
+) -> tuple[int, dict]:
+    body = json.dumps(payload).encode() if payload is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    )
+    writer.write(head.encode() + body)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value)
+    data = json.loads(await reader.readexactly(length)) if length else {}
+    return status, data
+
+
+class TestHTTP:
+    def _serve(self, scenario):
+        """Run an async scenario against a live ephemeral-port server."""
+
+        async def wrapped():
+            server = ReproServer(
+                config=ServeConfig(port=0, batch_window=0.0, cache_capacity=64)
+            )
+            await server.start()
+            try:
+                return await scenario(server)
+            finally:
+                await server.stop()
+
+        return run(wrapped())
+
+    def test_update_distance_consensus_roundtrip(self):
+        sigma, tau = _rankings(2)
+        domain = sorted(DOMAIN)
+
+        async def scenario(server: ReproServer):
+            status, body = await _post(
+                server.port,
+                "/v1/update",
+                {"domain": domain, "voter": "alice", "ranking": _literal(sigma)},
+            )
+            assert status == 200
+            assert body["result"]["replaced"] is False
+            status, body = await _post(
+                server.port,
+                "/v1/distance",
+                {
+                    "domain": domain,
+                    "sigma": {"voter": "alice"},
+                    "tau": _literal(tau),
+                },
+            )
+            assert status == 200
+            assert body["result"]["distance"] == kendall(sigma, tau, 0.5)
+            status, body = await _post(
+                server.port, "/v1/consensus", {"domain": domain, "kind": "scores"}
+            )
+            assert status == 200
+            expected = median_scores([sigma])
+            assert {item: score for item, score in body["result"]["scores"]} == expected
+
+        self._serve(scenario)
+
+    def test_concurrent_http_distances_all_exact(self):
+        rankings = _rankings(4)
+        domain = sorted(DOMAIN)
+        pairs = [(rankings[i], rankings[(i + 1) % 4]) for i in range(4)]
+
+        async def scenario(server: ReproServer):
+            responses = await asyncio.gather(
+                *(
+                    _post(
+                        server.port,
+                        "/v1/distance",
+                        {
+                            "domain": domain,
+                            "sigma": _literal(s),
+                            "tau": _literal(t),
+                        },
+                    )
+                    for s, t in pairs
+                )
+            )
+            for (status, body), (s, t) in zip(responses, pairs):
+                assert status == 200
+                assert body["result"]["distance"] == kendall(s, t, 0.5)
+
+        self._serve(scenario)
+
+    def test_error_mapping_and_keep_alive(self):
+        domain = sorted(DOMAIN)
+
+        async def scenario(server: ReproServer):
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            try:
+                # three requests on one keep-alive connection
+                status, _ = await _request_on(reader, writer, "GET", "/v1/healthz", None)
+                assert status == 200
+                status, body = await _request_on(
+                    reader, writer, "POST", "/v1/remove", {"domain": domain, "voter": "x"}
+                )
+                assert status == 409  # no shard for the domain yet
+                status, body = await _request_on(
+                    reader, writer, "POST", "/v1/distance", {"domain": domain}
+                )
+                assert status == 400  # missing sigma/tau
+                assert "sigma" in body["error"]
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            status, _ = await _post(server.port, "/v1/nope", {})
+            assert status == 404
+            status, body = await _post(
+                server.port,
+                "/v1/update",
+                {"domain": domain, "voter": "a", "ranking": {"voter": "b"}},
+            )
+            assert status == 400  # update needs a literal ranking
+
+        self._serve(scenario)
+
+    def test_http_snapshot_restore(self):
+        sigma, tau = _rankings(2)
+        domain = sorted(DOMAIN)
+
+        async def scenario(server: ReproServer):
+            await _post(
+                server.port,
+                "/v1/update",
+                {"domain": domain, "voter": "a", "ranking": _literal(sigma)},
+            )
+            status, body = await _post(server.port, "/v1/snapshot", {})
+            assert status == 200
+            blob = body["result"]["snapshot"]
+            await _post(
+                server.port,
+                "/v1/update",
+                {"domain": domain, "voter": "b", "ranking": _literal(tau)},
+            )
+            status, body = await _post(server.port, "/v1/restore", {"snapshot": blob})
+            assert status == 200
+            assert body["result"] == {"restored": True, "shards": 1}
+            status, body = await _post(
+                server.port, "/v1/consensus", {"domain": domain, "kind": "scores"}
+            )
+            expected = median_scores([sigma])  # voter b is gone again
+            assert {item: score for item, score in body["result"]["scores"]} == expected
+            status, body = await _post(server.port, "/v1/restore", {"snapshot": "!!!"})
+            assert status == 400
+
+        self._serve(scenario)
+
+
+# ----------------------------------------------------------------------
+# Snapshot across a real process boundary
+# ----------------------------------------------------------------------
+
+
+def _consensus_in_child(blob: bytes, domain_items: tuple, k: int) -> tuple:
+    """Worker: restore the snapshot in a fresh service and answer queries."""
+    service = RankingService()
+    service.restore(blob)
+    domain = frozenset(domain_items)
+
+    async def query() -> tuple:
+        return (
+            await service.consensus(domain, kind="scores"),
+            await service.consensus(domain, kind="full"),
+            await service.consensus(domain, kind="partial"),
+            await service.consensus(domain, kind="topk", k=k),
+        )
+
+    return asyncio.run(query())
+
+
+class TestSnapshotProcessBoundary:
+    def test_restored_process_answers_identically(self):
+        rankings = _rankings(4, seed=21)
+
+        async def build() -> tuple[bytes, tuple]:
+            service = RankingService(ServeConfig(batch_window=0.0))
+            for index, ranking in enumerate(rankings):
+                await service.update(DOMAIN, f"v{index}", ranking)
+            local = (
+                await service.consensus(DOMAIN, kind="scores"),
+                await service.consensus(DOMAIN, kind="full"),
+                await service.consensus(DOMAIN, kind="partial"),
+                await service.consensus(DOMAIN, kind="topk", k=2),
+            )
+            return service.snapshot(), local
+
+        blob, local = run(build())
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(_consensus_in_child, blob, tuple(DOMAIN), 2).result()
+        assert remote == local
+
+    def test_garbage_blob_rejected(self):
+        service = RankingService()
+        with pytest.raises(SnapshotError):
+            service.restore(b"not a snapshot")
+
+    def test_layout_version_mismatch_rejected(self):
+        service = RankingService()
+        blob = pickle.dumps({"version": 999, "tie": "mid", "shards": []})
+        with pytest.raises(SnapshotError):
+            service.restore(blob)
+
+
+# ----------------------------------------------------------------------
+# Cache + config units
+# ----------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put("s", "a", 1)
+        cache.put("s", "b", 2)
+        assert cache.get("s", "a") == 1  # refresh a; b is now LRU
+        cache.put("s", "c", 3)
+        assert cache.get("s", "b") is None
+        assert cache.get("s", "a") == 1
+        assert cache.stats["evictions"] == 1
+
+    def test_scope_invalidation_is_exact(self):
+        cache = ResultCache(8)
+        cache.put("alpha", "k1", 1)
+        cache.put("alpha", "k2", 2)
+        cache.put("beta", "k1", 3)
+        assert cache.invalidate("alpha") == 2
+        assert cache.get("alpha", "k1") is None
+        assert cache.get("beta", "k1") == 3
+        assert cache.invalidate("alpha") == 0
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(0)
+        cache.put("s", "k", 1)
+        assert cache.get("s", "k") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(batch_window=-0.1)
+        with pytest.raises(ValueError):
+            ServeConfig(cache_capacity=-1)
+        with pytest.raises(ValueError):
+            ServeConfig(port=70000)
+
+    def test_env_roundtrip(self):
+        config = config_from_env(
+            {
+                "REPRO_SERVE_HOST": "0.0.0.0",
+                "REPRO_SERVE_PORT": "9000",
+                "REPRO_SERVE_BATCH_WINDOW": "0.01",
+                "REPRO_SERVE_CACHE": "16",
+                "REPRO_SERVE_JOBS": "2",
+            }
+        )
+        assert config == ServeConfig(
+            host="0.0.0.0", port=9000, batch_window=0.01, cache_capacity=16, jobs=2
+        )
+
+    def test_malformed_env_warns_and_defaults(self):
+        with pytest.warns(RuntimeWarning):
+            config = config_from_env({"REPRO_SERVE_BATCH_WINDOW": "soon"})
+        assert config.batch_window == ServeConfig().batch_window
+
+    def test_cli_flags_override_env(self):
+        args = build_parser().parse_args(["--port", "0", "--cache", "7"])
+        config = resolve_config(args)
+        assert config.port == 0
+        assert config.cache_capacity == 7

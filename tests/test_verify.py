@@ -45,7 +45,7 @@ class TestRegistry:
     def test_check_census(self):
         checks = all_checks()
         kinds = [info.kind for info in checks]
-        assert kinds.count("oracle") == 25
+        assert kinds.count("oracle") == 26
         assert kinds.count("relation") == 13
         assert not any(info.selftest_only for info in checks)
 
