@@ -18,6 +18,10 @@ metrics:
 * :func:`optimal_footrule_aggregation` — the exact (matching-based)
   comparator the paper contrasts the median algorithm with.
 * :mod:`repro.aggregate.exact` — brute-force optima for small domains.
+* :func:`kemeny_decomposed` / :func:`kemeny_optimal` — SCC-condensed
+  exact ``K^(p)`` aggregation (per-component Held–Karp over the
+  :func:`pair_cost_array` dominance digraph, pluggable
+  :class:`ScoringScheme` penalties).
 """
 
 from repro.aggregate.batch import (
@@ -28,9 +32,16 @@ from repro.aggregate.batch import (
     median_scores_batch,
     median_top_k_batch,
 )
+from repro.aggregate.decompose import DecomposedResult, kemeny_decomposed
 from repro.aggregate.dp import bucketing_cost, optimal_bucketing, optimal_partial_ranking
-from repro.aggregate.kemeny import kemeny_lower_bound, kemeny_optimal
+from repro.aggregate.kemeny import (
+    kemeny_lower_bound,
+    kemeny_optimal,
+    pair_cost_array,
+    pair_cost_matrix,
+)
 from repro.aggregate.matching import optimal_footrule_aggregation
+from repro.aggregate.scoring import ScoringScheme
 from repro.aggregate.median import (
     MedianAggregator,
     median_fixed_type,
@@ -80,6 +91,11 @@ __all__ = [
     "optimal_footrule_aggregation",
     "kemeny_optimal",
     "kemeny_lower_bound",
+    "kemeny_decomposed",
+    "DecomposedResult",
+    "ScoringScheme",
+    "pair_cost_array",
+    "pair_cost_matrix",
     "majority_digraph",
     "condorcet_winner",
     "is_condorcet_consistent",

@@ -13,11 +13,21 @@ subset ``S`` (as a prefix) satisfies the Held–Karp recurrence
 
     ``dp[S ∪ {x}] = dp[S] + sum_{y ∉ S ∪ {x}} cost(x before y)``
 
-giving an exact O(2^n · n²) algorithm, practical to n ≈ 16.
+giving an exact O(2^n · n) algorithm after the per-state appendix costs
+are batched into one ``(2^n, n)`` GEMM (see :func:`_held_karp`).
+
+By default :func:`kemeny_optimal` first condenses the pairwise-dominance
+digraph into strongly-connected components
+(:mod:`repro.aggregate.decompose`), so the exponential cap applies *per
+component*: sparse-conflict instances with hundreds of items solve
+exactly in milliseconds. ``decompose=False`` restores the monolithic
+single-DP path with its hard n ≤ 16 guard.
 
 The same pair-cost matrix also yields the standard lower bound
 ``sum_{pairs} min(cost(x<y), cost(y<x))``, used to sanity-check optimality
-and to bound ratios on instances too large to solve exactly.
+and to bound ratios on instances too large to solve exactly. Penalties
+beyond the scalar ``p`` plug in through
+:class:`~repro.aggregate.scoring.ScoringScheme`.
 """
 
 from __future__ import annotations
@@ -29,13 +39,19 @@ import numpy.typing as npt
 
 from repro import obs
 from repro.aggregate.objective import validate_profile
+from repro.aggregate.scoring import ScoringScheme, resolve_scheme
 from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
 from repro.metrics.batch import bucket_index_matrix, sign_tensor
 from repro.parallel import parallel_map, resolve_jobs
 
-__all__ = ["pair_cost_matrix", "kemeny_lower_bound", "kemeny_optimal"]
+__all__ = [
+    "pair_cost_matrix",
+    "pair_cost_array",
+    "kemeny_lower_bound",
+    "kemeny_optimal",
+]
 
 _MAX_EXACT = 16
 
@@ -69,30 +85,37 @@ def _pair_order_chunk(
     return ahead, tied
 
 
-def pair_cost_matrix(
+def pair_cost_array(
     rankings: Sequence[PartialRanking],
     p: float = 0.5,
     *,
+    scheme: ScoringScheme | None = None,
     jobs: int | None = None,
-) -> tuple[list[Item], list[list[float]]]:
-    """Build the pairwise placement-cost matrix.
+) -> tuple[list[Item], npt.NDArray[np.float64]]:
+    """Build the pairwise placement-cost matrix as an ``(n, n)`` ndarray.
 
-    Returns ``(items, cost)`` where ``cost[i][j]`` is the total penalty
+    Returns ``(items, cost)`` where ``cost[i, j]`` is the total penalty
     across the inputs for ranking ``items[i]`` strictly before
-    ``items[j]``: 1 per input that strictly disagrees, ``p`` per input
-    that ties the pair. ``cost[i][j] + cost[j][i]`` is constant per pair
-    (the pair's unavoidable-versus-chosen split).
+    ``items[j]``: ``scheme.disagree`` per input that strictly disagrees,
+    ``scheme.agree`` per input that strictly agrees, ``scheme.tie`` per
+    input that ties the pair. Under the default Kendall scheme
+    ``cost[i, j] + cost[j, i]`` is constant per pair (the pair's
+    unavoidable-versus-chosen split).
 
     The workers accumulate *integer* strictly-ahead / tied counts via the
     shared :func:`repro.metrics.batch.sign_tensor` path, and each entry is
-    computed once as ``ahead + p·tied`` — so the matrix is bit-for-bit
+    computed once from those counts — so the matrix is bit-for-bit
     identical for every job count and every ``p`` (dyadic or not), and
     exactly equals the historical per-ranking accumulation for dyadic
     ``p`` (including the default ``p = 1/2``). ``jobs`` spreads the
     construction over a process pool (see :mod:`repro.parallel`).
+
+    This is the allocation-free kernel every in-package consumer uses
+    (the DP, the lower bound, the SCC decomposition, the tournament
+    diagnostics); :func:`pair_cost_matrix` wraps it for callers wanting
+    plain lists.
     """
-    if not 0.0 <= p <= 1.0:
-        raise AggregationError(f"penalty parameter p={p} outside [0, 1]")
+    resolved = resolve_scheme(p, scheme)
     validate_profile(rankings)
     codec = DomainCodec.for_profile(rankings)
     items = list(codec.items)  # canonical key order, as before
@@ -111,15 +134,47 @@ def pair_cost_matrix(
         for chunk_ahead, chunk_tied in parallel_map(_pair_order_chunk, chunks, jobs=jobs):
             ahead += chunk_ahead
             tied += chunk_tied
-        cost = ahead + p * tied
+        if resolved.is_kendall:
+            # byte-for-byte the historical scalar-p expression
+            cost = ahead + resolved.tie * tied
+        else:
+            cost = (
+                resolved.disagree * ahead
+                + resolved.agree * ahead.T
+                + resolved.tie * tied
+            )
         np.fill_diagonal(cost, 0.0)
-        return items, cost.tolist()
+        return items, cost
+
+
+def pair_cost_matrix(
+    rankings: Sequence[PartialRanking],
+    p: float = 0.5,
+    *,
+    scheme: ScoringScheme | None = None,
+    jobs: int | None = None,
+) -> tuple[list[Item], list[list[float]]]:
+    """:func:`pair_cost_array` with the cost matrix as nested lists.
+
+    Kept as the stable public shape for external callers; everything in
+    this package consumes the ndarray directly to avoid re-materializing
+    the ``(n, n)`` matrix on every hop.
+    """
+    items, cost = pair_cost_array(rankings, p, scheme=scheme, jobs=jobs)
+    return items, cost.tolist()
+
+
+def _lower_bound_from_cost(cost: npt.NDArray[np.float64]) -> float:
+    """``sum_{pairs} min(cost[x, y], cost[y, x])`` over the upper triangle."""
+    i_upper, j_upper = np.triu_indices(cost.shape[0], k=1)
+    return float(np.minimum(cost, cost.T)[i_upper, j_upper].sum())
 
 
 def kemeny_lower_bound(
     rankings: Sequence[PartialRanking],
     p: float = 0.5,
     *,
+    scheme: ScoringScheme | None = None,
     jobs: int | None = None,
 ) -> float:
     """``sum_{pairs} min(cost(x<y), cost(y<x))`` — a lower bound on the
@@ -129,25 +184,39 @@ def kemeny_lower_bound(
     is exact: costs are half-integer multiples of ``p``'s resolution, and
     for dyadic ``p`` every partial sum is exactly representable.
     """
-    items, cost = pair_cost_matrix(rankings, p, jobs=jobs)
-    matrix = np.asarray(cost, dtype=np.float64)
-    i_upper, j_upper = np.triu_indices(len(items), k=1)
-    return float(np.minimum(matrix, matrix.T)[i_upper, j_upper].sum())
+    _, cost = pair_cost_array(rankings, p, scheme=scheme, jobs=jobs)
+    return _lower_bound_from_cost(cost)
 
 
 def kemeny_optimal(
     rankings: Sequence[PartialRanking],
     p: float = 0.5,
     *,
+    scheme: ScoringScheme | None = None,
     jobs: int | None = None,
+    decompose: bool = True,
 ) -> tuple[PartialRanking, float]:
-    """Exact optimal full-ranking ``K^(p)`` aggregation (Held–Karp DP).
+    """Exact optimal full-ranking ``K^(p)`` aggregation.
 
-    Returns the optimal ranking and its objective value. Exponential in
-    ``n`` (refused above n=16); use :mod:`repro.aggregate.median` for the
-    constant-factor polynomial alternative the paper advocates.
+    Returns the optimal ranking and its objective value. By default the
+    instance is first condensed into strongly-connected components of the
+    pairwise-dominance digraph and each component is solved by its own
+    Held–Karp DP (:func:`repro.aggregate.decompose.kemeny_decomposed`
+    with ``require_exact=True``), so only instances with a *component*
+    larger than 16 items are refused. ``decompose=False`` runs one
+    monolithic DP with the historical hard n ≤ 16 cap. Use
+    :mod:`repro.aggregate.median` for the constant-factor polynomial
+    alternative the paper advocates on refused instances.
     """
-    items, cost = pair_cost_matrix(rankings, p, jobs=jobs)
+    if decompose:
+        # local import: decompose builds on this module's cost kernel
+        from repro.aggregate.decompose import kemeny_decomposed
+
+        result = kemeny_decomposed(
+            rankings, p, scheme=scheme, jobs=jobs, require_exact=True
+        )
+        return result.ranking, result.objective
+    items, cost = pair_cost_array(rankings, p, scheme=scheme, jobs=jobs)
     n = len(items)
     if n > _MAX_EXACT:
         raise AggregationError(
@@ -156,12 +225,72 @@ def kemeny_optimal(
         )
     with obs.trace("aggregate.kemeny.held_karp", n=n):
         obs.add("kemeny.dp_states", 1 << n)
-        return _held_karp(items, cost, n)
+        order, objective = _held_karp(cost, n)
+        return PartialRanking.from_sequence([items[x] for x in order]), objective
 
 
 def _held_karp(
-    items: list[Item], cost: list[list[float]], n: int
-) -> tuple[PartialRanking, float]:
+    cost: npt.NDArray[np.float64], n: int
+) -> tuple[list[int], float]:
+    """Optimal item order (as matrix indices) plus its objective value.
+
+    The per-state appendix costs are batched: ``S = bits @ cost.T`` gives
+    ``S[mask, x] = sum_{y in mask} cost[x, y]`` for every state in one
+    GEMM, so appending ``x`` to the prefix ``mask`` adds
+    ``row_total[x] − S[mask, x]`` (everything still unplaced) — an O(1)
+    lookup instead of the former O(n) Python generator sum, taking the DP
+    from O(2^n · n²) interpreted work to O(2^n · n) plus one GEMM.
+    Bit-identical to the scalar accumulation for dyadic penalties (all
+    partial sums exact in float64); for non-dyadic schemes agreement is
+    within one ulp per state. Transition ties keep the historical
+    resolution (first-improving ``x`` in ascending index order wins).
+    """
+    full = 1 << n
+    bits = ((np.arange(full, dtype=np.uint32)[:, None] >> np.arange(n)) & 1).astype(
+        np.float64
+    )
+    # added[mask, x] = cost of ranking x ahead of everything outside mask
+    added = cost.sum(axis=1)[None, :] - bits @ cost.T
+    infinity = float("inf")
+    dp = [infinity] * full
+    parent = [-1] * full
+    dp[0] = 0.0
+    for mask in range(full):
+        base = dp[mask]
+        if base == infinity:
+            continue
+        added_row = added[mask]
+        for x in range(n):
+            if mask & (1 << x):
+                continue
+            # append x to the prefix: it is ranked before everything else
+            # still unplaced
+            new_mask = mask | (1 << x)
+            candidate = base + added_row[x]
+            if candidate < dp[new_mask]:
+                dp[new_mask] = candidate
+                parent[new_mask] = x
+
+    order: list[int] = []
+    mask = full - 1
+    while mask:
+        x = parent[mask]
+        order.append(x)
+        mask ^= 1 << x
+    order.reverse()
+    return order, float(dp[full - 1])
+
+
+def _held_karp_python(
+    cost: npt.NDArray[np.float64], n: int
+) -> tuple[list[int], float]:
+    """The pre-vectorization reference DP (per-state Python generator sum).
+
+    Retained as the differential twin for :func:`_held_karp`: the
+    benchmark gate (``benchmarks/bench_kemeny.py``) asserts the two agree
+    bit for bit while measuring the per-state speedup of the GEMM path.
+    """
+    rows = cost.tolist()
     full = 1 << n
     infinity = float("inf")
     dp = [infinity] * full
@@ -173,20 +302,18 @@ def _held_karp(
             continue
         remaining = [i for i in range(n) if not mask & (1 << i)]
         for x in remaining:
-            # append x to the prefix: it is ranked before everything else
-            # still unplaced
-            added = sum(cost[x][y] for y in remaining if y != x)
+            added = sum(rows[x][y] for y in remaining if y != x)
             new_mask = mask | (1 << x)
             candidate = base + added
             if candidate < dp[new_mask]:
                 dp[new_mask] = candidate
                 parent[new_mask] = x
 
-    order: list[Item] = []
+    order: list[int] = []
     mask = full - 1
     while mask:
         x = parent[mask]
-        order.append(items[x])
+        order.append(x)
         mask ^= 1 << x
     order.reverse()
-    return PartialRanking.from_sequence(order), dp[full - 1]
+    return order, dp[full - 1]

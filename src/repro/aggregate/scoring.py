@@ -1,0 +1,79 @@
+"""Pluggable penalty vectors for the pairwise aggregation objective.
+
+The paper's ``K^(p)`` charges each input 1 for a strict disagreement on a
+pair and ``p`` for tying it. Generalizations in the weighted-footrule /
+vote-aggregation literature (1207.2541, 1203.6371, 1701.08305) replace
+the scalar with a penalty *vector*: an arbitrary nonnegative charge for
+each way an input can relate a pair to the output's choice. A
+:class:`ScoringScheme` names those charges for the case "the output
+places ``x`` strictly before ``y``":
+
+* ``disagree`` — per input ranking ``y`` strictly ahead of ``x``;
+* ``agree`` — per input ranking ``x`` strictly ahead of ``y`` (0 in every
+  Kendall-style objective, but nonzero schemes express "reward-free"
+  variants where agreement still carries cost);
+* ``tie`` — per input tying the pair (the paper's ``p``).
+
+``ScoringScheme.kendall(p)`` is the default everywhere; every solver in
+:mod:`repro.aggregate.kemeny` / :mod:`repro.aggregate.decompose` accepts
+``scheme=`` and remains byte-for-byte compatible with the historical
+scalar-``p`` path when the scheme *is* a Kendall scheme.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AggregationError
+
+__all__ = [  # repro: noqa[RP011] — pure parameter container; the solvers it feeds carry the spans
+    "ScoringScheme",
+    "resolve_scheme",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ScoringScheme:
+    """Per-input pair penalties for placing ``x`` strictly before ``y``."""
+
+    agree: float = 0.0
+    disagree: float = 1.0
+    tie: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("agree", "disagree", "tie"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0.0:
+                raise AggregationError(
+                    f"scoring-scheme penalty {name}={value} must be finite "
+                    "and nonnegative"
+                )
+
+    @classmethod
+    def kendall(cls, p: float = 0.5) -> "ScoringScheme":
+        """The paper's ``K^(p)`` as a penalty vector: ``(0, 1, p)``."""
+        if not 0.0 <= p <= 1.0:
+            raise AggregationError(f"penalty parameter p={p} outside [0, 1]")
+        return cls(agree=0.0, disagree=1.0, tie=p)
+
+    @property
+    def is_kendall(self) -> bool:
+        """Whether the scheme reduces to a scalar-``p`` Kendall objective."""
+        return self.agree == 0.0 and self.disagree == 1.0
+
+
+def resolve_scheme(p: float, scheme: ScoringScheme | None) -> ScoringScheme:
+    """The scheme a solver should use: explicit ``scheme`` wins over ``p``.
+
+    Passing both a non-default ``p`` and an explicit scheme is ambiguous
+    and rejected — callers migrate by dropping the scalar.
+    """
+    if scheme is None:
+        return ScoringScheme.kendall(p)
+    if p != 0.5:
+        raise AggregationError(
+            f"pass either the scalar p (got p={p}) or an explicit "
+            "ScoringScheme, not both"
+        )
+    return scheme

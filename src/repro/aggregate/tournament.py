@@ -24,7 +24,7 @@ from collections.abc import Sequence
 
 import networkx as nx
 
-from repro.aggregate.kemeny import pair_cost_matrix
+from repro.aggregate.kemeny import pair_cost_array
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
 
@@ -48,13 +48,13 @@ def majority_digraph(
     ``margin`` (the cost difference) and ``cost`` (the cheaper direction's
     cost) attributes.
     """
-    items, cost = pair_cost_matrix(rankings, p)
+    items, cost = pair_cost_array(rankings, p)
     graph = nx.DiGraph()
     graph.add_nodes_from(items)
     n = len(items)
     for i in range(n):
         for j in range(i + 1, n):
-            forward, backward = cost[i][j], cost[j][i]
+            forward, backward = float(cost[i, j]), float(cost[j, i])
             if forward < backward:
                 graph.add_edge(items[i], items[j], margin=backward - forward, cost=forward)
             elif backward < forward:
@@ -113,10 +113,10 @@ def topological_aggregation(
     )
     ranking = PartialRanking.from_sequence(order)
 
-    items, cost = pair_cost_matrix(rankings, p)
+    items, cost = pair_cost_array(rankings, p)
     index = {item: i for i, item in enumerate(items)}
     total = 0.0
     for position, x in enumerate(order):
         for y in order[position + 1 :]:
-            total += cost[index[x]][index[y]]
-    return ranking, total
+            total += cost[index[x], index[y]]
+    return ranking, float(total)

@@ -16,6 +16,11 @@ position-matrix encode, bit-for-bit equal to the dict path — so both
 shapes are flagged:
 
 * a call to ``median_of`` at loop depth >= 2;
+* a call to ``pair_cost_matrix`` / ``pair_cost_array`` at loop depth
+  >= 2 — each call is a full O(n^2 m) profile scan, so nested loops
+  re-derive the same matrix over and over;
+  :func:`repro.aggregate.decompose.kemeny_decomposed` builds it once and
+  slices per component instead;
 * a subscript ``sigma[item]`` at loop depth >= 2 where both names are
   bound as loop/comprehension targets of *different* enclosing levels and
   the container follows the paper's ranking notation (``sigma``/``tau``/
@@ -38,7 +43,12 @@ from collections.abc import Iterator
 
 from repro.analysis.engine import Finding, Project, Rule, Severity, SourceFile, register
 
-__all__ = ["PairwiseLoopRule", "PER_PAIR_METRIC_NAMES", "PER_ITEM_AGGREGATION_NAMES"]
+__all__ = [
+    "PairwiseLoopRule",
+    "PER_PAIR_METRIC_NAMES",
+    "PER_ITEM_AGGREGATION_NAMES",
+    "PROFILE_COST_KERNEL_NAMES",
+]
 
 #: Two-ranking distance entry points with a batch equivalent.
 PER_PAIR_METRIC_NAMES = frozenset(
@@ -57,6 +67,11 @@ PER_PAIR_METRIC_NAMES = frozenset(
 
 #: Per-item aggregation entry points with a position-matrix equivalent.
 PER_ITEM_AGGREGATION_NAMES = frozenset({"median_of"})
+
+#: Full-profile cost-matrix builders: one call scans the whole profile,
+#: so calling them from nested loops repeats an O(n^2 m) kernel per
+#: iteration. Slice one matrix instead (repro.aggregate.decompose does).
+PROFILE_COST_KERNEL_NAMES = frozenset({"pair_cost_matrix", "pair_cost_array"})
 
 #: Container names treated as "a ranking" for the gather pattern — the
 #: paper's notation, which the codebase follows for PartialRanking values.
@@ -144,6 +159,8 @@ class _NestedLoopCallVisitor(ast.NodeVisitor):
                 self.calls.append((node, name, "pair"))
             elif name is not None and name in PER_ITEM_AGGREGATION_NAMES:
                 self.calls.append((node, name, "aggregation"))
+            elif name is not None and name in PROFILE_COST_KERNEL_NAMES:
+                self.calls.append((node, name, "profile-cost"))
         self.generic_visit(node)
 
     def visit_Subscript(self, node: ast.Subscript) -> None:
@@ -188,6 +205,15 @@ class PairwiseLoopRule(Rule):
                     f"per-pair metric {name!r} called at loop depth >= 2; "
                     "consider repro.metrics.batch.pairwise_distance_matrix "
                     "(bit-for-bit equal, shared precomputation)",
+                )
+            elif kind == "profile-cost":
+                yield self.finding(
+                    source,
+                    call,
+                    f"profile cost kernel {name!r} called at loop depth >= 2 "
+                    "(each call is a full O(n^2 m) profile scan); build the "
+                    "matrix once and slice per component, as "
+                    "repro.aggregate.decompose.kemeny_decomposed does",
                 )
             else:
                 yield self.finding(

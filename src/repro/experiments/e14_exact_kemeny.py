@@ -6,18 +6,26 @@ aggregation problem. With the Held–Karp solver we can compute the exact
 ``K^(1/2)`` optimum up to n ≈ 14 — past the factorial brute force — and
 measure the real approximation ratios of median, Borda, best-input, and
 the pairwise-majority lower bound, together with solve times.
+
+A second table measures the SCC-condensed solver
+(:func:`repro.aggregate.decompose.kemeny_decomposed`) on sparse-conflict
+banded profiles far beyond the monolithic n ≤ 16 cap: component-size
+histogram, certified-exact rate, and solve time per instance.
 """
 
 from __future__ import annotations
 
 import time
+from collections import Counter
 
 from repro.aggregate.baselines import best_input, borda
+from repro.aggregate.decompose import kemeny_decomposed
 from repro.aggregate.kemeny import kemeny_lower_bound, kemeny_optimal
 from repro.aggregate.median import median_full_ranking
 from repro.aggregate.objective import total_distance
 from repro.experiments.runner import Table, register
 from repro.generators.random import random_bucket_order, resolve_rng
+from repro.generators.workloads import banded_profile_workload
 
 
 @register("e14", "median vs exact Kemeny optimum (Held-Karp), K_prof objective")
@@ -26,6 +34,8 @@ def run(
     sizes: tuple[int, ...] = (6, 9, 12),
     m: int = 5,
     trials: int = 8,
+    banded_sizes: tuple[int, ...] = (40, 80, 120),
+    band: int = 6,
 ) -> list[Table]:
     """Run E14; see the module docstring and EXPERIMENTS.md."""
     rng = resolve_rng(seed)
@@ -85,4 +95,65 @@ def run(
             "against the best FULL ranking."
         ),
     )
-    return [table]
+
+    banded_rows = []
+    for n in banded_sizes:
+        histogram: Counter[int] = Counter()
+        exact_count = 0
+        median_ratios = []
+        decompose_seconds = 0.0
+        for trial in range(trials):
+            workload = banded_profile_workload(
+                n, m, band=band, seed=rng.getrandbits(32), tie_bias=0.3
+            )
+            start = time.perf_counter()
+            result = kemeny_decomposed(workload.rankings)
+            decompose_seconds += time.perf_counter() - start
+            histogram.update(len(component) for component in result.components)
+            exact_count += result.exact
+            if result.exact and result.objective > 0:
+                median_ratios.append(
+                    total_distance(
+                        median_full_ranking(workload.rankings),
+                        workload.rankings,
+                        "k_prof",
+                    )
+                    / result.objective
+                )
+        banded_rows.append(
+            {
+                "n": n,
+                "band": band,
+                "certified_exact_rate": exact_count / trials,
+                "component_histogram": " ".join(
+                    f"{size}x{count}" for size, count in sorted(histogram.items())
+                ),
+                "median_mean": (
+                    sum(median_ratios) / len(median_ratios) if median_ratios else 1.0
+                ),
+                "decompose_seconds_total": decompose_seconds,
+            }
+        )
+    banded_table = Table(
+        title=(
+            f"E14: SCC-condensed exact Kemeny on banded profiles "
+            f"(m={m}, band={band})"
+        ),
+        columns=(
+            "n",
+            "band",
+            "certified_exact_rate",
+            "component_histogram",
+            "median_mean",
+            "decompose_seconds_total",
+        ),
+        rows=tuple(banded_rows),
+        notes=(
+            "disagreement confined to bands keeps every strongly-connected "
+            "component at most band items, so the per-component Held-Karp DP "
+            "certifies the global optimum (exact rate 1.0) at sizes the "
+            "monolithic solver refuses outright; the histogram entries are "
+            "component_size x count over all trials."
+        ),
+    )
+    return [table, banded_table]

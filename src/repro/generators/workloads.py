@@ -33,6 +33,7 @@ __all__ = [
     "mallows_profile_workload",
     "db_profile_workload",
     "adversarial_profile_workload",
+    "banded_profile_workload",
 ]
 
 
@@ -135,6 +136,55 @@ def db_profile_workload(
         raise InvalidRankingError(f"unknown catalog {catalog!r}")
     rankings = tuple(preference.rank(relation) for preference in preferences)
     return Workload(name=f"db({catalog},n={n})", rankings=rankings)
+
+
+def banded_profile_workload(
+    n: int,
+    m: int,
+    band: int = 6,
+    seed: int = 0,
+    tie_bias: float = 0.0,
+) -> Workload:
+    """Sparse-conflict profiles: disagreement confined to small bands.
+
+    A latent ground truth ``0 < 1 < ... < n-1`` is cut into consecutive
+    bands of ``band`` items; every voter independently shuffles each band
+    internally (optionally merging adjacent band items into tie buckets
+    with probability ``tie_bias``) but never moves an item across a band
+    boundary. Cross-band pairs are therefore unanimous, so the pairwise
+    dominance digraph's strongly-connected components never span a band —
+    the regime where SCC-condensed exact Kemeny
+    (:func:`repro.aggregate.decompose.kemeny_decomposed`) solves
+    instances of hundreds of items that the monolithic Held–Karp DP
+    refuses outright. This is the meta-search shape in practice: engines
+    agree on tiers and scramble within them.
+    """
+    if m <= 0:
+        raise InvalidRankingError(f"profile size m={m} must be positive")
+    if n <= 0:
+        raise InvalidRankingError(f"domain size n={n} must be positive")
+    if band <= 0:
+        raise InvalidRankingError(f"band size band={band} must be positive")
+    if not 0.0 <= tie_bias < 1.0:
+        raise InvalidRankingError(f"tie_bias={tie_bias} must lie in [0, 1)")
+    rng = resolve_rng(seed)
+    rankings = []
+    for _ in range(m):
+        buckets: list[list[int]] = []
+        for start in range(0, n, band):
+            members = list(range(start, min(start + band, n)))
+            rng.shuffle(members)
+            for offset, item in enumerate(members):
+                # ties never cross a band boundary (offset 0 starts fresh)
+                if offset and tie_bias and rng.random() < tie_bias:
+                    buckets[-1].append(item)
+                else:
+                    buckets.append([item])
+        rankings.append(PartialRanking(buckets))
+    return Workload(
+        name=f"banded(n={n},m={m},band={band},tie_bias={tie_bias})",
+        rankings=tuple(rankings),
+    )
 
 
 def adversarial_profile_workload(

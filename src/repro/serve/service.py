@@ -20,7 +20,10 @@ Request flow:
   concurrent requests into one ``pairwise_distance_matrix`` call.
 * **consensus** answers scores/top-k/full/partial queries straight from
   the shard's online aggregator (bit-for-bit equal to the offline batch
-  path), cached under the shard's codec until the next mutation.
+  path), cached under the shard's codec until the next mutation. The
+  ``kemeny`` kind instead runs the SCC-condensed *exact* solver over the
+  shard's current voter rankings when the instance is certifiably small
+  (every dominance component within the DP cap), raising otherwise.
 * **snapshot / restore** round-trip the whole shard map through the
   existing ``__reduce__`` pickle paths.
 
@@ -37,6 +40,7 @@ from collections.abc import Iterable, Iterator
 from contextlib import contextmanager
 
 from repro import obs
+from repro.aggregate.decompose import kemeny_decomposed
 from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
@@ -49,7 +53,10 @@ from repro.serve.shards import Shard, ShardMap
 __all__ = ["RankingService", "CONSENSUS_KINDS"]
 
 #: Consensus output shapes and the aggregator methods answering them.
-CONSENSUS_KINDS = ("scores", "full", "partial", "topk")
+#: ``kemeny`` is the certified-exact outlier: answered by the
+#: SCC-condensed Held–Karp solver over the shard's voter map, and raising
+#: (→ 409) when any dominance component exceeds the per-component DP cap.
+CONSENSUS_KINDS = ("scores", "full", "partial", "topk", "kemeny")
 
 
 @contextmanager
@@ -198,8 +205,13 @@ class RankingService:
 
         ``kind`` is one of :data:`CONSENSUS_KINDS`; ``topk`` needs ``k``.
         Returns a score ``dict`` for ``scores`` and a
-        :class:`PartialRanking` otherwise. Answers are cached under the
-        shard's codec and invalidated by any mutation of that shard.
+        :class:`PartialRanking` otherwise. ``kemeny`` answers with the
+        *certified-exact* ``K^(1/2)`` aggregation of the shard's voters
+        via SCC decomposition, raising :class:`AggregationError` (HTTP
+        409) when a dominance component exceeds the exact-DP cap — exact
+        consensus on easy instances, an explicit refusal (fall back to
+        ``full``) on hard ones. Answers are cached under the shard's
+        codec and invalidated by any mutation of that shard.
         """
         with _route("consensus"):
             if kind not in CONSENSUS_KINDS:
@@ -222,6 +234,12 @@ class RankingService:
                 value = aggregator.full_ranking()
             elif kind == "partial":
                 value = aggregator.partial_ranking()
+            elif kind == "kemeny":
+                # the voter map is the profile; require_exact certifies
+                # the answer or raises before any exponential work
+                value = kemeny_decomposed(
+                    tuple(shard.voters.values()), require_exact=True
+                ).ranking
             else:
                 value = aggregator.top_k(int(k))  # type: ignore[arg-type]
             self._cache.put(shard.codec, cache_key, value)

@@ -35,6 +35,7 @@ from repro.aggregate.batch import (
     median_scores_batch,
     median_top_k_batch,
 )
+from repro.aggregate.decompose import kemeny_decomposed
 from repro.aggregate.kemeny import kemeny_optimal
 from repro.aggregate.matching import optimal_footrule_aggregation
 from repro.aggregate.medrank import medrank, medrank_out_of_core
@@ -347,6 +348,28 @@ def _matching_variant(jobs: int | None) -> _OracleFn:
 def _kemeny_variant(jobs: int | None) -> _OracleFn:
     def call(rankings: Rankings) -> object:
         return kemeny_optimal(rankings, jobs=jobs)
+
+    return call
+
+
+def _kemeny_monolithic_objective(rankings: Rankings) -> object:
+    """The single-DP optimum value (the pre-decomposition code path)."""
+    _, objective = kemeny_optimal(rankings, decompose=False)
+    return objective
+
+
+def _kemeny_decomposed_objective(jobs: int | None) -> _OracleFn:
+    """The SCC-condensed optimum value.
+
+    Only the *objective* is compared: when several full rankings are
+    optimal, the monolithic DP and the per-component DPs may break the
+    tie differently, but the optimum value is unique and (for dyadic
+    penalties) exactly representable, so equality is bit-for-bit.
+    """
+
+    def call(rankings: Rankings) -> object:
+        result = kemeny_decomposed(rankings, jobs=jobs, require_exact=True)
+        return result.objective
 
     return call
 
@@ -772,6 +795,19 @@ def _build_entries() -> tuple[OracleEntry, ...]:
             variants=(("jobs2", _kemeny_variant(2)),),
             max_items=7,
             expensive=frozenset({"jobs2"}),
+        ),
+        OracleEntry(
+            name="aggregate-kemeny-decomposed",
+            kind="profile",
+            citation="SCC-condensed exact K^(p) optimum == monolithic Held-Karp optimum",
+            covers=(),
+            reference=_kemeny_monolithic_objective,
+            variants=(
+                ("decomposed", _kemeny_decomposed_objective(None)),
+                ("decomposed-jobs2", _kemeny_decomposed_objective(2)),
+            ),
+            max_items=7,
+            expensive=frozenset({"decomposed-jobs2"}),
         ),
         OracleEntry(
             name="aggregate-median-scores",

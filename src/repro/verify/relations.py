@@ -17,7 +17,9 @@ The catalog (see :func:`relations`):
 * the Theorem 7 equivalence band (Theorem 20, Theorem 24, Lemma 25) plus
   the classical Diaconis–Graham inequalities on full refinements;
 * the Proposition 13 triangle / near-triangle inequalities;
-* monotonicity of ``K^(p)`` in the penalty parameter.
+* monotonicity of ``K^(p)`` in the penalty parameter;
+* soundness of the SCC-condensed exact Kemeny decomposition (the
+  divide-and-conquer optimum equals the monolithic Held–Karp optimum).
 
 Exact (``!=``) comparisons below are deliberate: every quantity involved
 is a half- or quarter-integer, exactly representable in float64, and the
@@ -31,7 +33,10 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.aggregate.decompose import kemeny_decomposed
+from repro.aggregate.kemeny import kemeny_optimal, pair_cost_array
 from repro.aggregate.median import median_scores
+from repro.aggregate.objective import total_distance
 from repro.core.partial_ranking import PartialRanking
 from repro.core.refine import common_full_ranking, is_refinement, star
 from repro.metrics.equivalence import check_proved_bounds, metric_bundle
@@ -309,6 +314,70 @@ def _check_tiled_gemm_agreement(rankings: Rankings) -> str | None:
     return None
 
 
+#: Domain cap for the decomposition relation: every component DP is at
+#: most 2^10 states, so the check stays cheap on every fuzzed profile.
+_DECOMPOSE_MAX_ITEMS = 10
+
+
+def _check_scc_decomposition(rankings: Rankings) -> str | None:
+    """The decomposed solver certifies the monolithic optimum.
+
+    On a (self-restricted) instance small enough to cross-check:
+
+    * the SCC components partition the domain and the returned ranking
+      places them in an order where every cross-component pair sits at
+      its pairwise-minimum cost (the soundness precondition);
+    * the decomposed objective equals the monolithic Held–Karp optimum
+      *exactly* (both are sums of the same half-integer pair costs), and
+      independently re-evaluating the returned ranking against the
+      profile reproduces it;
+    * the reported lower bound never exceeds the optimum.
+    """
+    domain = sorted(rankings[0].domain, key=repr)
+    if len(domain) > _DECOMPOSE_MAX_ITEMS:
+        keep = domain[:_DECOMPOSE_MAX_ITEMS]
+        rankings = tuple(sigma.restricted_to(keep) for sigma in rankings)
+    result = kemeny_decomposed(rankings, require_exact=True)
+    if not result.exact:
+        return "require_exact=True returned a result with exact=False"
+    _, monolithic = kemeny_optimal(rankings, decompose=False)
+    if result.objective != monolithic:
+        return (
+            f"decomposed optimum {result.objective} != monolithic "
+            f"Held-Karp optimum {monolithic}"
+        )
+    reevaluated = total_distance(result.ranking, rankings, "k_prof")
+    if reevaluated != result.objective:
+        return (
+            f"reported objective {result.objective} but the ranking costs "
+            f"{reevaluated} against the profile"
+        )
+    covered = [item for component in result.components for item in component]
+    if sorted(covered, key=repr) != sorted(rankings[0].domain, key=repr) or len(
+        covered
+    ) != len(set(covered)):
+        return "SCC components do not partition the domain"
+    items, cost = pair_cost_array(rankings)
+    slot = {item: i for i, item in enumerate(items)}
+    for a, earlier in enumerate(result.components):
+        for later in result.components[a + 1 :]:
+            for x in earlier:
+                for y in later:
+                    forward = cost[slot[x], slot[y]]
+                    backward = cost[slot[y], slot[x]]
+                    if forward > backward:
+                        return (
+                            f"components misordered: placing {x!r} before "
+                            f"{y!r} costs {forward} > {backward}"
+                        )
+    if result.lower_bound > result.objective + _TOL:
+        return (
+            f"pairwise lower bound {result.lower_bound} exceeds the "
+            f"optimum {result.objective}"
+        )
+    return None
+
+
 _RELATIONS: tuple[Relation, ...] = (
     Relation("symmetry", 2, "metric axiom (Proposition 13)", _check_symmetry),
     Relation("regularity", 1, "metric axiom: d(x, x) = 0", _check_regularity),
@@ -328,6 +397,12 @@ _RELATIONS: tuple[Relation, ...] = (
         0,
         "Proposition 6 pair categories: blocked GEMM == dense GEMM == per-pair",
         _check_tiled_gemm_agreement,
+    ),
+    Relation(
+        "kemeny-scc-decomposition",
+        0,
+        "ParCons condensation: decomposed optimum == monolithic Held-Karp optimum",
+        _check_scc_decomposition,
     ),
     Relation(
         "median-weighted-uniform",

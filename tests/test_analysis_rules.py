@@ -527,6 +527,43 @@ class TestRP009PairwiseLoops:
         )
         assert codes(result) == []
 
+    def test_positive_profile_cost_kernel_in_nested_loop(self):
+        result = analyze_source(
+            "from repro.aggregate.kemeny import pair_cost_array\n"
+            "def sweep(profiles, penalties):\n"
+            "    out = []\n"
+            "    for profile in profiles:\n"
+            "        for p in penalties:\n"
+            "            out.append(pair_cost_array(profile, p))\n"
+            "    return out\n",
+            select=["RP009"],
+        )
+        assert codes(result) == ["RP009"]
+        assert "profile cost kernel" in result.active[0].message
+        assert "kemeny_decomposed" in result.active[0].message
+
+    def test_positive_profile_cost_list_wrapper_too(self):
+        result = analyze_source(
+            "from repro.aggregate.kemeny import pair_cost_matrix\n"
+            "def grid(profiles):\n"
+            "    return [\n"
+            "        pair_cost_matrix(profile)\n"
+            "        for group in profiles for profile in group\n"
+            "    ]\n",
+            select=["RP009"],
+        )
+        assert codes(result) == ["RP009"]
+
+    def test_negative_profile_cost_kernel_single_loop(self):
+        # one matrix per profile in a flat loop is the intended usage
+        result = analyze_source(
+            "from repro.aggregate.kemeny import pair_cost_array\n"
+            "def per_profile(profiles):\n"
+            "    return [pair_cost_array(profile) for profile in profiles]\n",
+            select=["RP009"],
+        )
+        assert codes(result) == []
+
     def test_gather_noqa_escape(self):
         result = analyze_source(
             "def gather(rankings, domain):\n"
@@ -897,6 +934,34 @@ class TestRP011ServeCoverage:
             "    obs.add('serve.handled')\n"
             "    return x\n",
             filename="src/repro/serve/planted.py",
+            select=["RP011"],
+        )
+        assert codes(result) == []
+
+
+class TestRP011DecomposeCoverage:
+    """PR 9: aggregate/decompose.py needs obs evidence like its siblings."""
+
+    def test_planted_uninstrumented_decompose_module_flagged(self):
+        result = analyze_source(
+            "__all__ = ['kemeny_decomposed']\n\n\n"
+            "def kemeny_decomposed(rankings):\n"
+            "    return rankings\n",
+            filename="src/repro/aggregate/decompose.py",
+            select=["RP011"],
+        )
+        assert codes(result) == ["RP011"]
+        assert "kemeny_decomposed" in result.active[0].message
+
+    def test_real_decompose_module_carries_evidence(self):
+        import pathlib
+
+        source = pathlib.Path("src/repro/aggregate/decompose.py").read_text(
+            encoding="utf-8"
+        )
+        result = analyze_source(
+            source,
+            filename="src/repro/aggregate/decompose.py",
             select=["RP011"],
         )
         assert codes(result) == []

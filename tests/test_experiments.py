@@ -215,10 +215,16 @@ class TestE13:
 
 class TestE14:
     def test_median_near_exact_kemeny(self):
-        (table,) = e14_exact_kemeny.run(seed=0, sizes=(6, 9), m=5, trials=4)
+        table, banded = e14_exact_kemeny.run(
+            seed=0, sizes=(6, 9), m=5, trials=4, banded_sizes=(40,)
+        )
         for row in table.rows:
             assert row["median_max"] <= 6.0  # transferred constant
             assert row["optimum_over_lower_bound"] >= 1.0 - 1e-9
+        for row in banded.rows:
+            # every banded component fits the DP cap -> always certified
+            assert row["certified_exact_rate"] == 1.0
+            assert row["component_histogram"]
 
 
 class TestE15:

@@ -6,12 +6,18 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import numpy as np
+
 from repro.aggregate.exact import optimal_full_ranking
 from repro.aggregate.kemeny import (
+    _held_karp,
+    _held_karp_python,
     kemeny_lower_bound,
     kemeny_optimal,
+    pair_cost_array,
     pair_cost_matrix,
 )
+from repro.aggregate.scoring import ScoringScheme, resolve_scheme
 from repro.aggregate.median import median_full_ranking
 from repro.aggregate.objective import total_distance
 from repro.core.partial_ranking import PartialRanking
@@ -84,8 +90,30 @@ class TestKemenyOptimal:
         assert best == sigma
         assert cost == 0.0
 
-    def test_size_guard(self):
+    def test_monolithic_size_guard(self):
+        # the monolithic DP still refuses n > 16 outright ...
         rankings = [PartialRanking.from_sequence(range(17))]
+        with pytest.raises(AggregationError):
+            kemeny_optimal(rankings, decompose=False)
+
+    def test_decomposition_lifts_cap_on_ordered_input(self):
+        # ... but the default decomposed path condenses the unanimous
+        # order into 17 singleton components and solves it instantly
+        rankings = [PartialRanking.from_sequence(range(17))]
+        best, cost = kemeny_optimal(rankings)
+        assert best == rankings[0]
+        assert cost == 0.0
+
+    def test_decomposed_path_refuses_one_big_scc(self):
+        # rotations of the same order produce a single dominance SCC
+        # spanning all n items: no decomposition helps, so the default
+        # path must refuse just like the monolithic solver
+        n = 20
+        base = list(range(n))
+        rankings = [
+            PartialRanking.from_sequence(base[shift:] + base[:shift])
+            for shift in (0, 1, 2)
+        ]
         with pytest.raises(AggregationError):
             kemeny_optimal(rankings)
 
@@ -102,6 +130,89 @@ class TestKemenyOptimal:
         # pairwise lower bound of 3 is unattainable because of the cycle
         assert cost == 4.0
         assert kemeny_lower_bound(rankings) == 3.0
+
+
+class TestScoringScheme:
+    def test_kendall_scheme_matches_scalar_p(self):
+        rng = resolve_rng(7)
+        rankings = [random_bucket_order(6, rng, tie_bias=0.4) for _ in range(4)]
+        _, scalar = pair_cost_array(rankings, p=0.25)
+        _, schemed = pair_cost_array(
+            rankings, scheme=ScoringScheme.kendall(0.25)
+        )
+        assert np.array_equal(scalar, schemed)
+
+    def test_scheme_and_conflicting_p_rejected(self):
+        with pytest.raises(AggregationError):
+            pair_cost_array(
+                [PartialRanking.from_sequence("ab")],
+                p=0.25,
+                scheme=ScoringScheme.kendall(0.75),
+            )
+
+    def test_resolve_scheme_defaults_to_kendall(self):
+        scheme = resolve_scheme(0.25, None)
+        assert scheme == ScoringScheme.kendall(0.25)
+        assert scheme.is_kendall
+
+    def test_invalid_penalties_rejected(self):
+        with pytest.raises(AggregationError):
+            ScoringScheme(disagree=-1.0)
+        with pytest.raises(AggregationError):
+            ScoringScheme(tie=float("nan"))
+        with pytest.raises(AggregationError):
+            ScoringScheme.kendall(2.0)
+
+    def test_non_kendall_scheme_changes_the_matrix(self):
+        # rewarding agreement (agree > 0) charges the *winning* order too
+        rankings = [
+            PartialRanking.from_sequence("ab"),
+            PartialRanking.from_sequence("ab"),
+        ]
+        scheme = ScoringScheme(agree=0.25, disagree=1.0, tie=0.5)
+        items, cost = pair_cost_array(rankings, scheme=scheme)
+        i, j = items.index("a"), items.index("b")
+        assert cost[i, j] == pytest.approx(0.5)  # 2 inputs agree, 0.25 each
+        assert cost[j, i] == pytest.approx(2.0)  # 2 strict disagreements
+
+    def test_optimal_accepts_scheme_passthrough(self):
+        rng = resolve_rng(11)
+        rankings = [random_bucket_order(6, rng, tie_bias=0.3) for _ in range(3)]
+        via_p = kemeny_optimal(rankings, p=0.25)
+        via_scheme = kemeny_optimal(rankings, scheme=ScoringScheme.kendall(0.25))
+        assert via_p == via_scheme
+
+
+class TestPairCostArray:
+    def test_matches_list_wrapper(self):
+        rng = resolve_rng(5)
+        rankings = [random_bucket_order(7, rng, tie_bias=0.3) for _ in range(4)]
+        items_a, array = pair_cost_array(rankings)
+        items_l, lists = pair_cost_matrix(rankings)
+        assert items_a == items_l
+        assert array.tolist() == lists
+
+    def test_diagonal_is_zero(self):
+        rng = resolve_rng(6)
+        rankings = [random_bucket_order(5, rng) for _ in range(3)]
+        _, cost = pair_cost_array(rankings)
+        assert not np.diag(cost).any()
+
+
+class TestHeldKarpVectorized:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_bit_identical_to_python_reference(self, seed):
+        rng = resolve_rng(seed)
+        rankings = [random_bucket_order(8, rng, tie_bias=0.4) for _ in range(4)]
+        _, cost = pair_cost_array(rankings)
+        n = cost.shape[0]
+        vec_order, vec_value = _held_karp(cost, n)
+        ref_order, ref_value = _held_karp_python(cost, n)
+        # dyadic penalties make every partial sum exact, so the orders
+        # and objectives must agree bit-for-bit, ties included
+        assert vec_order == ref_order
+        assert vec_value == ref_value
 
 
 class TestLowerBound:

@@ -30,6 +30,7 @@ from typing import Any
 import pytest
 
 from repro import obs
+from repro.aggregate.kemeny import kemeny_optimal
 from repro.aggregate.median import median_scores
 from repro.core.partial_ranking import PartialRanking
 from repro.errors import AggregationError
@@ -285,6 +286,81 @@ class TestFreshness:
 
 
 # ----------------------------------------------------------------------
+# Certified-exact Kemeny consensus
+# ----------------------------------------------------------------------
+
+
+class TestKemenyConsensus:
+    def test_matches_offline_solver(self):
+        rankings = _rankings(3, seed=11)
+
+        async def scenario() -> PartialRanking:
+            service = RankingService(ServeConfig(batch_window=0.0))
+            for index, ranking in enumerate(rankings):
+                await service.update(DOMAIN, f"v{index}", ranking)
+            return await service.consensus(DOMAIN, kind="kemeny")
+
+        got = run(scenario())
+        expected, _ = kemeny_optimal(rankings)
+        assert got == expected
+
+    def test_mutation_invalidates_kemeny_cache(self):
+        r1, r2, r3 = _rankings(3, seed=13)
+
+        async def scenario() -> tuple[PartialRanking, int, PartialRanking]:
+            service = RankingService(ServeConfig(batch_window=0.0))
+            await service.update(DOMAIN, "a", r1)
+            await service.update(DOMAIN, "b", r2)
+            first = await service.consensus(DOMAIN, kind="kemeny")
+            again = await service.consensus(DOMAIN, kind="kemeny")
+            assert again == first
+            hits = service.cache.hits
+            await service.update(DOMAIN, "c", r3)
+            after = await service.consensus(DOMAIN, kind="kemeny")
+            return first, hits, after
+
+        first, hits, after = run(scenario())
+        assert hits >= 1
+        assert first == kemeny_optimal([r1, r2])[0]
+        assert after == kemeny_optimal([r1, r2, r3])[0]
+
+    def test_uncertifiable_shard_refused(self):
+        # rotations over 20 items form one dominance SCC past the DP cap,
+        # so the service must refuse (the HTTP layer maps this to 409)
+        domain = frozenset(range(20))
+        base = list(range(20))
+        voters = [
+            PartialRanking.from_sequence(base[shift:] + base[:shift])
+            for shift in (0, 1, 2)
+        ]
+
+        async def scenario() -> None:
+            service = RankingService(ServeConfig(batch_window=0.0))
+            for index, ranking in enumerate(voters):
+                await service.update(domain, f"v{index}", ranking)
+            await service.consensus(domain, kind="kemeny")
+
+        with pytest.raises(AggregationError, match="strongly-connected"):
+            run(scenario())
+
+    def test_scc_counters_flow_through_serving(self):
+        rankings = _rankings(3, seed=17)
+
+        async def scenario() -> None:
+            service = RankingService(ServeConfig(batch_window=0.0))
+            for index, ranking in enumerate(rankings):
+                await service.update(DOMAIN, f"v{index}", ranking)
+            await service.consensus(DOMAIN, kind="kemeny")
+
+        with obs.capture():
+            run(scenario())
+        counters = obs.snapshot()["counters"]
+        assert counters["serve.requests.consensus"] == 1
+        assert counters["kemeny.scc.components"] >= 1
+        assert counters["kemeny.scc.largest"] >= 1
+
+
+# ----------------------------------------------------------------------
 # HTTP transport
 # ----------------------------------------------------------------------
 
@@ -434,6 +510,46 @@ class TestHTTP:
                 {"domain": domain, "voter": "a", "ranking": {"voter": "b"}},
             )
             assert status == 400  # update needs a literal ranking
+
+        self._serve(scenario)
+
+    def test_http_kemeny_consensus(self):
+        rankings = _rankings(3, seed=19)
+        domain = sorted(DOMAIN)
+
+        async def scenario(server: ReproServer):
+            for index, ranking in enumerate(rankings):
+                await _post(
+                    server.port,
+                    "/v1/update",
+                    {"domain": domain, "voter": f"v{index}", "ranking": _literal(ranking)},
+                )
+            status, body = await _post(
+                server.port, "/v1/consensus", {"domain": domain, "kind": "kemeny"}
+            )
+            assert status == 200
+            expected, _ = kemeny_optimal(rankings)
+            assert body["result"] == _literal(expected)
+
+        self._serve(scenario)
+
+    def test_http_kemeny_refusal_maps_to_409(self):
+        base = list(range(20))
+        domain = base
+
+        async def scenario(server: ReproServer):
+            for index, shift in enumerate((0, 1, 2)):
+                rotated = PartialRanking.from_sequence(base[shift:] + base[:shift])
+                await _post(
+                    server.port,
+                    "/v1/update",
+                    {"domain": domain, "voter": f"v{index}", "ranking": _literal(rotated)},
+                )
+            status, body = await _post(
+                server.port, "/v1/consensus", {"domain": domain, "kind": "kemeny"}
+            )
+            assert status == 409
+            assert "strongly-connected" in body["error"]
 
         self._serve(scenario)
 

@@ -45,8 +45,8 @@ class TestRegistry:
     def test_check_census(self):
         checks = all_checks()
         kinds = [info.kind for info in checks]
-        assert kinds.count("oracle") == 26
-        assert kinds.count("relation") == 13
+        assert kinds.count("oracle") == 27
+        assert kinds.count("relation") == 14
         assert not any(info.selftest_only for info in checks)
 
     def test_selftest_check_hidden_by_default(self):
