@@ -1,0 +1,217 @@
+"""Plugin batch-kernel benchmarks + regression gate (PR 10).
+
+The two first-party metric plugins (the position-weighted Spearman
+footrule and the weighted top-difference distance) each ship a batch
+kernel that serves a whole profile from one table build and one
+``(m, n)`` value-matrix gather, where the per-pair scalar path
+re-derives both per call. This gate measures that claim on an
+80-ranking × 10,000-item Mallows profile and holds the kernels to the
+repo's established bars:
+
+* **bit-for-bit agreement** — the batch matrix must equal the per-pair
+  scalar loop entry for entry (exact dyadic arithmetic, ``==``, never a
+  tolerance);
+* **≥ :data:`SPEEDUP_FLOOR`× speedup** — batch over the per-pair loop
+  (5× full-size; relaxed at smoke sizes where fixed costs dominate);
+* **> 2× regression fail** — fresh batch wall time may not exceed twice
+  the committed baseline's.
+
+Two modes, via the shared gate CLI in ``conftest.py``:
+
+* ``PYTHONPATH=src python benchmarks/bench_plugins.py`` — regenerate
+  ``BENCH_PLUGINS.json`` at the repo root (full sizes);
+* ``... --check BENCH_PLUGINS.json`` — re-measure and fail on any
+  exactness violation, a speedup below the floor (re-measured once
+  before failing; bit-identity mismatches are never noise), or a > 2×
+  batch-time regression.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the profile for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.generators.workloads import mallows_profile_workload
+from repro.metrics.plugins.top_difference import top_difference, top_difference_matrix
+from repro.metrics.plugins.weighted_footrule import (
+    weighted_footrule,
+    weighted_footrule_matrix,
+)
+
+_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: The acceptance floor: the batch kernel must beat the per-pair scalar
+#: loop by at least this factor. Relaxed under smoke sizes, where the
+#: one-off table build is a larger share of the tiny total.
+SPEEDUP_FLOOR = 2.0 if _SMOKE else 5.0
+
+#: Allowed slowdown of the fresh batch time against the committed
+#: baseline before the gate fails.
+REGRESSION_FACTOR = 2.0
+
+#: Profile shape (rankings × items): full -> CI smoke.
+_PROFILE_M = 16 if _SMOKE else 80
+_PROFILE_N = 1_000 if _SMOKE else 10_000
+
+_PLUGINS = (
+    ("weighted_footrule", weighted_footrule, weighted_footrule_matrix),
+    ("top_difference", top_difference, top_difference_matrix),
+)
+
+
+def _profile():
+    return mallows_profile_workload(
+        _PROFILE_N, _PROFILE_M, phi=0.3, seed=0, max_bucket=6
+    ).rankings
+
+
+def _per_pair_matrix(profile, scalar):
+    m = len(profile)
+    matrix = np.zeros((m, m))
+    for i in range(m):  # repro: noqa[RP009]  (this loop is the baseline being measured)
+        for j in range(i + 1, m):
+            matrix[i, j] = matrix[j, i] = scalar(profile[i], profile[j])
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark smoke tests
+# ----------------------------------------------------------------------
+
+
+class TestPluginBatchKernels:
+    def test_weighted_footrule_matrix(self, benchmark):
+        profile = _profile()
+        matrix = benchmark(weighted_footrule_matrix, profile)
+        assert (matrix == matrix.T).all()
+
+    def test_top_difference_matrix(self, benchmark):
+        profile = _profile()
+        matrix = benchmark(top_difference_matrix, profile)
+        assert (matrix == matrix.T).all()
+
+    def test_per_pair_weighted_footrule(self, benchmark):
+        # the baseline the ≥5× bar is measured against, at smoke sizes
+        profile = _profile()[:8]
+        matrix = benchmark(_per_pair_matrix, profile, weighted_footrule)
+        assert (matrix == weighted_footrule_matrix(profile)).all()
+
+
+# ----------------------------------------------------------------------
+# Gate + regeneration via the shared CLI
+# ----------------------------------------------------------------------
+
+
+def _plugin_comparison(name, scalar, batch) -> dict:
+    from conftest import best_of
+
+    profile = _profile()
+    t_batch, batch_matrix = best_of(batch, profile)
+    t_loop, loop_matrix = best_of(_per_pair_matrix, profile, scalar, repeats=1)
+    return {
+        "batch_s": round(t_batch, 5),
+        "per_pair_s": round(t_loop, 5),
+        "speedup": round(t_loop / t_batch, 2),
+        "bitwise_equal": bool(np.array_equal(batch_matrix, loop_matrix)),
+    }
+
+
+def _measurements() -> dict:
+    return {
+        "profile": {"m_rankings": _PROFILE_M, "n_items": _PROFILE_N},
+        "plugins": {
+            name: _plugin_comparison(name, scalar, batch)
+            for name, scalar, batch in _PLUGINS
+        },
+    }
+
+
+def check_plugins(baseline: dict, fresh: dict) -> list[str]:
+    """Gate failures: exactness violations, sub-floor speedups (after one
+    re-measure), or a > 2× batch-time regression vs the baseline."""
+    failures = []
+    for name, scalar, batch in _PLUGINS:
+        numbers = fresh["plugins"][name]
+        if not numbers["bitwise_equal"]:
+            failures.append(f"{name}: batch kernel disagrees with the scalar loop")
+            continue
+        speedup = numbers["speedup"]
+        if speedup < SPEEDUP_FLOOR:
+            retry = _plugin_comparison(name, scalar, batch)
+            if not retry["bitwise_equal"]:
+                failures.append(f"{name}: batch kernel disagrees with the scalar loop")
+                continue
+            print(
+                f"{name}: speedup {speedup:.1f}x below floor, re-measured at "
+                f"{retry['speedup']:.1f}x"
+            )
+            speedup = max(speedup, retry["speedup"])
+            numbers = retry if retry["speedup"] > numbers["speedup"] else numbers
+        if speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"{name}: batch speedup {speedup:.1f}x is below the "
+                f"{SPEEDUP_FLOOR:.0f}x floor (batch {numbers['batch_s']}s vs "
+                f"per-pair {numbers['per_pair_s']}s)"
+            )
+        base = baseline["plugins"][name]["batch_s"]
+        if base > 0 and numbers["batch_s"] > REGRESSION_FACTOR * base:
+            failures.append(
+                f"{name}: batch time {numbers['batch_s']}s regressed more than "
+                f"{REGRESSION_FACTOR:.0f}x over the committed {base}s"
+            )
+    return failures
+
+
+def _run_check(baseline: dict) -> int:
+    from conftest import report_failures
+
+    fresh = _measurements()
+    print(f"{'plugin':<24}{'baseline batch_s':>18}{'fresh batch_s':>16}{'speedup':>10}")
+    for name, _scalar, _batch in _PLUGINS:
+        print(
+            f"{name:<24}{baseline['plugins'][name]['batch_s']:>18}"
+            f"{fresh['plugins'][name]['batch_s']:>16}"
+            f"{fresh['plugins'][name]['speedup']:>10}"
+        )
+    return report_failures(check_plugins(baseline, fresh), "plugins gate")
+
+
+def _regenerate() -> int:
+    from conftest import machine_info, write_baseline
+
+    payload = {
+        "pr": 10,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "regression_factor": REGRESSION_FACTOR,
+        "smoke": _SMOKE,
+        "machine": machine_info(),
+        **_measurements(),
+    }
+    write_baseline("BENCH_PLUGINS.json", payload)
+    for name, numbers in payload["plugins"].items():
+        print(
+            f"{name}: batch {numbers['speedup']}x over per-pair "
+            f"(floor {SPEEDUP_FLOOR:.0f}x), "
+            f"bitwise_equal={numbers['bitwise_equal']}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    from conftest import gate_main
+
+    return gate_main(
+        argv,
+        description=__doc__,
+        check_help="re-measure and fail on exactness violations, a batch "
+        "speedup below the floor, or a >2x batch-time regression",
+        check=_run_check,
+        regenerate=_regenerate,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,10 @@ metrics:
   exact ``K^(p)`` aggregation (per-component Held–Karp over the
   :func:`pair_cost_array` dominance digraph, pluggable
   :class:`ScoringScheme` penalties).
+* :func:`aggregate` — the registry-aware entry point: median *or*
+  minmax (egalitarian, arXiv 1701.08305) objective under any metric
+  registered in the plugin registry, with the :class:`AggregateResult`
+  certification flag.
 """
 
 from repro.aggregate.batch import (
@@ -57,7 +61,8 @@ from repro.aggregate.medrank import (
     medrank_out_of_core,
     nra_median,
 )
-from repro.aggregate.objective import total_distance
+from repro.aggregate.minmax import AggregateResult, aggregate
+from repro.aggregate.objective import max_distance, resolve_metric, total_distance
 from repro.aggregate.online import OnlineMedianAggregator
 from repro.aggregate.tournament import (
     condorcet_winner,
@@ -101,4 +106,8 @@ __all__ = [
     "is_condorcet_consistent",
     "topological_aggregation",
     "total_distance",
+    "max_distance",
+    "resolve_metric",
+    "aggregate",
+    "AggregateResult",
 ]

@@ -1,0 +1,238 @@
+"""Registry-aware aggregation with median and minmax objectives.
+
+The paper aggregates by the *median* rule: minimize the total distance
+``sum_i d(candidate, sigma_i)``. The egalitarian alternative (multiclass
+minmax aggregation, arXiv 1701.08305) minimizes the *worst* voter's
+distance ``max_i d(candidate, sigma_i)`` instead — no input ranking is
+left arbitrarily far from the consensus. :func:`aggregate` solves either
+objective under **any metric registered in the plugin registry**
+(built-ins and plugins alike), searching full rankings of the common
+domain:
+
+* domains up to ``max_exact`` items are solved *exactly* by exhaustive
+  enumeration in canonical-lexicographic order (deterministic
+  tie-breaking: the first optimum wins), certifying ``exact=True``;
+* larger domains fall back to a Borda-seeded adjacent-swap local search
+  — the same certification-flag convention as
+  :class:`~repro.aggregate.decompose.DecomposedResult`: the result
+  carries ``exact=False`` and ``require_exact=True`` raises instead.
+
+Minmax local search ranks candidates by the tuple ``(max, total)`` — the
+total objective breaks plateaus the flat ``max`` objective cannot see,
+while never overriding a strict minmax improvement. See docs/THEORY.md,
+"Minmax (egalitarian) aggregation", for why minmax and median optima
+genuinely differ and how the 2-approximation bound carries over.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from itertools import permutations
+
+import repro.metrics.batch  # noqa: F401 — registers the built-in metric plugins
+from repro import obs
+from repro.aggregate.objective import validate_profile
+from repro.core.partial_ranking import Item, PartialRanking
+from repro.errors import AggregationError
+from repro.metrics.registry import get_metric
+
+__all__ = ["AggregateResult", "aggregate", "OBJECTIVES", "DEFAULT_MAX_EXACT"]
+
+#: Supported objective kinds.
+OBJECTIVES = ("median", "minmax")
+
+#: Exhaustive-search ceiling: 7! = 5040 candidate rankings per call keeps
+#: exact aggregation interactive even with O(n) scalar metrics.
+DEFAULT_MAX_EXACT = 7
+
+_MetricFn = Callable[[PartialRanking, PartialRanking], float]
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateResult:
+    """An aggregated ranking plus its certification evidence."""
+
+    #: The aggregated full ranking (optimal over full rankings iff
+    #: ``exact``).
+    ranking: PartialRanking
+    #: The achieved objective value (total for median, max for minmax).
+    objective: float
+    #: Which objective was optimized: ``"median"`` or ``"minmax"``.
+    kind: str
+    #: Canonical metric name (or the callable's ``__name__``).
+    metric: str
+    #: True iff the search was exhaustive, certifying ``ranking`` as
+    #: optimal among full rankings of the domain.
+    exact: bool
+
+
+def _canonical_key(item: Item) -> tuple[str, str]:
+    """The codec's canonical item order: by type name, then repr."""
+    return (type(item).__name__, repr(item))
+
+
+def _scores(
+    candidate: PartialRanking, rankings: Sequence[PartialRanking], metric_fn: _MetricFn
+) -> tuple[float, float]:
+    """(max, total) distances of a candidate to the profile."""
+    total = 0.0
+    worst = 0.0
+    for sigma in rankings:
+        value = metric_fn(candidate, sigma)
+        total += value
+        if value > worst:
+            worst = value
+    return worst, total
+
+
+def _objective_tuple(kind: str, worst: float, total: float) -> tuple[float, float]:
+    """The lexicographic comparison key: primary objective, then total."""
+    return (worst, total) if kind == "minmax" else (total, worst)
+
+
+def _borda_seed(
+    items: list[Item], rankings: Sequence[PartialRanking]
+) -> list[Item]:
+    """Ascending sum of positions across voters, canonical tie-break."""
+    position_totals = {
+        item: sum(sigma[item] for sigma in rankings)  # repro: noqa[RP009] — one-shot O(mn) seed, not a per-pair kernel
+        for item in items
+    }
+    return sorted(items, key=lambda item: (position_totals[item], _canonical_key(item)))
+
+
+def _full(order: Sequence[Item]) -> PartialRanking:
+    return PartialRanking([item] for item in order)
+
+
+def aggregate(
+    rankings: Sequence[PartialRanking],
+    objective: str = "median",
+    metric: str | _MetricFn = "f_prof",
+    *,
+    max_exact: int = DEFAULT_MAX_EXACT,
+    require_exact: bool = False,
+) -> AggregateResult:
+    """Aggregate a profile under a named objective and registry metric.
+
+    ``objective`` is ``"median"`` (minimize the total distance) or
+    ``"minmax"`` (minimize the worst voter's distance). ``metric`` is any
+    spelling registered in the metric plugin registry — unknown names
+    raise the registry's shared :class:`~repro.errors.UnknownMetricError`
+    — or a custom scalar callable. ``K^(p)`` runs at its default
+    ``p = 1/2``.
+
+    Domains of at most ``max_exact`` items are solved exhaustively
+    (``exact=True``); larger domains use a Borda-seeded adjacent-swap
+    local search unless ``require_exact`` is set, in which case an
+    :class:`AggregationError` is raised — the
+    :mod:`~repro.aggregate.decompose` certification convention.
+    """
+    if objective not in OBJECTIVES:
+        raise AggregationError(
+            f"unknown objective {objective!r}; expected one of {list(OBJECTIVES)}"
+        )
+    if max_exact < 1:
+        raise AggregationError(f"max_exact={max_exact} must be at least 1")
+    domain = validate_profile(rankings)
+    if isinstance(metric, str):
+        plugin = get_metric(metric)
+        metric_fn: _MetricFn = plugin.scalar
+        metric_name = plugin.name
+    else:
+        metric_fn = metric
+        metric_name = getattr(metric, "__name__", "custom")
+    items = sorted(domain, key=_canonical_key)
+    n = len(items)
+
+    with obs.trace(
+        "aggregate.minmax.search", n=n, m=len(rankings), kind=objective
+    ):
+        if n <= max_exact:
+            order, worst, total, candidates = _search_exhaustive(
+                items, rankings, metric_fn, objective
+            )
+            exact = True
+        elif require_exact:
+            raise AggregationError(
+                f"exact {objective} aggregation refused: {n} items exceed "
+                f"the exhaustive-search cap of {max_exact}; drop "
+                "require_exact for the Borda-seeded local search"
+            )
+        else:
+            order, worst, total, candidates = _search_local(
+                items, rankings, metric_fn, objective
+            )
+            exact = False
+        obs.add("aggregate.minmax.candidates", candidates)
+
+    value = worst if objective == "minmax" else total
+    return AggregateResult(
+        ranking=_full(order),
+        objective=value,
+        kind=objective,
+        metric=metric_name,
+        exact=exact,
+    )
+
+
+def _search_exhaustive(
+    items: list[Item],
+    rankings: Sequence[PartialRanking],
+    metric_fn: _MetricFn,
+    kind: str,
+) -> tuple[tuple[Item, ...], float, float, int]:
+    """The optimal full ranking by enumeration; deterministic tie-break.
+
+    Permutations enumerate in lexicographic order of the canonical item
+    order and only *strict* improvements replace the incumbent, so ties
+    resolve to the canonically-first optimum on every run.
+    """
+    best_order: tuple[Item, ...] | None = None
+    best_key: tuple[float, float] | None = None
+    best_scores = (0.0, 0.0)
+    candidates = 0
+    for perm in permutations(items):
+        worst, total = _scores(_full(perm), rankings, metric_fn)
+        candidates += 1
+        key = _objective_tuple(kind, worst, total)
+        if best_key is None or key < best_key:
+            best_order, best_key, best_scores = perm, key, (worst, total)
+    assert best_order is not None  # permutations of a validated profile
+    return best_order, best_scores[0], best_scores[1], candidates
+
+
+def _search_local(
+    items: list[Item],
+    rankings: Sequence[PartialRanking],
+    metric_fn: _MetricFn,
+    kind: str,
+) -> tuple[tuple[Item, ...], float, float, int]:
+    """Borda seed plus adjacent-swap descent on the objective tuple.
+
+    Each pass scans left to right and keeps a swap only when the full
+    objective tuple strictly improves (the local-Kemenization move of
+    Dwork et al., driven by the global objective instead of pair costs).
+    Deterministic: seed tie-breaks canonically, passes cap at ``n``.
+    """
+    order = list(_borda_seed(items, rankings))
+    worst, total = _scores(_full(order), rankings, metric_fn)
+    best_key = _objective_tuple(kind, worst, total)
+    candidates = 1
+    for _ in range(len(order)):
+        changed = False
+        for i in range(len(order) - 1):
+            order[i], order[i + 1] = order[i + 1], order[i]
+            swapped_worst, swapped_total = _scores(_full(order), rankings, metric_fn)
+            candidates += 1
+            key = _objective_tuple(kind, swapped_worst, swapped_total)
+            if key < best_key:
+                best_key = key
+                worst, total = swapped_worst, swapped_total
+                changed = True
+            else:
+                order[i], order[i + 1] = order[i + 1], order[i]
+        if not changed:
+            break
+    return tuple(order), worst, total, candidates

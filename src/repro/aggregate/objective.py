@@ -1,30 +1,59 @@
-"""Aggregation objectives: total distance of a candidate to the inputs.
+"""Aggregation objectives: distance of a candidate to the input profile.
 
-The aggregation problem for a metric ``d`` asks for the ranking minimizing
-``sum_i d(candidate, sigma_i)``. This module evaluates that objective for
-any of the paper's metrics, plus the raw ``L1``-to-score-function objective
-used by Lemma 8 and Theorems 9–11.
+The *median* aggregation problem for a metric ``d`` asks for the ranking
+minimizing ``sum_i d(candidate, sigma_i)``; the *minmax* (egalitarian)
+problem minimizes ``max_i d(candidate, sigma_i)`` instead (arXiv
+1701.08305 — no voter is left arbitrarily far from the consensus). This
+module evaluates both objectives for any metric registered in the plugin
+registry (:mod:`repro.metrics.registry`), plus the raw
+``L1``-to-score-function objective used by Lemma 8 and Theorems 9–11.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping, Sequence
 
+import repro.metrics.batch  # noqa: F401 — registers the built-in metric plugins
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
 from repro.metrics.footrule import footrule
 from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff_counts
 from repro.metrics.kendall import kendall
+from repro.metrics.registry import get_metric
 
-__all__ = ["METRICS", "total_distance", "total_l1_to_function", "validate_profile"]  # repro: noqa[RP011] — objective evaluation sums over instrumented metrics
+__all__ = [  # repro: noqa[RP011] — objective evaluation sums over instrumented metrics
+    "METRICS",
+    "total_distance",
+    "max_distance",
+    "total_l1_to_function",
+    "validate_profile",
+    "resolve_metric",
+]
 
 #: Name -> metric function registry used across experiments and baselines.
+#: Retained for back-compat; name resolution goes through the metric
+#: plugin registry, so registered plugins (``weighted_footrule``,
+#: ``top_difference``, third-party) resolve here too.
 METRICS: dict[str, Callable[[PartialRanking, PartialRanking], float]] = {
     "k_prof": kendall,
     "f_prof": footrule,
     "k_haus": lambda s, t: float(kendall_hausdorff_counts(s, t)),
     "f_haus": footrule_hausdorff,
 }
+
+
+def resolve_metric(  # repro: noqa[RP002] — name resolution only; consumes no rankings
+    metric: str | Callable[[PartialRanking, PartialRanking], float],
+) -> Callable[[PartialRanking, PartialRanking], float]:
+    """A scalar metric callable from a registry name or a callable.
+
+    Unknown names raise the registry's shared
+    :class:`~repro.errors.UnknownMetricError` (an
+    :class:`AggregationError`) listing every registered spelling.
+    """
+    if not isinstance(metric, str):
+        return metric
+    return get_metric(metric).scalar
 
 
 def validate_profile(rankings: Sequence[PartialRanking]) -> frozenset[Item]:
@@ -53,16 +82,26 @@ def total_distance(
     domain = validate_profile(rankings)
     if candidate.domain != domain:
         raise AggregationError("candidate domain differs from the input profile's domain")
-    if isinstance(metric, str):
-        try:
-            metric_fn = METRICS[metric]
-        except KeyError:
-            raise AggregationError(
-                f"unknown metric {metric!r}; expected one of {sorted(METRICS)}"
-            ) from None
-    else:
-        metric_fn = metric
+    metric_fn = resolve_metric(metric)
     return sum(metric_fn(candidate, sigma) for sigma in rankings)
+
+
+def max_distance(
+    candidate: PartialRanking,
+    rankings: Sequence[PartialRanking],
+    metric: str | Callable[[PartialRanking, PartialRanking], float] = "f_prof",
+) -> float:
+    """``max_i d(candidate, sigma_i)`` — the egalitarian (minmax) objective.
+
+    The minmax counterpart of :func:`total_distance` (arXiv 1701.08305):
+    the worst-off voter's distance to the candidate. Same domain
+    validation and metric resolution as the median objective.
+    """
+    domain = validate_profile(rankings)
+    if candidate.domain != domain:
+        raise AggregationError("candidate domain differs from the input profile's domain")
+    metric_fn = resolve_metric(metric)
+    return max(metric_fn(candidate, sigma) for sigma in rankings)
 
 
 def total_l1_to_function(

@@ -20,8 +20,19 @@ export surfaces:
   matrix aggregation kernels are bit-for-bit claims against the dict
   reference path, so each one must have a differential oracle.
 
+Plugin metric modules (under ``repro/metrics/plugins/``) are covered
+differently: the verify harness auto-contributes an ``oracle:plugin-*``
+entry and symmetry/regularity relations for every registered
+:class:`~repro.metrics.registry.MetricPlugin` — *provided* the
+registration supplies its ``oracle=`` reference and declares an
+``axiom_class=``. This rule therefore flags any ``MetricPlugin(...)``
+call in a plugin module that omits either keyword: such a plugin would
+register, dispatch, and silently escape both the differential and the
+metamorphic harness.
+
 Like RP008, the rule stays silent when a surface (or the oracle registry)
-is missing from the analyzed project (e.g. when analyzing a lone file).
+is missing from the analyzed project (e.g. when analyzing a lone file);
+the plugin-module check is per-file and needs no project context.
 """
 
 from __future__ import annotations
@@ -48,6 +59,11 @@ _EXEMPT_EXPORTS = frozenset({"kendall_tau_a", "kendall_tau_b"})
 _ORACLES_SUFFIX = "repro/verify/oracles.py"
 _METRICS_INIT_SUFFIX = "repro/metrics/__init__.py"
 _AGGREGATE_BATCH_SUFFIX = "repro/aggregate/batch.py"
+_PLUGINS_DIR = "repro/metrics/plugins/"
+
+#: Keywords a MetricPlugin registration must pass for the verify harness
+#: to auto-contribute its differential oracle and axiom relations.
+_REQUIRED_PLUGIN_KEYWORDS = ("oracle", "axiom_class")
 
 
 def oracle_covers(tree: ast.Module) -> set[str]:
@@ -95,7 +111,38 @@ class OracleCoverageRule(Rule):
             self._aggregate_batch = source
         elif posix.endswith(_ORACLES_SUFFIX):
             self._covered = oracle_covers(source.tree)
+        if _PLUGINS_DIR in posix and not posix.endswith("__init__.py"):
+            return self._check_plugin_module(source)
         return iter(())
+
+    def _check_plugin_module(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag MetricPlugin registrations missing oracle= or axiom_class=.
+
+        The verify harness only auto-contributes an ``oracle:plugin-*``
+        entry and symmetry/regularity relations when the registration
+        carries both keywords; a plugin without them dispatches but is
+        never fuzzed.
+        """
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            name = callee.id if isinstance(callee, ast.Name) else (
+                callee.attr if isinstance(callee, ast.Attribute) else None
+            )
+            if name != "MetricPlugin":
+                continue
+            passed = {keyword.arg for keyword in node.keywords}
+            for required in _REQUIRED_PLUGIN_KEYWORDS:
+                if required not in passed:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"MetricPlugin registration without {required}=: the "
+                        "verify harness cannot auto-contribute its "
+                        f"{'differential oracle' if required == 'oracle' else 'axiom relations'}; "
+                        "the plugin would dispatch but never be fuzzed",
+                    )
 
     def finish(self, project: Project) -> Iterator[Finding]:
         metrics_init = self._metrics_init

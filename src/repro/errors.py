@@ -12,6 +12,7 @@ __all__ = [
     "InvalidRankingError",
     "DomainMismatchError",
     "AggregationError",
+    "UnknownMetricError",
     "MetricContractError",
 ]
 
@@ -42,6 +43,17 @@ class AggregationError(ReproError, ValueError):
 
     Raised for empty input lists, inconsistent domains across input
     rankings, or top-k requests exceeding the domain size.
+    """
+
+
+class UnknownMetricError(AggregationError):
+    """A metric name did not resolve in the metric plugin registry.
+
+    Every name-based dispatch surface (``pairwise_distance_matrix``,
+    ``aggregate``, the serving layer's distance route) raises this one
+    error, whose message lists all registered spellings. Subclassing
+    :class:`AggregationError` (itself a ``ValueError``) keeps existing
+    ``except ValueError`` / ``except AggregationError`` callers working.
     """
 
 

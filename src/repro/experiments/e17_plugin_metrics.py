@@ -1,0 +1,115 @@
+"""E17 — plugin metrics in action: top-weighted distances and minmax.
+
+Two questions about the metric plugin registry's first-party plugins
+(the weighted Spearman footrule, arXiv 1207.2541, and the weighted
+top-difference distance, arXiv 2403.15198), answered on the same
+bucketized-Mallows workloads the built-in experiments use:
+
+1. **How do top-weighted distances read Mallows noise?** For growing
+   dispersion ``phi`` we report every registered metric's mean
+   normalized distance to the ground truth. The plugins' harmonic
+   weights concentrate mass at the top of the ranking, so on Mallows
+   noise — which perturbs uniformly across positions — they read *lower*
+   than the position-uniform built-ins, and the gap quantifies how much
+   of the disagreement lives below the top.
+
+2. **What does the minmax objective buy?** On a profile of honest
+   voters plus one adversarial (reversed) voter we aggregate under both
+   objectives of :func:`repro.aggregate.aggregate` and report each
+   consensus's total and worst-voter distance. The egalitarian minmax
+   consensus concedes a little total distance to pull the worst-off
+   voter (the adversary) closer — the arXiv 1701.08305 trade-off, here
+   measurable under a plugin metric.
+"""
+
+from __future__ import annotations
+
+from repro.aggregate.minmax import aggregate
+from repro.aggregate.objective import max_distance, total_distance
+from repro.core.partial_ranking import PartialRanking
+from repro.experiments.runner import Table, register
+from repro.generators.mallows import bucketized_mallows
+from repro.generators.random import resolve_rng
+from repro.metrics.normalized import normalized_metric
+
+#: Metrics of table 1: the two position-uniform built-ins next to the
+#: two top-weighted plugins.
+_METRIC_NAMES = ("f_prof", "k_prof", "weighted_footrule", "top_difference")
+
+
+@register("e17", "plugin metrics: top-weighted distances and the minmax objective")
+def run(
+    seed: int = 0,
+    n: int = 30,
+    voters: int = 12,
+    trials: int = 10,
+) -> list[Table]:
+    """Run E17; see the module docstring and EXPERIMENTS.md."""
+    rng = resolve_rng(seed)
+    truth_order = list(range(n))
+    truth = PartialRanking.from_sequence(truth_order)
+    normalized = {name: normalized_metric(name) for name in _METRIC_NAMES}
+
+    sensitivity_rows = []
+    for phi in (0.1, 0.25, 0.5, 0.75, 1.0):
+        totals = dict.fromkeys(_METRIC_NAMES, 0.0)
+        count = 0
+        for _ in range(trials):
+            for _voter in range(voters):
+                sample = bucketized_mallows(truth_order, phi, rng, max_bucket=4)
+                count += 1
+                for name in _METRIC_NAMES:
+                    totals[name] += normalized[name](truth, sample)
+        row: dict[str, object] = {"phi": phi}
+        row.update({name: totals[name] / count for name in _METRIC_NAMES})
+        sensitivity_rows.append(row)
+    sensitivity = Table(
+        title=(
+            f"E17a: mean normalized distance to truth vs Mallows dispersion "
+            f"(n={n}, {voters} voters, max_bucket=4)"
+        ),
+        columns=("phi", *_METRIC_NAMES),
+        rows=tuple(sensitivity_rows),
+        notes=(
+            "Each metric normalized by its registry max_value (for the plugins a "
+            "proven upper bound, so plugin columns are conservative). The "
+            "harmonically top-weighted plugins sit below the position-uniform "
+            "built-ins: Mallows noise spends most of its disagreement in the "
+            "bulk of the ranking, which the plugins discount."
+        ),
+    )
+
+    objective_rows = []
+    small_truth = list(range(6))
+    small = PartialRanking.from_sequence(small_truth)
+    for metric in ("f_prof", "weighted_footrule", "top_difference"):
+        profile = [
+            bucketized_mallows(small_truth, 0.2, rng, max_bucket=3) for _ in range(5)
+        ]
+        profile.append(small.reverse())
+        for objective in ("median", "minmax"):
+            result = aggregate(profile, objective, metric)
+            objective_rows.append(
+                {
+                    "metric": result.metric,
+                    "objective": objective,
+                    "total": total_distance(result.ranking, profile, metric),
+                    "worst": max_distance(result.ranking, profile, metric),
+                    "exact": result.exact,
+                }
+            )
+    objectives = Table(
+        title=(
+            "E17b: median vs minmax consensus on 5 honest voters + 1 reversed "
+            "adversary (n=6, exhaustive search)"
+        ),
+        columns=("metric", "objective", "total", "worst", "exact"),
+        rows=tuple(objective_rows),
+        notes=(
+            "Within each metric the minmax row has worst <= the median row's "
+            "worst and total >= the median row's total: the egalitarian "
+            "consensus spends total distance to protect the worst-off voter "
+            "(arXiv 1701.08305)."
+        ),
+    )
+    return [sensitivity, objectives]

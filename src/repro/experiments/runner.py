@@ -169,6 +169,7 @@ def _load_all() -> None:
         e14_exact_kemeny,
         e15_condorcet_structure,
         e16_robustness,
+        e17_plugin_metrics,
     )
 
     _LOADED = True  # repro: noqa[RP012] — idempotent lazy-import latch; each worker re-runs the imports once and the flag never crosses processes

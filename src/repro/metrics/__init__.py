@@ -20,6 +20,12 @@ Public names:
 * :mod:`repro.metrics.fast` / :mod:`repro.metrics.batch` — the array fast
   path (``kendall_large`` etc.) and the all-pairs batch layer
   (:func:`pairwise_distance_matrix`); see ``docs/PERFORMANCE.md``.
+* :mod:`repro.metrics.registry` — the metric plugin registry: every
+  name-based dispatch surface resolves through it, and third-party
+  distances plug in by registering a :class:`MetricPlugin`; see
+  ``docs/METRICS.md``.
+* :mod:`repro.metrics.plugins` — first-party plugins: the weighted
+  Spearman footrule and the weighted top-difference distance.
 """
 
 from repro.metrics.batch import (
@@ -51,12 +57,29 @@ from repro.metrics.normalized import (
     normalized_kendall,
     normalized_kendall_hausdorff,
 )
+from repro.metrics.registry import (
+    MetricPlugin,
+    canonical_metric,
+    get_metric,
+    metric_names,
+    register_metric,
+    registered_metrics,
+)
 from repro.metrics.related import (
     UndefinedCorrelationError,
     goodman_kruskal_gamma,
     kendall_tau_a,
     kendall_tau_b,
     spearman_rho,
+)
+
+# Imported last: registers the first-party plugins (the built-ins
+# registered when repro.metrics.batch was imported above).
+from repro.metrics.plugins import (
+    top_difference,
+    top_difference_matrix,
+    weighted_footrule,
+    weighted_footrule_matrix,
 )
 
 __all__ = [
@@ -85,4 +108,14 @@ __all__ = [
     "goodman_kruskal_gamma",
     "spearman_rho",
     "UndefinedCorrelationError",
+    "MetricPlugin",
+    "register_metric",
+    "registered_metrics",
+    "metric_names",
+    "canonical_metric",
+    "get_metric",
+    "weighted_footrule",
+    "weighted_footrule_matrix",
+    "top_difference",
+    "top_difference_matrix",
 ]

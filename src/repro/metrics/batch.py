@@ -46,7 +46,12 @@ from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import PartialRanking
 from repro.errors import InvalidRankingError
 from repro.metrics.fast import count_inversions_array
-from repro.metrics.kendall import PairCounts
+from repro.metrics.footrule import footrule
+from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff_counts
+from repro.metrics.kendall import PairCounts, kendall
+from repro.metrics.kendall import kendall_naive  # repro: noqa[RP004] — registry metadata: stored as the kendall plugin's oracle for repro.verify; no serving path calls it
+from repro.metrics.normalized import max_footrule, max_kendall
+from repro.metrics.registry import MetricPlugin, get_metric, register_metric
 from repro.parallel import parallel_map, parallel_map_arena, resolve_jobs
 
 #: A batch-layer profile: either the object layer (a sequence of
@@ -67,7 +72,10 @@ __all__ = [
     "METRIC_ALIASES",
 ]
 
-#: Accepted ``metric=`` spellings, normalized to the canonical name.
+#: Accepted ``metric=`` spellings of the four built-ins, normalized to
+#: the canonical name. Retained for back-compat; the metric plugin
+#: registry (:mod:`repro.metrics.registry`) is the authoritative
+#: name-resolution surface and also covers registered plugins.
 METRIC_ALIASES = {
     "kendall": "kendall",
     "k_prof": "kendall",
@@ -538,43 +546,49 @@ def pairwise_distance_matrix(
 ) -> npt.NDArray[np.float64]:
     """The m×m distance matrix of a profile under one of the four metrics.
 
-    ``metric`` accepts the canonical names ``kendall`` / ``footrule`` /
-    ``kendall_hausdorff`` / ``footrule_hausdorff`` and the paper aliases
-    ``k_prof`` / ``f_prof`` / ``k_haus`` / ``f_haus``. ``p`` applies to the
-    Kendall metric only; ``strategy`` to the Kendall-family pair
-    classification (see :func:`pair_counts_matrix`); ``jobs`` spreads the
-    per-pair code paths over a process pool (:mod:`repro.parallel`).
-    ``rankings`` may be a sequence of rankings or a
-    :class:`~repro.core.arena.ProfileArena`, in which case pooled workers
-    map the profile zero-copy instead of unpickling rows.
+    ``metric`` accepts any spelling registered in the metric plugin
+    registry (:mod:`repro.metrics.registry`): the canonical names
+    ``kendall`` / ``footrule`` / ``kendall_hausdorff`` /
+    ``footrule_hausdorff``, the paper aliases ``k_prof`` / ``f_prof`` /
+    ``k_haus`` / ``f_haus``, and every registered plugin (e.g.
+    ``weighted_footrule``, ``top_difference``). Unknown names raise the
+    registry's shared :class:`~repro.errors.UnknownMetricError` listing
+    all registered spellings. ``p`` applies to the Kendall metric only;
+    ``strategy`` to the Kendall-family pair classification (see
+    :func:`pair_counts_matrix`; plugin kernels choose their own strategy
+    and ignore it); ``jobs`` spreads the per-pair code paths over a
+    process pool (:mod:`repro.parallel`). ``rankings`` may be a sequence
+    of rankings or a :class:`~repro.core.arena.ProfileArena`, in which
+    case pooled workers map the profile zero-copy instead of unpickling
+    rows.
 
     Entries are bit-for-bit equal to the two-ranking metrics; the matrix
     is symmetric with a zero diagonal.
     """
-    try:
-        canonical = METRIC_ALIASES[metric]
-    except KeyError:
-        raise ValueError(
-            f"unknown metric {metric!r}; expected one of {sorted(METRIC_ALIASES)}"
-        ) from None
+    plugin = get_metric(metric)
+    canonical = plugin.name
 
     if not obs.enabled():
-        return _pairwise_distance_matrix_impl(
-            rankings, canonical, p=p, strategy=strategy, jobs=jobs
-        )
+        if plugin.builtin:
+            return _pairwise_distance_matrix_impl(
+                rankings, canonical, p=p, strategy=strategy, jobs=jobs
+            )
+        return plugin.batch(rankings, p=p, jobs=jobs)
     with obs.trace(
         "metrics.batch.pairwise_distance_matrix", metric=canonical, m=len(rankings)
     ):
         # exact invocation count: the serving layer's coalescing tests
         # assert "N requests, one matrix call" against this counter
         obs.add("metrics.batch.matrix_calls")
-        if canonical in ("footrule", "footrule_hausdorff"):
+        if canonical in ("footrule", "footrule_hausdorff") or not plugin.builtin:
             # the Kendall family counts its ranking pairs inside
             # pair_counts_matrix; counting here too would double-book
             obs.add("metrics.batch.ranking_pairs", pairs(len(rankings)))
-        return _pairwise_distance_matrix_impl(
-            rankings, canonical, p=p, strategy=strategy, jobs=jobs
-        )
+        if plugin.builtin:
+            return _pairwise_distance_matrix_impl(
+                rankings, canonical, p=p, strategy=strategy, jobs=jobs
+            )
+        return plugin.batch(rankings, p=p, jobs=jobs)
 
 
 def _pairwise_distance_matrix_impl(
@@ -615,3 +629,94 @@ def _pairwise_distance_matrix_impl(
                 _fhaus_chunk, [(bucket_rows, chunk) for chunk in chunks], jobs=jobs
             )
     return _symmetric_from_chunks(m, chunks, results)
+
+
+# ----------------------------------------------------------------------
+# Built-in plugin registration
+# ----------------------------------------------------------------------
+
+
+def _builtin_batch(canonical: str) -> Any:
+    """The registry-facing batch kernel of one built-in metric."""
+
+    def call(
+        profile: Profile,
+        *,
+        p: float = 0.5,
+        strategy: str = "auto",
+        jobs: int | None = None,
+    ) -> npt.NDArray[np.float64]:
+        return _pairwise_distance_matrix_impl(
+            profile, canonical, p=p, strategy=strategy, jobs=jobs
+        )
+
+    return call
+
+
+def _kendall_hausdorff_scalar(sigma: PartialRanking, tau: PartialRanking) -> float:
+    """``K_Haus`` as a float-returning scalar kernel (counts are ints)."""
+    return float(kendall_hausdorff_counts(sigma, tau))
+
+
+# The four paper metrics register into the plugin registry on import, so
+# every name-based dispatch surface resolves them exactly like plugins.
+# Their differential oracles and metamorphic relations stay hand-curated
+# in repro.verify (the registry `oracle` below is the independent naive /
+# object-layer reference); only non-builtin plugins get auto-contributed
+# verify checks.
+register_metric(
+    MetricPlugin(
+        name="kendall",
+        aliases=("k_prof",),
+        citation="K^(p) with tie penalty p (paper §2.1); near metric for p < 1/2",
+        scalar=kendall,
+        batch=_builtin_batch("kendall"),
+        oracle=kendall_naive,
+        axiom_class="near-metric",
+        p_range=(0.0, 1.0),
+        max_value=max_kendall,
+        builtin=True,
+    )
+)
+register_metric(
+    MetricPlugin(
+        name="footrule",
+        aliases=("f_prof",),
+        citation="F_prof: L1 on position vectors (paper §2.2)",
+        scalar=footrule,
+        batch=_builtin_batch("footrule"),
+        oracle=footrule,
+        axiom_class="metric",
+        p_range=None,
+        max_value=max_footrule,
+        builtin=True,
+    )
+)
+register_metric(
+    MetricPlugin(
+        name="kendall_hausdorff",
+        aliases=("k_haus",),
+        citation="K_Haus via the Proposition 6 closed form",
+        scalar=_kendall_hausdorff_scalar,
+        batch=_builtin_batch("kendall_hausdorff"),
+        oracle=_kendall_hausdorff_scalar,
+        axiom_class="metric",
+        p_range=None,
+        max_value=max_kendall,
+        builtin=True,
+    )
+)
+register_metric(
+    MetricPlugin(
+        name="footrule_hausdorff",
+        aliases=("f_haus",),
+        citation="F_Haus via the Theorem 5 witnesses",
+        scalar=footrule_hausdorff,
+        batch=_builtin_batch("footrule_hausdorff"),
+        oracle=footrule_hausdorff,
+        axiom_class="metric",
+        p_range=None,
+        max_value=max_footrule,
+        builtin=True,
+    )
+)

@@ -13,11 +13,21 @@ The maxima are verified exhaustively for small domains in the test suite.
 Normalization divides by a constant per domain, so metric axioms are
 preserved and the Theorem 7 equivalence constants carry over up to the
 ratio of the two maxima.
+
+Plugin metrics normalize through the registry: :func:`normalized_metric`
+builds a [0, 1]-scaled wrapper for any registered metric whose
+:class:`~repro.metrics.registry.MetricPlugin` supplies ``max_value``
+(for the built-ins an exact supremum; plugins may supply a proven upper
+bound, in which case the scaled value stays in [0, 1] without the
+maximum necessarily being attained).
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 from repro.core.partial_ranking import PartialRanking
+from repro.errors import AggregationError
 from repro.metrics.footrule import footrule
 from repro.metrics.hausdorff import footrule_hausdorff, kendall_hausdorff_counts
 from repro.metrics.kendall import kendall
@@ -29,6 +39,7 @@ __all__ = [  # repro: noqa[RP011] — O(1) normalizing wrappers over instrumente
     "normalized_footrule",
     "normalized_kendall_hausdorff",
     "normalized_footrule_hausdorff",
+    "normalized_metric",
     "NORMALIZED_METRICS",
 ]
 
@@ -67,6 +78,38 @@ def normalized_kendall_hausdorff(sigma: PartialRanking, tau: PartialRanking) -> 
 def normalized_footrule_hausdorff(sigma: PartialRanking, tau: PartialRanking) -> float:
     """``F_Haus`` scaled into [0, 1]."""
     return _normalize(footrule_hausdorff(sigma, tau), max_footrule(len(sigma)))
+
+
+def normalized_metric(
+    name: str,
+) -> Callable[[PartialRanking, PartialRanking], float]:
+    """A [0, 1]-scaled scalar metric for any registered plugin spelling.
+
+    Resolves ``name`` through the metric plugin registry and divides the
+    plugin's scalar kernel by its ``max_value(n)``. Raises the
+    registry's :class:`~repro.errors.UnknownMetricError` on unknown
+    names and :class:`AggregationError` when the plugin declares no
+    ``max_value``.
+    """
+    # Imported lazily: repro.metrics.batch imports this module for the
+    # built-in maxima, so a module-level registry import would cycle.
+    import repro.metrics.plugins  # noqa: F401 — registers the first-party plugins
+    from repro.metrics.registry import get_metric
+
+    plugin = get_metric(name)
+    if plugin.max_value is None:
+        raise AggregationError(
+            f"metric {plugin.name!r} declares no max_value; it cannot be normalized"
+        )
+    max_value = plugin.max_value
+    scalar = plugin.scalar
+
+    def normalized(sigma: PartialRanking, tau: PartialRanking) -> float:
+        return _normalize(scalar(sigma, tau), max_value(len(sigma)))
+
+    normalized.__name__ = f"normalized_{plugin.name}"
+    normalized.__qualname__ = f"normalized_{plugin.name}"
+    return normalized
 
 
 #: Name -> normalized metric registry, mirroring objective.METRICS.

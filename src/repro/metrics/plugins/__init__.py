@@ -1,0 +1,26 @@
+"""First-party metric plugins — importing this package registers them.
+
+Each module here builds a :class:`~repro.metrics.registry.MetricPlugin`
+(with an explicit ``oracle=`` reference and ``axiom_class=`` — RP010
+flags plugin registrations missing either) and registers it at import
+time. :mod:`repro.metrics` imports this package last, so ``import
+repro.metrics`` is enough to make every first-party plugin resolvable
+by name across the batch layer, aggregation, serving, experiments, and
+the verify harness.
+"""
+
+from repro.metrics.plugins.top_difference import (
+    top_difference,
+    top_difference_matrix,
+)
+from repro.metrics.plugins.weighted_footrule import (
+    weighted_footrule,
+    weighted_footrule_matrix,
+)
+
+__all__ = [
+    "weighted_footrule",
+    "weighted_footrule_matrix",
+    "top_difference",
+    "top_difference_matrix",
+]

@@ -27,10 +27,12 @@ GET       /v1/healthz         —
 and bucket items are JSON scalars (strings / numbers), which round-trip
 type-stably through :class:`~repro.core.partial_ranking.PartialRanking`.
 
-Errors map to status codes: malformed JSON / bad shapes → 400, unknown
-routes → 404, :class:`~repro.errors.ReproError` (unknown voter, domain
-mismatch, bad metric...) → 409, anything unexpected → 500 (the failure
-is re-raised into the server log after the response is written).
+Errors map to status codes: malformed JSON / bad shapes / an unknown
+metric name (:class:`~repro.errors.UnknownMetricError`, listing every
+registered spelling) → 400, unknown routes → 404,
+:class:`~repro.errors.ReproError` (unknown voter, domain mismatch...)
+→ 409, anything unexpected → 500 (the failure is re-raised into the
+server log after the response is written).
 """
 
 from __future__ import annotations
@@ -43,7 +45,7 @@ from typing import Any
 
 from repro import obs
 from repro.core.partial_ranking import PartialRanking
-from repro.errors import ReproError
+from repro.errors import ReproError, UnknownMetricError
 from repro.io import SerializationError, ranking_from_dict, ranking_to_dict
 from repro.serve.config import ServeConfig
 from repro.serve.service import RankingService
@@ -180,7 +182,15 @@ class ReproServer:
                 raise BadRequest("request body must be a JSON object")
             result = await handler(self.service, payload)
             return 200, {"result": _render(result)}, None
-        except (BadRequest, SerializationError, json.JSONDecodeError) as exc:
+        except (
+            BadRequest,
+            SerializationError,
+            UnknownMetricError,
+            json.JSONDecodeError,
+        ) as exc:
+            # UnknownMetricError before its ReproError parent: a metric
+            # name that never resolves is a malformed request (400), not
+            # a conflict with the current state (409)
             return 400, {"error": str(exc)}, None
         except ReproError as exc:
             return 409, {"error": str(exc)}, None

@@ -44,7 +44,8 @@ from repro.aggregate.decompose import kemeny_decomposed
 from repro.core.codec import DomainCodec
 from repro.core.partial_ranking import Item, PartialRanking
 from repro.errors import AggregationError
-from repro.metrics.batch import METRIC_ALIASES
+import repro.metrics.plugins  # noqa: F401 — registers the first-party metric plugins
+from repro.metrics.registry import get_metric
 from repro.serve.batching import DistanceBatcher
 from repro.serve.cache import ResultCache
 from repro.serve.config import ServeConfig
@@ -162,13 +163,10 @@ class RankingService:
         further churn).
         """
         with _route("distance"):
-            try:
-                canonical = METRIC_ALIASES[metric]
-            except KeyError:
-                raise AggregationError(
-                    f"unknown metric {metric!r}; expected one of "
-                    f"{sorted(METRIC_ALIASES)}"
-                ) from None
+            # resolved through the metric plugin registry: every
+            # registered spelling (built-in or plugin) is servable, and
+            # unknown names raise the shared UnknownMetricError (→ 400)
+            canonical = get_metric(metric).name
             key = frozenset(domain) if not isinstance(domain, frozenset) else domain
             if not key:
                 raise AggregationError("the query domain must be non-empty")

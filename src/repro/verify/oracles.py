@@ -894,9 +894,62 @@ def _build_entries() -> tuple[OracleEntry, ...]:
     )
 
 
-_ENTRIES: tuple[OracleEntry, ...] = _build_entries()
+#: The hand-curated entries. Static: the built-in metrics keep their
+#: richly cross-covered entries above, authored once at import time.
+_STATIC_ENTRIES: tuple[OracleEntry, ...] = _build_entries()
+
+
+def _plugin_batch_variant(
+    batch: Callable[..., np.ndarray], jobs: int | None
+) -> _OracleFn:
+    def call(rankings: Rankings) -> object:
+        return batch(rankings, jobs=jobs)
+
+    return call
+
+
+def _plugin_entries() -> tuple[OracleEntry, ...]:
+    """One auto-contributed entry per registered non-builtin plugin.
+
+    Every :class:`~repro.metrics.registry.MetricPlugin` ships an O(n²)
+    reference oracle; registering a plugin therefore buys a
+    differential check for free — the plain-Python all-pairs matrix
+    from the oracle against the scalar kernel, the batch kernel, and
+    the batch kernel over a 2-process pool. Rebuilt on each call so
+    plugins registered after import (third-party, tests) are picked up
+    by ``--list-checks`` and the fuzz loop automatically.
+    """
+    # Imported lazily: force first-party plugin registration without a
+    # module-level verify -> plugins import edge.
+    import repro.metrics.plugins  # noqa: F401
+    from repro.metrics.registry import registered_metrics
+
+    entries = []
+    for plugin in registered_metrics():
+        if plugin.builtin:
+            continue
+        entries.append(
+            OracleEntry(
+                name=f"plugin-{plugin.name}",
+                kind="profile",
+                citation=plugin.citation,
+                covers=(),
+                reference=_profile_matrix_reference(plugin.oracle),
+                variants=(
+                    ("scalar", _profile_matrix_reference(plugin.scalar)),
+                    ("batch", _plugin_batch_variant(plugin.batch, None)),
+                    ("batch-jobs2", _plugin_batch_variant(plugin.batch, 2)),
+                ),
+                expensive=frozenset({"batch-jobs2"}),
+            )
+        )
+    return tuple(entries)
 
 
 def oracle_entries() -> tuple[OracleEntry, ...]:
-    """Every registered oracle entry (including self-test mutants)."""
-    return _ENTRIES
+    """Every registered oracle entry (including self-test mutants).
+
+    Static hand-curated entries first, then one per registered
+    non-builtin metric plugin.
+    """
+    return _STATIC_ENTRIES + _plugin_entries()

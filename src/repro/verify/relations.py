@@ -413,6 +413,75 @@ _RELATIONS: tuple[Relation, ...] = (
 )
 
 
+def _plugin_symmetry_check(
+    name: str, metric: Callable[[PartialRanking, PartialRanking], float]
+) -> _CheckFn:
+    def check(rankings: Rankings) -> str | None:
+        sigma, tau = rankings[0], rankings[1]
+        forward = metric(sigma, tau)
+        backward = metric(tau, sigma)
+        if forward != backward:
+            return f"{name} not symmetric: d(s,t)={forward} but d(t,s)={backward}"
+        return None
+
+    return check
+
+
+def _plugin_regularity_check(
+    name: str, metric: Callable[[PartialRanking, PartialRanking], float]
+) -> _CheckFn:
+    def check(rankings: Rankings) -> str | None:
+        sigma = rankings[0]
+        value = metric(sigma, sigma)
+        if value != 0:
+            return f"{name}(s, s) = {value}, expected 0"
+        return None
+
+    return check
+
+
+def _plugin_relations() -> tuple[Relation, ...]:
+    """Auto-contributed symmetry + regularity checks per metric plugin.
+
+    Each registered non-builtin plugin claims an ``axiom_class``; the
+    bare minimum either class implies is symmetry and ``d(x, x) = 0``,
+    so every plugin gets both relations for free (mirroring
+    :func:`_check_symmetry` / :func:`_check_regularity`, which keep
+    covering the four built-ins). Rebuilt per call so late-registered
+    plugins propagate to ``--list-checks`` and the fuzz loop.
+    """
+    # Imported lazily: force first-party plugin registration without a
+    # module-level verify -> plugins import edge.
+    import repro.metrics.plugins  # noqa: F401
+    from repro.metrics.registry import registered_metrics
+
+    rels = []
+    for plugin in registered_metrics():
+        if plugin.builtin:
+            continue
+        rels.append(
+            Relation(
+                f"symmetry-{plugin.name}",
+                2,
+                f"metric axiom ({plugin.axiom_class}): {plugin.citation}",
+                _plugin_symmetry_check(plugin.name, plugin.scalar),
+            )
+        )
+        rels.append(
+            Relation(
+                f"regularity-{plugin.name}",
+                1,
+                f"metric axiom ({plugin.axiom_class}): {plugin.citation}",
+                _plugin_regularity_check(plugin.name, plugin.scalar),
+            )
+        )
+    return tuple(rels)
+
+
 def relations() -> tuple[Relation, ...]:
-    """The full metamorphic relation catalog."""
-    return _RELATIONS
+    """The full metamorphic relation catalog.
+
+    The static catalog plus auto-contributed symmetry/regularity
+    relations for every registered non-builtin metric plugin.
+    """
+    return _RELATIONS + _plugin_relations()

@@ -675,6 +675,77 @@ class TestRP010OracleCoverage:
         result = analyze_paths([root / "src"], root=root, select=["RP010"])
         assert codes(result) == []
 
+    _PLUGIN_FILE = "src/repro/metrics/plugins/myplugin.py"
+
+    def test_positive_plugin_registration_missing_oracle(self):
+        result = analyze_source(
+            "register_metric(MetricPlugin(\n"
+            "    name='mine', aliases=(), citation='x',\n"
+            "    scalar=d, batch=dm, axiom_class='metric',\n"
+            "))\n",
+            filename=self._PLUGIN_FILE,
+            select=["RP010"],
+        )
+        assert codes(result) == ["RP010"]
+        assert "oracle=" in result.active[0].message
+        assert "differential oracle" in result.active[0].message
+
+    def test_positive_plugin_registration_missing_axiom_class(self):
+        result = analyze_source(
+            "MetricPlugin(name='mine', aliases=(), citation='x',\n"
+            "             scalar=d, batch=dm, oracle=d_naive)\n",
+            filename=self._PLUGIN_FILE,
+            select=["RP010"],
+        )
+        assert codes(result) == ["RP010"]
+        assert "axiom_class=" in result.active[0].message
+
+    def test_positive_plugin_missing_both_yields_two_findings(self):
+        result = analyze_source(
+            "registry.MetricPlugin(name='mine', scalar=d, batch=dm)\n",
+            filename=self._PLUGIN_FILE,
+            select=["RP010"],
+        )
+        assert codes(result) == ["RP010", "RP010"]
+
+    def test_negative_plugin_registration_complete(self):
+        result = analyze_source(
+            "PLUGIN = register_metric(MetricPlugin(\n"
+            "    name='mine', aliases=('m',), citation='x',\n"
+            "    scalar=d, batch=dm, oracle=d_naive, axiom_class='metric',\n"
+            "))\n",
+            filename=self._PLUGIN_FILE,
+            select=["RP010"],
+        )
+        assert codes(result) == []
+
+    def test_negative_plugin_check_ignores_other_modules(self):
+        # same incomplete call outside repro/metrics/plugins/: not this
+        # rule's business (tests construct partial plugins legitimately)
+        result = analyze_source(
+            "MetricPlugin(name='mine', scalar=d, batch=dm)\n",
+            filename="src/repro/metrics/registry.py",
+            select=["RP010"],
+        )
+        assert codes(result) == []
+        result = analyze_source(
+            "MetricPlugin(name='mine', scalar=d, batch=dm)\n",
+            filename="src/repro/metrics/plugins/__init__.py",
+            select=["RP010"],
+        )
+        assert codes(result) == []
+
+    def test_plugin_registration_noqa_suppressed(self):
+        result = analyze_source(
+            "MetricPlugin(name='mine', scalar=d, batch=dm, axiom_class='metric')"
+            "  # repro: noqa[RP010] — oracle registered separately\n",
+            filename=self._PLUGIN_FILE,
+            select=["RP010"],
+        )
+        assert codes(result) == []
+        assert [f.rule for f in result.findings] == ["RP010"]
+        assert result.findings[0].suppressed
+
 
 class TestRP011ObsInstrumentation:
     """Kernel modules must report into repro.obs; no bare prints in the library."""

@@ -32,8 +32,8 @@ from repro.experiments.runner import Table
 
 
 class TestRegistry:
-    def test_all_sixteen_registered(self):
-        assert sorted(all_experiments()) == [f"e{i:02d}" for i in range(1, 17)]
+    def test_all_seventeen_registered(self):
+        assert sorted(all_experiments()) == [f"e{i:02d}" for i in range(1, 18)]
 
     def test_lookup_unknown_raises(self):
         with pytest.raises(KeyError):

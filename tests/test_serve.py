@@ -37,6 +37,7 @@ from repro.errors import AggregationError
 from repro.generators.random import random_bucket_order, resolve_rng
 from repro.metrics.footrule import footrule
 from repro.metrics.kendall import kendall
+from repro.metrics.plugins.weighted_footrule import weighted_footrule
 from repro.obs import metrics, spans
 from repro.serve import (
     RankingService,
@@ -550,6 +551,40 @@ class TestHTTP:
             )
             assert status == 409
             assert "strongly-connected" in body["error"]
+
+        self._serve(scenario)
+
+    def test_http_unknown_metric_maps_to_400(self):
+        sigma, tau = _rankings(2)
+        domain = sorted(DOMAIN)
+
+        async def scenario(server: ReproServer):
+            status, body = await _post(
+                server.port,
+                "/v1/distance",
+                {
+                    "domain": domain,
+                    "sigma": _literal(sigma),
+                    "tau": _literal(tau),
+                    "metric": "spearman",
+                },
+            )
+            assert status == 400  # unresolvable name = malformed request
+            assert "unknown metric" in body["error"]
+            assert "kendall" in body["error"]  # the registered spellings
+            # a registered plugin spelling serves fine on the same route
+            status, body = await _post(
+                server.port,
+                "/v1/distance",
+                {
+                    "domain": domain,
+                    "sigma": _literal(sigma),
+                    "tau": _literal(tau),
+                    "metric": "wf",
+                },
+            )
+            assert status == 200
+            assert body["result"]["distance"] == weighted_footrule(sigma, tau)
 
         self._serve(scenario)
 

@@ -45,8 +45,10 @@ class TestRegistry:
     def test_check_census(self):
         checks = all_checks()
         kinds = [info.kind for info in checks]
-        assert kinds.count("oracle") == 27
-        assert kinds.count("relation") == 14
+        # 27 static + 2 auto-contributed plugin oracles; 14 static + 2
+        # plugins x (symmetry, regularity) auto-contributed relations
+        assert kinds.count("oracle") == 29
+        assert kinds.count("relation") == 18
         assert not any(info.selftest_only for info in checks)
 
     def test_selftest_check_hidden_by_default(self):
